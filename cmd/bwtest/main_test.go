@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestSingleInstance(t *testing.T) {
+	if err := run([]string{"-instance", "p2.8xlarge"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestAllInstances(t *testing.T) {
+	if err := run([]string{"-all"}); err != nil {
+		t.Fatalf("run -all: %v", err)
+	}
+}
+
+func TestUnknownInstance(t *testing.T) {
+	if err := run([]string{"-instance", "t2.micro"}); err == nil {
+		t.Error("unknown instance should fail")
+	}
+}

@@ -1,0 +1,77 @@
+// Command characterize regenerates the paper's evaluation artifacts
+// (Tables I-II, Figs 4-16 and the in-text case studies) on the simulated
+// cloud.
+//
+// Usage:
+//
+//	characterize [-run id[,id...]] [-iters N] [-seed S] [-csv] [-list]
+//
+// Without -run it executes every experiment in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"stash/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("characterize", flag.ContinueOnError)
+	ids := fs.String("run", "", "comma-separated experiment IDs (default: all)")
+	iters := fs.Int("iters", experiments.DefaultConfig().Iterations, "profiling iterations per scenario")
+	seed := fs.Int64("seed", 1, "provisioning seed")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	list := fs.Bool("list", false, "list experiment IDs and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	var selected []experiments.Experiment
+	if *ids == "" {
+		selected = experiments.Registry()
+	} else {
+		for _, id := range strings.Split(*ids, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	cfg := experiments.Config{Iterations: *iters, Seed: *seed}
+	for _, e := range selected {
+		start := time.Now()
+		tables, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Printf("# %s (%s, simulated in %v)\n\n", e.Title, e.ID, time.Since(start).Round(time.Millisecond))
+		for _, t := range tables {
+			if *csv {
+				fmt.Println(t.CSV())
+			} else {
+				fmt.Println(t.String())
+			}
+		}
+	}
+	return nil
+}

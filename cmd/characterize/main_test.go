@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+}
+
+func TestRunSelected(t *testing.T) {
+	if err := run([]string{"-run", "table1,table2", "-iters", "3"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	if err := run([]string{"-run", "fig7", "-csv"}); err != nil {
+		t.Fatalf("run -csv: %v", err)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "fig99"}); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestMicrobench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full micro sweep in -short mode")
+	}
+	if err := run([]string{"-iters", "3"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

@@ -1,0 +1,162 @@
+// Command stash profiles one DDL workload on one simulated cloud
+// instance type, reporting the four execution stalls the paper defines
+// (interconnect, network, CPU/prep, disk/fetch) plus an epoch time and
+// cost estimate.
+//
+// Usage:
+//
+//	stash -model resnet18 -instance p3.16xlarge [-batch 32] [-nodes 2] [-iters N]
+//
+// Models: the Table II zoo (alexnet, mobilenet_v2, squeezenet1_1,
+// shufflenet_v2, resnet18, resnet50, vgg11, bert-large) plus resnet<N>,
+// vgg<N> and densenet<N> variants, resnext50, wide_resnet50, bert-base
+// and gpt2-small.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"stash/internal/cloud"
+	"stash/internal/core"
+	"stash/internal/dnn"
+	"stash/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "stash:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("stash", flag.ContinueOnError)
+	modelName := fs.String("model", "resnet18", "model to profile")
+	batch := fs.Int("batch", 32, "per-GPU batch size")
+	instance := fs.String("instance", "p3.16xlarge", "AWS instance type")
+	nodes := fs.Int("nodes", 2, "node count for the network-stall step (0 to skip)")
+	iters := fs.Int("iters", core.DefaultIterations, "profiling iterations per step")
+	clean := fs.Bool("clean-slice", false, "assume a whole NVLink crossbar (lucky p3.8xlarge tenant)")
+	recommend := fs.Bool("recommend", false, "rank every catalog configuration instead of profiling one")
+	deadline := fs.Duration("deadline", 0, "with -recommend: max epoch time")
+	budget := fs.Float64("budget", 0, "with -recommend: max epoch cost in USD")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	model, err := lookupModel(*modelName)
+	if err != nil {
+		return err
+	}
+	it, err := cloud.ByName(*instance)
+	if err != nil {
+		return err
+	}
+	job, err := workload.NewJob(model, *batch)
+	if err != nil {
+		return err
+	}
+
+	opts := []core.Option{core.WithIterations(*iters)}
+	if *clean {
+		opts = append(opts, core.WithSlicePolicy(cloud.SliceClean))
+	}
+	p := core.New(opts...)
+
+	if *recommend {
+		return runRecommend(p, job, core.Constraints{
+			MaxEpochTime:    *deadline,
+			MaxCostPerEpoch: *budget,
+		})
+	}
+
+	fmt.Printf("profiling %s (batch %d/GPU, %.1fM gradients, %d sync points) on %s (%dx %s)\n\n",
+		model.Name, *batch, float64(model.TotalParams())/1e6, model.NumParamLayers(),
+		it.Name, it.NGPUs, it.GPU.Name)
+
+	r, err := p.Profile(job, it)
+	if err != nil {
+		return err
+	}
+	fmt.Print(r)
+
+	// Profile already reports the 2-node network stall; only re-measure
+	// for a different split.
+	if *nodes >= 2 && *nodes != 2 && it.NGPUs%*nodes == 0 {
+		nw, err := p.NetworkStall(job, it, *nodes)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %v\n", nw)
+	}
+	fmt.Printf("  GPU memory utilization: %.1f%%\n", core.MemoryUtilization(job, it))
+	return nil
+}
+
+// runRecommend ranks every catalog configuration for the job.
+func runRecommend(p *core.Profiler, job workload.Job, cons core.Constraints) error {
+	rec, err := p.Recommend(job, cons)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s (batch %d/GPU): %d feasible configurations\n\n", job.Model.Name, job.BatchPerGPU, len(rec.Candidates))
+	for i, c := range rec.Candidates {
+		marker := " "
+		if i == rec.Fastest {
+			marker = "*" // fastest
+		}
+		notes := ""
+		if len(c.Notes) > 0 {
+			notes = " (" + strings.Join(c.Notes, "; ") + ")"
+		}
+		fmt.Printf("%s %2d. %dx %-13s $%6.2f/epoch  %-10v%s\n",
+			marker, i+1, c.Nodes, c.Instance, c.Estimate.Cost,
+			c.Estimate.Time.Round(time.Second), notes)
+	}
+	if len(rec.Rejected) > 0 {
+		fmt.Println("\nrejected:")
+		for lbl, reason := range rec.Rejected {
+			fmt.Printf("  %-16s %s\n", lbl, reason)
+		}
+	}
+	fmt.Printf("\n%s\n", rec.ModelAdvice)
+	return nil
+}
+
+// lookupModel resolves zoo names plus parametric resnet<N>/vgg<N>.
+func lookupModel(name string) (*dnn.Model, error) {
+	if m, err := dnn.ByName(name); err == nil {
+		return m, nil
+	}
+	if depth, ok := strings.CutPrefix(name, "resnet"); ok {
+		if d, err := strconv.Atoi(depth); err == nil {
+			return dnn.ResNet(d)
+		}
+	}
+	if depth, ok := strings.CutPrefix(name, "vgg"); ok {
+		if d, err := strconv.Atoi(depth); err == nil {
+			return dnn.VGG(d)
+		}
+	}
+	if depth, ok := strings.CutPrefix(name, "densenet"); ok {
+		if d, err := strconv.Atoi(depth); err == nil {
+			return dnn.DenseNet(d)
+		}
+	}
+	switch name {
+	case "bert-base":
+		return dnn.BERTBase(), nil
+	case "gpt2-small":
+		return dnn.GPT2Small(), nil
+	case "resnext50":
+		return dnn.ResNeXt50()
+	case "wide_resnet50":
+		return dnn.WideResNet50()
+	}
+	return nil, fmt.Errorf("unknown model %q", name)
+}

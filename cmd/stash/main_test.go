@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefaults(t *testing.T) {
+	if err := run([]string{"-iters", "4"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-model", "nope"},
+		{"-instance", "m5.large"},
+		{"-batch", "0"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestRunCleanSlice(t *testing.T) {
+	if err := run([]string{"-iters", "4", "-instance", "p3.8xlarge", "-clean-slice"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunOOMSurfaces(t *testing.T) {
+	err := run([]string{"-model", "bert-large", "-batch", "64", "-iters", "4"})
+	if err == nil || !strings.Contains(err.Error(), "GB") {
+		t.Errorf("expected OOM error, got %v", err)
+	}
+}
+
+func TestLookupModel(t *testing.T) {
+	for _, name := range []string{
+		"resnet18", "resnet101", "vgg19", "densenet169", "bert-large",
+		"bert-base", "gpt2-small", "resnext50", "wide_resnet50", "alexnet",
+	} {
+		if _, err := lookupModel(name); err != nil {
+			t.Errorf("lookupModel(%s): %v", name, err)
+		}
+	}
+	for _, name := range []string{"resnet7", "vggX", "nothing", "densenet7"} {
+		if _, err := lookupModel(name); err == nil {
+			t.Errorf("lookupModel(%s) should fail", name)
+		}
+	}
+}
+
+func TestRunRecommend(t *testing.T) {
+	if err := run([]string{"-recommend", "-iters", "3", "-deadline", "40m"}); err != nil {
+		t.Fatalf("run -recommend: %v", err)
+	}
+}
+
+func TestRunRecommendInfeasible(t *testing.T) {
+	if err := run([]string{"-recommend", "-iters", "3", "-budget", "0.001"}); err == nil {
+		t.Error("impossible budget should surface an error")
+	}
+}

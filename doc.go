@@ -1,0 +1,20 @@
+// Package stash is a Go reproduction of "Stash: A comprehensive
+// stall-centric characterization of public cloud VMs for distributed
+// deep learning" (Sharma et al., IEEE ICDCS 2023).
+//
+// The repository contains:
+//
+//   - internal/core: the Stash profiler (the paper's contribution),
+//     measuring interconnect, network, CPU (prep) and disk (fetch) stalls
+//     of distributed DNN training from black-box elapsed times;
+//   - internal/{sim,simnet,hw,topo,cloud,dnn,workload,pipeline,
+//     collective,train}: the simulated substrate replacing the paper's
+//     AWS GPU fleet (see DESIGN.md for the substitution table);
+//   - internal/experiments: runners regenerating every table and figure
+//     of the paper's evaluation;
+//   - cmd/{stash,characterize,microbench,bwtest}: command-line tools;
+//   - examples/: runnable walkthroughs of the public API.
+//
+// The benchmarks in bench_test.go regenerate each paper artifact; see
+// EXPERIMENTS.md for measured-vs-paper results.
+package stash

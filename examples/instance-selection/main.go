@@ -1,0 +1,106 @@
+// Instance selection: sweep the P2/P3 catalog for a model and rank the
+// configurations by epoch cost, the decision the paper's characterization
+// is meant to inform (§V recommendations).
+//
+//	go run ./examples/instance-selection [model]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"stash/internal/cloud"
+	"stash/internal/core"
+	"stash/internal/dnn"
+	"stash/internal/report"
+	"stash/internal/workload"
+)
+
+// candidate is one purchasable configuration.
+type candidate struct {
+	label    string
+	instance string
+	count    int
+}
+
+func main() {
+	modelName := "resnet18"
+	if len(os.Args) > 1 {
+		modelName = os.Args[1]
+	}
+	model, err := dnn.ByName(modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	job, err := workload.NewJob(model, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	candidates := []candidate{
+		{"p2.xlarge", "p2.xlarge", 1},
+		{"p2.8xlarge", "p2.8xlarge", 1},
+		{"p2.8xlarge*2", "p2.8xlarge", 2},
+		{"p2.16xlarge", "p2.16xlarge", 1},
+		{"p3.2xlarge", "p3.2xlarge", 1},
+		{"p3.8xlarge", "p3.8xlarge", 1},
+		{"p3.8xlarge*2", "p3.8xlarge", 2},
+		{"p3.16xlarge", "p3.16xlarge", 1},
+		{"p3.24xlarge", "p3.24xlarge", 1},
+	}
+
+	type ranked struct {
+		candidate
+		est core.EpochEstimate
+	}
+	profiler := core.New()
+	var results []ranked
+	for _, c := range candidates {
+		it, err := cloud.ByName(c.instance)
+		if err != nil {
+			log.Fatal(err)
+		}
+		est, err := profiler.Epoch(job, it, c.count)
+		if err != nil {
+			log.Printf("skipping %s: %v", c.label, err)
+			continue
+		}
+		results = append(results, ranked{c, est})
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].est.Cost < results[j].est.Cost })
+
+	t := report.NewTable(
+		fmt.Sprintf("Epoch cost ranking for %s (batch 32/GPU)", model.Name),
+		"rank", "configuration", "GPUs", "epoch time", "epoch cost")
+	for i, r := range results {
+		t.AddRow(fmt.Sprintf("%d", i+1), r.label, fmt.Sprintf("%d", r.est.WorldSize),
+			report.Dur(r.est.Time), report.Money(r.est.Cost))
+	}
+	fmt.Print(t.String())
+
+	best, fastest := results[0], results[0]
+	for _, r := range results {
+		if r.est.Time < fastest.est.Time {
+			fastest = r
+		}
+	}
+	fmt.Printf("\ncheapest: %s (%s/epoch); fastest: %s (%s/epoch)\n",
+		best.label, report.Money(best.est.Cost), fastest.label, report.Dur(fastest.est.Time))
+	fmt.Println("(the cheapest configuration is rarely the fastest -- pick by deadline, pay the difference)")
+
+	// The same decision as a single library call, with constraints: what
+	// is the cheapest way to finish an epoch inside 20 minutes?
+	rec, err := profiler.Recommend(job, core.Constraints{MaxEpochTime: 20 * time.Minute})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pick := rec.Candidates[rec.Cheapest]
+	fmt.Printf("\nunder a 20-minute deadline: %d feasible configs, %d rejected\n",
+		len(rec.Candidates), len(rec.Rejected))
+	fmt.Printf("recommendation: %dx %s at %s/epoch (%v)\n",
+		pick.Nodes, pick.Instance, report.Money(pick.Estimate.Cost), report.Dur(pick.Estimate.Time))
+	fmt.Println(rec.ModelAdvice)
+}

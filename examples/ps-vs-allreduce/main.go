@@ -1,0 +1,61 @@
+// Parameter server vs ring all-reduce: the paper's §III/IV premise that
+// collective all-reduce strictly outperforms a parameter server, measured
+// with Stash on the same simulated hardware.
+//
+//	go run ./examples/ps-vs-allreduce
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stash/internal/cloud"
+	"stash/internal/collective"
+	"stash/internal/core"
+	"stash/internal/dnn"
+	"stash/internal/report"
+	"stash/internal/workload"
+)
+
+func main() {
+	ring := core.New(core.WithIterations(10))
+	ps := core.New(core.WithIterations(10),
+		core.WithCollectiveOptions(collective.WithAlgorithm(collective.ParameterServer)))
+
+	models := []string{"resnet18", "vgg11"}
+	instances := []string{"p3.16xlarge", "p2.8xlarge"}
+
+	t := report.NewTable("Gradient exchange: ring all-reduce vs parameter server (batch 32)",
+		"model", "instance", "ring iter", "PS iter", "PS slowdown")
+	for _, mi := range models {
+		model, err := dnn.ByName(mi)
+		if err != nil {
+			log.Fatal(err)
+		}
+		job, err := workload.NewJob(model, 32)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, ii := range instances {
+			instance, err := cloud.ByName(ii)
+			if err != nil {
+				log.Fatal(err)
+			}
+			r, err := ring.InterconnectStall(job, instance)
+			if err != nil {
+				log.Fatal(err)
+			}
+			s, err := ps.InterconnectStall(job, instance)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t.AddRow(model.Name, instance.Name,
+				report.Dur(r.AllGPU), report.Dur(s.AllGPU),
+				fmt.Sprintf("%.2fx", s.AllGPU.Seconds()/r.AllGPU.Seconds()))
+		}
+	}
+	fmt.Print(t.String())
+	fmt.Println("\nevery gradient byte converges on the server's links, so PS scales with")
+	fmt.Println("world size while the ring's per-rank traffic stays constant -- the reason")
+	fmt.Println("the paper profiles all-reduce and treats PS as strictly worse (§III).")
+}

@@ -1,0 +1,56 @@
+// Quickstart: profile one model on one cloud instance with Stash.
+//
+// This is the smallest useful program against the public API: build a
+// job, pick an instance from the Table I catalog, run the profiler, and
+// read the four stalls plus the epoch cost estimate.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stash/internal/cloud"
+	"stash/internal/core"
+	"stash/internal/dnn"
+	"stash/internal/workload"
+)
+
+func main() {
+	// The workload: ResNet18 on ImageNet at batch 32 per GPU, the
+	// paper's bread-and-butter configuration.
+	model, err := dnn.ResNet(18)
+	if err != nil {
+		log.Fatal(err)
+	}
+	job, err := workload.NewJob(model, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The hardware: an 8xV100 NVLink instance.
+	instance, err := cloud.ByName("p3.16xlarge")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Profile: Stash runs its five steps (single-GPU synthetic, all-GPU
+	// synthetic, cold-cache real, warm-cache real, multi-node synthetic)
+	// and derives the stalls from elapsed-time differences alone.
+	profiler := core.New()
+	reportCard, err := profiler.Profile(job, instance)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(reportCard)
+
+	fmt.Printf("\nwhat the stalls mean:\n")
+	fmt.Printf("  interconnect: +%v per iteration lost to intra-machine gradient sync\n", reportCard.IC.Stall)
+	if reportCard.NW != nil {
+		fmt.Printf("  network:      +%v per iteration if split across %d machines\n",
+			reportCard.NW.Stall, reportCard.NW.Nodes)
+	}
+	fmt.Printf("  prep (CPU):   +%v per iteration waiting on pre-processing\n", reportCard.Data.PrepStall)
+	fmt.Printf("  fetch (disk): +%v per iteration waiting on storage (first epoch)\n", reportCard.Data.FetchStall)
+}

@@ -1,0 +1,286 @@
+package stash
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"stash/internal/cloud"
+	"stash/internal/core"
+	"stash/internal/dnn"
+	"stash/internal/hw"
+	"stash/internal/workload"
+)
+
+// These tests exercise the system end to end across package boundaries:
+// black-box properties any user of the library can rely on.
+
+func integrationProfiler() *core.Profiler {
+	return core.New(core.WithIterations(5))
+}
+
+func mustJob(t *testing.T, m *dnn.Model, batch int) workload.Job {
+	t.Helper()
+	j, err := workload.NewJob(m, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// Property: for every zoo model that fits, every stall measurement is
+// non-negative and the derived percentages are consistent with the raw
+// times.
+func TestEveryZooModelProfilesConsistently(t *testing.T) {
+	p := integrationProfiler()
+	it, err := cloud.ByName("p3.16xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range dnn.Zoo() {
+		batch := 32
+		if e.Model.Family == "bert" {
+			batch = 4
+		}
+		job := mustJob(t, e.Model, batch)
+		ic, err := p.InterconnectStall(job, it)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Model.Name, err)
+		}
+		if ic.Stall < 0 {
+			t.Errorf("%s: negative I/C stall %v", e.Model.Name, ic.Stall)
+		}
+		wantPct := 100 * ic.Stall.Seconds() / ic.SingleGPU.Seconds()
+		if diff := ic.Pct - wantPct; diff > 0.01 || diff < -0.01 {
+			t.Errorf("%s: Pct %v inconsistent with times (%v)", e.Model.Name, ic.Pct, wantPct)
+		}
+		ds, err := p.DataStallAnalysis(job, it)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Model.Name, err)
+		}
+		if ds.PrepStall < 0 || ds.FetchStall < 0 {
+			t.Errorf("%s: negative data stall %+v", e.Model.Name, ds)
+		}
+		// Step ordering: synthetic <= warm <= cold (each adds a pipeline
+		// stage that can only slow things down).
+		if ds.WarmCache < ds.Synthetic || ds.ColdCache < ds.WarmCache {
+			t.Errorf("%s: step times out of order: %v / %v / %v",
+				e.Model.Name, ds.Synthetic, ds.WarmCache, ds.ColdCache)
+		}
+	}
+}
+
+// Property: epoch cost equals price x time x nodes for any configuration.
+func TestEpochCostArithmetic(t *testing.T) {
+	p := integrationProfiler()
+	m, err := dnn.ResNet(18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := mustJob(t, m, 64)
+	for _, name := range []string{"p2.8xlarge", "p3.8xlarge", "p3.16xlarge"} {
+		it, err := cloud.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, nodes := range []int{1, 2} {
+			est, err := p.Epoch(job, it, nodes)
+			if err != nil {
+				t.Fatalf("%s x%d: %v", name, nodes, err)
+			}
+			want := it.PricePerHour * est.Time.Hours() * float64(nodes)
+			if diff := est.Cost - want; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("%s x%d: cost %v != price x time (%v)", name, nodes, est.Cost, want)
+			}
+			if est.WorldSize != it.NGPUs*nodes {
+				t.Errorf("%s x%d: world %d", name, nodes, est.WorldSize)
+			}
+		}
+	}
+}
+
+// Property: the profiler is a pure function of its configuration — two
+// independently constructed profilers agree bit-for-bit on every
+// measurement of a full report.
+func TestEndToEndDeterminism(t *testing.T) {
+	m, err := dnn.VGG(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := cloud.ByName("p3.8xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := mustJob(t, m, 32)
+	r1, err := integrationProfiler().Profile(job, it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := integrationProfiler().Profile(job, it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *r1.NW != *r2.NW || r1.IC != r2.IC || r1.Data != r2.Data || r1.Epoch != r2.Epoch {
+		t.Errorf("profiles differ:\n%v\n%v", r1, r2)
+	}
+}
+
+// Property: MaxBatch and the OOM check agree — any batch at or below
+// MaxBatch profiles, anything above it errors.
+func TestQuickMaxBatchMatchesOOM(t *testing.T) {
+	p := integrationProfiler()
+	it, err := cloud.ByName("p3.16xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bert := dnn.BERTLarge()
+	maxBatch := bert.MaxBatch(it.GPUMemPerGPU())
+	f := func(delta uint8) bool {
+		batch := maxBatch + int(delta%8) - 4
+		if batch < 1 {
+			return true
+		}
+		job, err := workload.NewJob(bert, batch)
+		if err != nil {
+			return false
+		}
+		_, err = p.InterconnectStall(job, it)
+		if batch <= maxBatch {
+			return err == nil
+		}
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 16}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: stall percentages fall monotonically with batch size
+// (communication amortizes over more compute), the trend every batch
+// sweep in the paper shows.
+func TestStallsAmortizeWithBatch(t *testing.T) {
+	p := integrationProfiler()
+	m, err := dnn.ResNet(18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := cloud.ByName("p2.16xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1e18
+	for _, batch := range workload.SmallBatchSizes() {
+		s, err := p.InterconnectStall(mustJob(t, m, batch), it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Pct >= prev {
+			t.Errorf("batch %d: stall %.1f%% not below previous %.1f%%", batch, s.Pct, prev)
+		}
+		prev = s.Pct
+	}
+}
+
+// Property: adding a faster interconnect never hurts. For the same
+// model, instances ordered by interconnect quality order their stall
+// times.
+func TestInterconnectQualityOrdersStalls(t *testing.T) {
+	p := integrationProfiler()
+	m, err := dnn.ResNet(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := mustJob(t, m, 32)
+	stall := func(name string) time.Duration {
+		it, err := cloud.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := p.InterconnectStall(job, it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Stall
+	}
+	pcie := stall("p2.8xlarge")       // shared PCIe
+	nvlink := stall("p3.16xlarge")    // whole crossbar
+	nvswitch := stall("p4d.24xlarge") // NVSwitch
+	if !(nvswitch <= nvlink && nvlink < pcie) {
+		t.Errorf("stall times not ordered by fabric: NVSwitch %v, NVLink %v, PCIe %v",
+			nvswitch, nvlink, pcie)
+	}
+}
+
+// The network-bandwidth monotonicity property: a job split over two
+// nodes can never beat the same world size inside one machine, for any
+// instance with at least two GPUs.
+func TestNetworkNeverHelps(t *testing.T) {
+	p := integrationProfiler()
+	m, err := dnn.ResNet(18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := mustJob(t, m, 32)
+	for _, name := range []string{"p2.8xlarge", "p3.8xlarge", "p3.16xlarge"} {
+		it, err := cloud.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := p.NetworkStall(job, it, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Stall < 0 {
+			t.Errorf("%s: splitting across the network sped training up (%v)", name, s.Stall)
+		}
+	}
+}
+
+// Sanity anchor: absolute simulated throughputs stay within a factor of
+// ~2 of published real-hardware numbers, so the cost model's dollars are
+// meaningful.
+func TestAbsoluteThroughputAnchors(t *testing.T) {
+	p := integrationProfiler()
+	anchors := []struct {
+		model    func() (*dnn.Model, error)
+		batch    int
+		instance string
+		minIPS   float64 // images/sec per GPU
+		maxIPS   float64
+	}{
+		{func() (*dnn.Model, error) { return dnn.ResNet(50) }, 32, "p3.2xlarge", 180, 720},   // real V100 ~360
+		{func() (*dnn.Model, error) { return dnn.ResNet(50) }, 32, "p2.xlarge", 25, 110},     // real K80 ~50
+		{func() (*dnn.Model, error) { return dnn.BERTLarge(), nil }, 4, "p3.2xlarge", 5, 25}, // real V100 ~10
+	}
+	for _, a := range anchors {
+		m, err := a.model()
+		if err != nil {
+			t.Fatal(err)
+		}
+		it, err := cloud.ByName(a.instance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := p.InterconnectStall(mustJob(t, m, a.batch), it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ips := float64(a.batch) / s.SingleGPU.Seconds()
+		if ips < a.minIPS || ips > a.maxIPS {
+			t.Errorf("%s on %s: %.0f samples/s per GPU, want [%.0f, %.0f]",
+				m.Name, a.instance, ips, a.minIPS, a.maxIPS)
+		}
+	}
+}
+
+// The catalog's bandwidth hierarchy that drives the whole paper.
+func TestFabricHierarchy(t *testing.T) {
+	if !(hw.PCIeGen3x16.Bandwidth < hw.NVLink2.Bandwidth) {
+		t.Error("PCIe should be slower than NVLink")
+	}
+	for _, gbps := range []float64{10, 25, 100} {
+		if hw.NetworkLink(gbps).Bandwidth >= hw.PCIeGen3x16.Bandwidth {
+			t.Errorf("%v Gbps network should be the slowest link class", gbps)
+		}
+	}
+}

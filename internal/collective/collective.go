@@ -1,0 +1,278 @@
+// Package collective implements gradient-synchronization primitives over
+// a simulated topology: the ring all-reduce used by PyTorch DDP (the
+// paper's setup, §IV) and a parameter-server baseline (whose performance
+// the paper notes is strictly worse, §III). Collectives issued on a group
+// execute in FIFO order, one at a time, as NCCL does on a stream.
+package collective
+
+import (
+	"fmt"
+	"time"
+
+	"stash/internal/sim"
+	"stash/internal/simnet"
+	"stash/internal/topo"
+)
+
+// Algorithm selects the synchronization strategy.
+type Algorithm int
+
+// Algorithms.
+const (
+	// Ring is bandwidth-optimal collective all-reduce: 2(p-1) steps of
+	// concurrent neighbor transfers of 1/p of the data.
+	Ring Algorithm = iota + 1
+
+	// ParameterServer gathers all gradients at a central server and
+	// broadcasts the update back.
+	ParameterServer
+)
+
+// String returns the algorithm name.
+func (a Algorithm) String() string {
+	switch a {
+	case Ring:
+		return "ring-allreduce"
+	case ParameterServer:
+		return "parameter-server"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// DefaultCallOverhead is the device-side cost of launching one collective
+// (NCCL kernel setup). The larger host-side autograd-hook cost lives in
+// the training loop (train.Config.HookOverhead), where it blocks the
+// backward pass.
+const DefaultCallOverhead = 30 * time.Microsecond
+
+// Option configures a Group.
+type Option func(*Group)
+
+// WithAlgorithm selects the synchronization algorithm (default Ring).
+func WithAlgorithm(a Algorithm) Option {
+	return func(g *Group) { g.algorithm = a }
+}
+
+// WithCallOverhead overrides the per-collective fixed cost.
+func WithCallOverhead(d time.Duration) Option {
+	return func(g *Group) { g.callOverhead = d }
+}
+
+// Group is a set of GPU ranks that synchronize gradients together.
+type Group struct {
+	eng          *sim.Engine
+	net          *simnet.Network
+	topology     *topo.Topology
+	gpus         []*topo.Device
+	algorithm    Algorithm
+	callOverhead time.Duration
+
+	nextSeq   []int // per-rank counter of issued collectives
+	ops       map[int]*op
+	ready     []*op
+	executing bool
+
+	// Statistics.
+	opsCompleted int
+	bytesReduced float64
+	busyTime     time.Duration
+}
+
+type op struct {
+	seq     int
+	bytes   float64
+	arrived int
+	done    *sim.Signal
+}
+
+// NewGroup creates a synchronization group over the given GPUs (in rank
+// order) of a topology. All GPU pairs that the algorithm needs must be
+// routable.
+func NewGroup(eng *sim.Engine, net *simnet.Network, t *topo.Topology, gpus []*topo.Device, opts ...Option) (*Group, error) {
+	if len(gpus) == 0 {
+		return nil, fmt.Errorf("collective: empty group")
+	}
+	g := &Group{
+		eng:          eng,
+		net:          net,
+		topology:     t,
+		gpus:         gpus,
+		algorithm:    Ring,
+		callOverhead: DefaultCallOverhead,
+		nextSeq:      make([]int, len(gpus)),
+		ops:          make(map[int]*op),
+	}
+	for _, o := range opts {
+		o(g)
+	}
+	// Validate routes up front so failures surface at construction.
+	if len(gpus) > 1 {
+		switch g.algorithm {
+		case Ring:
+			for i := range gpus {
+				if _, err := t.Route(gpus[i], gpus[(i+1)%len(gpus)]); err != nil {
+					return nil, fmt.Errorf("collective: ring: %w", err)
+				}
+			}
+		case ParameterServer:
+			server := t.Machines[gpus[0].Node].Host
+			for _, gpu := range gpus {
+				if gpu.Node == server.Node {
+					continue
+				}
+				if _, err := t.Route(gpu, server); err != nil {
+					return nil, fmt.Errorf("collective: ps: %w", err)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("collective: unknown algorithm %v", g.algorithm)
+		}
+	}
+	return g, nil
+}
+
+// WorldSize returns the number of ranks.
+func (g *Group) WorldSize() int { return len(g.gpus) }
+
+// OpsCompleted returns how many collectives have finished.
+func (g *Group) OpsCompleted() int { return g.opsCompleted }
+
+// BytesReduced returns the total payload bytes across completed
+// collectives.
+func (g *Group) BytesReduced() float64 { return g.bytesReduced }
+
+// BusyTime returns the cumulative wall-clock (virtual) time the group
+// spent executing collectives.
+func (g *Group) BusyTime() time.Duration { return g.busyTime }
+
+// AllReduceAsync issues rank's next collective carrying bytes of
+// gradient. It returns a signal that fires when the collective completes
+// globally. The collective starts only after every rank has issued it,
+// and collectives execute in issue order.
+func (g *Group) AllReduceAsync(rank int, bytes float64) *sim.Signal {
+	if rank < 0 || rank >= len(g.gpus) {
+		panic(fmt.Sprintf("collective: rank %d out of range [0,%d)", rank, len(g.gpus)))
+	}
+	seq := g.nextSeq[rank]
+	g.nextSeq[rank]++
+	o, ok := g.ops[seq]
+	if !ok {
+		o = &op{seq: seq, bytes: bytes, done: sim.NewSignal(g.eng)}
+		g.ops[seq] = o
+	}
+	if o.bytes != bytes {
+		panic(fmt.Sprintf("collective: rank %d op %d carries %v bytes, others sent %v", rank, seq, bytes, o.bytes))
+	}
+	o.arrived++
+	if o.arrived == len(g.gpus) {
+		delete(g.ops, seq)
+		g.ready = append(g.ready, o)
+		g.maybeStart()
+	}
+	return o.done
+}
+
+// AllReduce issues the collective and blocks the calling process until it
+// completes.
+func (g *Group) AllReduce(p *sim.Process, rank int, bytes float64) {
+	p.Await(g.AllReduceAsync(rank, bytes))
+}
+
+func (g *Group) maybeStart() {
+	if g.executing || len(g.ready) == 0 {
+		return
+	}
+	g.executing = true
+	o := g.ready[0]
+	g.ready = g.ready[1:]
+	g.eng.Go(fmt.Sprintf("allreduce-%d", o.seq), func(p *sim.Process) {
+		start := p.Now()
+		g.execute(p, o)
+		g.busyTime += p.Now() - start
+		g.opsCompleted++
+		g.bytesReduced += o.bytes
+		g.executing = false
+		o.done.Fire()
+		g.maybeStart()
+	})
+}
+
+func (g *Group) execute(p *sim.Process, o *op) {
+	world := len(g.gpus)
+	if world == 1 {
+		// Single rank: DDP skips communication entirely.
+		return
+	}
+	p.Sleep(g.callOverhead)
+	if o.bytes <= 0 {
+		return
+	}
+	switch g.algorithm {
+	case Ring:
+		g.runRing(p, o.bytes)
+	case ParameterServer:
+		g.runPS(p, o.bytes)
+	}
+}
+
+// runRing performs 2(p-1) ring steps; in each, every rank forwards a
+// 1/p chunk to its successor concurrently. Step time is set by the
+// slowest route, which is how a single network hop throttles the whole
+// ring (§IV-B2).
+func (g *Group) runRing(p *sim.Process, bytes float64) {
+	world := len(g.gpus)
+	chunk := bytes / float64(world)
+	steps := 2 * (world - 1)
+	routes := make([][]*simnet.Link, world)
+	for i := range g.gpus {
+		r, err := g.topology.Route(g.gpus[i], g.gpus[(i+1)%world])
+		if err != nil {
+			// Routes were validated at construction.
+			panic(fmt.Sprintf("collective: %v", err))
+		}
+		routes[i] = r
+	}
+	for s := 0; s < steps; s++ {
+		flows := make([]*simnet.Flow, world)
+		for i := range routes {
+			// The first step pays route latency; later steps stream over
+			// the already-pipelined path (NCCL slices the chunk so their
+			// latency hides behind the previous step's tail).
+			if s == 0 {
+				flows[i] = g.net.StartFlow(chunk, routes[i])
+			} else {
+				flows[i] = g.net.StartFlowLatency(chunk, routes[i], 0)
+			}
+		}
+		for _, f := range flows {
+			p.Await(f.Done())
+		}
+	}
+}
+
+// runPS gathers full gradients at the lead machine's host and broadcasts
+// the averaged update back: 2 phases of p concurrent full-size transfers
+// through the server's links.
+func (g *Group) runPS(p *sim.Process, bytes float64) {
+	server := g.topology.Machines[g.gpus[0].Node].Host
+	transferAll := func(toServer bool) {
+		var flows []*simnet.Flow
+		for _, gpu := range g.gpus {
+			from, to := gpu, server
+			if !toServer {
+				from, to = server, gpu
+			}
+			route, err := g.topology.Route(from, to)
+			if err != nil {
+				panic(fmt.Sprintf("collective: %v", err))
+			}
+			flows = append(flows, g.net.StartFlow(bytes, route))
+		}
+		for _, f := range flows {
+			p.Await(f.Done())
+		}
+	}
+	transferAll(true)  // push gradients
+	transferAll(false) // pull updated parameters
+}

@@ -1,0 +1,505 @@
+// Package core implements Stash, the paper's contribution: a black-box
+// profiler for distributed deep learning that measures the four execution
+// stalls of a DDL pipeline on cloud GPU instances (§IV-B):
+//
+//   - interconnect (I/C) stall: step 2 (all-GPU synthetic training) minus
+//     step 1 (single-GPU synthetic training with the same per-GPU load);
+//   - network (N/W) stall: step 5 (multi-node synthetic training at equal
+//     world size) minus step 2;
+//   - CPU (prep) stall: step 4 (cached real-data training) minus step 2
+//     (from DS-Analyzer);
+//   - disk (fetch) stall: step 3 (cold-cache real-data training) minus
+//     step 4 (from DS-Analyzer).
+//
+// Stash is black-box: it only compares elapsed times of differently
+// configured runs, never instrumenting the framework's internals, which
+// is exactly how the real tool avoids perturbing the asynchronous
+// overlap of communication and computation (§III).
+//
+// The profiler exploits training's repetitive structure (§IV): it times a
+// fixed window of iterations and scales to a full epoch.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"stash/internal/cloud"
+	"stash/internal/collective"
+	"stash/internal/pipeline"
+	"stash/internal/sim"
+	"stash/internal/simnet"
+	"stash/internal/topo"
+	"stash/internal/train"
+	"stash/internal/workload"
+)
+
+// DefaultIterations is the profiling window per step. Stall ratios are
+// steady-state properties, so a modest window suffices.
+const DefaultIterations = 20
+
+// profileWarmup is the number of leading iterations excluded from every
+// measurement (pipeline fill, allocator warm-up), as real profilers do.
+const profileWarmup = 3
+
+// DefaultCostEpochs is the training length the epoch cost model assumes:
+// the first epoch reads the dataset cold; DRAM caching absorbs fetch
+// stalls afterwards (SI), so the cold epoch's extra time is amortized
+// over this many epochs.
+const DefaultCostEpochs = 10
+
+// Option configures a Profiler.
+type Option func(*Profiler)
+
+// WithIterations sets the per-step profiling window.
+func WithIterations(n int) Option {
+	return func(p *Profiler) { p.iterations = n }
+}
+
+// WithSlicePolicy sets how p3.8xlarge NVLink slicing resolves (default
+// SliceDegraded, the allocation the paper observed).
+func WithSlicePolicy(sp cloud.SlicePolicy) Option {
+	return func(p *Profiler) { p.slicePolicy = sp }
+}
+
+// WithSeed sets the provisioning seed (matters under SliceLottery).
+func WithSeed(seed int64) Option {
+	return func(p *Profiler) { p.seed = seed }
+}
+
+// WithCollectiveOptions forwards options to every training run's gradient
+// synchronization group (algorithm, call overhead).
+func WithCollectiveOptions(opts ...collective.Option) Option {
+	return func(p *Profiler) { p.collectiveOpts = opts }
+}
+
+// WithCostEpochs sets how many epochs the cost model amortizes the cold
+// first epoch over (default DefaultCostEpochs).
+func WithCostEpochs(n int) Option {
+	return func(p *Profiler) { p.costEpochs = n }
+}
+
+// Profiler measures DDL stalls on simulated cloud instances.
+type Profiler struct {
+	iterations     int
+	slicePolicy    cloud.SlicePolicy
+	seed           int64
+	costEpochs     int
+	collectiveOpts []collective.Option
+
+	// cache memoizes scenario results: simulations are deterministic, and
+	// sweeps re-measure the same cells (every instance size shares the
+	// same step-1 single-GPU run, for example).
+	mu    sync.Mutex
+	cache map[scenarioKey]*train.Result
+}
+
+// New returns a Stash profiler with the given options.
+func New(opts ...Option) *Profiler {
+	p := &Profiler{
+		iterations:  DefaultIterations,
+		slicePolicy: cloud.SliceDegraded,
+		seed:        1,
+		costEpochs:  DefaultCostEpochs,
+		cache:       make(map[scenarioKey]*train.Result),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	if p.iterations < 1 {
+		p.iterations = DefaultIterations
+	}
+	if p.costEpochs < 1 {
+		p.costEpochs = 1
+	}
+	return p
+}
+
+// scenarioKey identifies a deterministic scenario result.
+type scenarioKey struct {
+	model    string
+	batch    int
+	instance string
+	count    int
+	gpusPer  int
+	mode     runMode
+}
+
+// OOMError reports a job that does not fit in a GPU's memory.
+type OOMError struct {
+	Model     string
+	Batch     int
+	Required  float64
+	Available float64
+}
+
+// Error implements the error interface.
+func (e *OOMError) Error() string {
+	return fmt.Sprintf("stash: %s at batch %d needs %.1f GB but the GPU has %.1f GB",
+		e.Model, e.Batch, e.Required/1e9, e.Available/1e9)
+}
+
+// checkFit verifies the job fits in the instance's per-GPU memory.
+func checkFit(job workload.Job, it cloud.InstanceType) error {
+	need := job.Model.TrainingMemoryBytes(job.BatchPerGPU)
+	have := it.GPUMemPerGPU()
+	if need > have {
+		return &OOMError{Model: job.Model.Name, Batch: job.BatchPerGPU, Required: need, Available: have}
+	}
+	return nil
+}
+
+// scenario describes one training run the profiler executes.
+type scenario struct {
+	instance cloud.InstanceType
+	count    int // machines
+	gpusPer  int // participating GPUs per machine; 0 = all
+	mode     runMode
+}
+
+type runMode int
+
+const (
+	modeSynthetic runMode = iota + 1
+	modeRealCold
+	modeRealWarm
+)
+
+// run executes one scenario on a fresh engine and returns the result.
+// Results are memoized: with a fixed profiler configuration a scenario is
+// fully deterministic.
+func (p *Profiler) run(job workload.Job, sc scenario) (*train.Result, error) {
+	if err := checkFit(job, sc.instance); err != nil {
+		return nil, err
+	}
+	key := scenarioKey{
+		model:    job.Model.Name,
+		batch:    job.BatchPerGPU,
+		instance: sc.instance.Name,
+		count:    sc.count,
+		gpusPer:  sc.gpusPer,
+		mode:     sc.mode,
+	}
+	p.mu.Lock()
+	res, ok := p.cache[key]
+	p.mu.Unlock()
+	if ok {
+		return res, nil
+	}
+	eng := sim.NewEngine()
+	net := simnet.New(eng)
+	prov := cloud.NewProvisioner(p.slicePolicy, p.seed)
+	top, err := prov.Provision(net, sc.instance, sc.count)
+	if err != nil {
+		return nil, err
+	}
+
+	var gpus []*topo.Device
+	if sc.gpusPer > 0 {
+		for _, m := range top.Machines {
+			if sc.gpusPer > len(m.GPUs) {
+				return nil, fmt.Errorf("stash: %d GPUs requested per %s, has %d",
+					sc.gpusPer, sc.instance.Name, len(m.GPUs))
+			}
+			gpus = append(gpus, m.GPUs[:sc.gpusPer]...)
+		}
+	}
+
+	cfg := train.Config{
+		Job:               job,
+		Topology:          top,
+		GPUs:              gpus,
+		Iterations:        p.iterations,
+		Warmup:            profileWarmup,
+		Synthetic:         sc.mode == modeSynthetic,
+		CollectiveOptions: p.collectiveOpts,
+		// Transfers that stage through host memory (PCIe peer traffic,
+		// network paths) block the compute stream; only whole NVLink
+		// crossbars keep the DDP overlap (§VI-A2's additive cost model).
+		DisableOverlap: !top.SupportsAsyncCollectives(),
+	}
+	if sc.mode != modeSynthetic {
+		cfg.Pipelines = make(map[int]*pipeline.HostPipeline, len(top.Machines))
+		for node := range top.Machines {
+			hp, err := pipeline.New(eng, net, node, pipeline.Config{
+				Storage:    sc.instance.Storage,
+				CPU:        sc.instance.CPU(),
+				CacheBytes: sc.instance.MainMemoryGB * 0.9e9,
+			})
+			if err != nil {
+				return nil, err
+			}
+			cfg.Pipelines[node] = hp
+		}
+		cfg.CacheMode = pipeline.CacheCold
+		if sc.mode == modeRealWarm {
+			cfg.CacheMode = pipeline.CacheWarm
+		}
+	}
+	res, err = train.Run(eng, net, cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.cache[key] = res
+	p.mu.Unlock()
+	return res, nil
+}
+
+// ICStall is the interconnect-stall measurement of §IV-B1.
+type ICStall struct {
+	// SingleGPU is step 1's per-iteration time (one GPU, same per-GPU
+	// batch, others idle).
+	SingleGPU time.Duration
+
+	// AllGPU is step 2's per-iteration time (every GPU of the machine).
+	AllGPU time.Duration
+
+	// Stall is the per-iteration interconnect stall: AllGPU - SingleGPU.
+	Stall time.Duration
+
+	// Pct is the paper's I/C stall%: stall time as a percentage of
+	// single-GPU time.
+	Pct float64
+}
+
+// InterconnectStall measures the intra-machine communication stall of a
+// job on one instance (steps 1 and 2).
+func (p *Profiler) InterconnectStall(job workload.Job, it cloud.InstanceType) (ICStall, error) {
+	return p.ClusterCommStall(job, it, 1)
+}
+
+// ClusterCommStall generalizes the interconnect measurement to a cluster
+// of count instances using every GPU: the figures' "8xlarge*2" bars are
+// the total communication stall (interconnect plus network) of the
+// cluster relative to a single GPU's time.
+func (p *Profiler) ClusterCommStall(job workload.Job, it cloud.InstanceType, count int) (ICStall, error) {
+	t1, err := p.run(job, scenario{instance: it, count: 1, gpusPer: 1, mode: modeSynthetic})
+	if err != nil {
+		return ICStall{}, fmt.Errorf("step 1: %w", err)
+	}
+	t2, err := p.run(job, scenario{instance: it, count: count, mode: modeSynthetic})
+	if err != nil {
+		return ICStall{}, fmt.Errorf("step 2: %w", err)
+	}
+	s := ICStall{
+		SingleGPU: t1.PerIteration,
+		AllGPU:    t2.PerIteration,
+		Stall:     t2.PerIteration - t1.PerIteration,
+	}
+	if s.SingleGPU > 0 {
+		s.Pct = 100 * s.Stall.Seconds() / s.SingleGPU.Seconds()
+	}
+	return s, nil
+}
+
+// NWStall is the network-stall measurement of §IV-B2.
+type NWStall struct {
+	// SingleInstance is step 2's per-iteration time.
+	SingleInstance time.Duration
+
+	// MultiInstance is step 5's per-iteration time: the same world size
+	// split across Nodes network-connected instances.
+	MultiInstance time.Duration
+
+	// Nodes is the number of machines in step 5.
+	Nodes int
+
+	// Stall is MultiInstance - SingleInstance per iteration.
+	Stall time.Duration
+
+	// Pct is the paper's N/W stall%: stall time as a percentage of
+	// single-instance time.
+	Pct float64
+}
+
+// NetworkStall measures the inter-machine communication stall: step 2 on
+// one instance versus step 5 on nodes instances holding the same total
+// GPU count. The instance's GPU count must be divisible by nodes.
+func (p *Profiler) NetworkStall(job workload.Job, it cloud.InstanceType, nodes int) (NWStall, error) {
+	if nodes < 2 {
+		return NWStall{}, fmt.Errorf("stash: network stall needs >= 2 nodes, got %d", nodes)
+	}
+	if it.NGPUs%nodes != 0 {
+		return NWStall{}, fmt.Errorf("stash: %s has %d GPUs, not divisible across %d nodes", it.Name, it.NGPUs, nodes)
+	}
+	t2, err := p.run(job, scenario{instance: it, count: 1, mode: modeSynthetic})
+	if err != nil {
+		return NWStall{}, fmt.Errorf("step 2: %w", err)
+	}
+	t5, err := p.run(job, scenario{instance: it, count: nodes, gpusPer: it.NGPUs / nodes, mode: modeSynthetic})
+	if err != nil {
+		return NWStall{}, fmt.Errorf("step 5: %w", err)
+	}
+	s := NWStall{
+		SingleInstance: t2.PerIteration,
+		MultiInstance:  t5.PerIteration,
+		Nodes:          nodes,
+		Stall:          t5.PerIteration - t2.PerIteration,
+	}
+	if s.SingleInstance > 0 {
+		s.Pct = 100 * s.Stall.Seconds() / s.SingleInstance.Seconds()
+	}
+	return s, nil
+}
+
+// DataStalls is the DS-Analyzer fetch/prep measurement (§II-B) that Stash
+// embeds as steps 2, 3 and 4.
+type DataStalls struct {
+	// Synthetic is step 2's per-iteration time (maximum ingestion rate).
+	Synthetic time.Duration
+
+	// ColdCache is step 3's per-iteration time (real data, caches
+	// dropped).
+	ColdCache time.Duration
+
+	// WarmCache is step 4's per-iteration time (real data fully cached).
+	WarmCache time.Duration
+
+	// PrepStall is the CPU pre-processing stall: WarmCache - Synthetic.
+	PrepStall time.Duration
+
+	// FetchStall is the disk stall: ColdCache - WarmCache.
+	FetchStall time.Duration
+
+	// PrepPct and FetchPct express the stalls as percentages of total
+	// (cold-cache) training time, as plotted in Figs 4, 8 and 9.
+	PrepPct  float64
+	FetchPct float64
+}
+
+// DataStallAnalysis measures fetch and prep stalls on one instance
+// (steps 2, 3 and 4).
+func (p *Profiler) DataStallAnalysis(job workload.Job, it cloud.InstanceType) (DataStalls, error) {
+	return p.ClusterDataStalls(job, it, 1)
+}
+
+// ClusterDataStalls generalizes the fetch/prep measurement to count
+// network-connected instances, each reading from its own volume.
+func (p *Profiler) ClusterDataStalls(job workload.Job, it cloud.InstanceType, count int) (DataStalls, error) {
+	t2, err := p.run(job, scenario{instance: it, count: count, mode: modeSynthetic})
+	if err != nil {
+		return DataStalls{}, fmt.Errorf("step 2: %w", err)
+	}
+	t3, err := p.run(job, scenario{instance: it, count: count, mode: modeRealCold})
+	if err != nil {
+		return DataStalls{}, fmt.Errorf("step 3: %w", err)
+	}
+	t4, err := p.run(job, scenario{instance: it, count: count, mode: modeRealWarm})
+	if err != nil {
+		return DataStalls{}, fmt.Errorf("step 4: %w", err)
+	}
+	s := DataStalls{
+		Synthetic: t2.PerIteration,
+		ColdCache: t3.PerIteration,
+		WarmCache: t4.PerIteration,
+	}
+	s.PrepStall = max(0, s.WarmCache-s.Synthetic)
+	s.FetchStall = max(0, s.ColdCache-s.WarmCache)
+	if s.ColdCache > 0 {
+		s.PrepPct = 100 * s.PrepStall.Seconds() / s.ColdCache.Seconds()
+		s.FetchPct = 100 * s.FetchStall.Seconds() / s.ColdCache.Seconds()
+	}
+	return s, nil
+}
+
+// EpochEstimate is the end-to-end time and money one epoch costs on a
+// configuration.
+type EpochEstimate struct {
+	// Instance and Nodes identify the configuration.
+	Instance string
+	Nodes    int
+
+	// WorldSize is the total GPU count.
+	WorldSize int
+
+	// PerIteration is the amortized iteration time: steady-state (warm
+	// caches) plus the cold first epoch's surcharge spread over the cost
+	// model's training length.
+	PerIteration time.Duration
+
+	// WarmIteration and ColdIteration are the underlying measurements
+	// (steps 4 and 3 of the methodology).
+	WarmIteration time.Duration
+	ColdIteration time.Duration
+
+	// Iterations is the optimizer steps per epoch at this world size.
+	Iterations int
+
+	// Time is the wall-clock time of one (amortized) epoch.
+	Time time.Duration
+
+	// Cost is the on-demand dollar cost of one epoch.
+	Cost float64
+}
+
+// Epoch estimates one epoch of real training on count instances (using
+// every GPU). The estimate blends the warm steady state with the cold
+// first epoch, amortized over the cost model's training length: that is
+// what makes the 16xlarge's disk stalls erode its interconnect advantage
+// over the 8xlarge (SV-B2).
+func (p *Profiler) Epoch(job workload.Job, it cloud.InstanceType, count int) (EpochEstimate, error) {
+	warm, err := p.run(job, scenario{instance: it, count: count, mode: modeRealWarm})
+	if err != nil {
+		return EpochEstimate{}, err
+	}
+	cold, err := p.run(job, scenario{instance: it, count: count, mode: modeRealCold})
+	if err != nil {
+		return EpochEstimate{}, err
+	}
+	perIter := warm.PerIteration + (cold.PerIteration-warm.PerIteration)/time.Duration(p.costEpochs)
+	iters := job.IterationsPerEpoch(warm.WorldSize)
+	est := EpochEstimate{
+		Instance:      it.Name,
+		Nodes:         count,
+		WorldSize:     warm.WorldSize,
+		PerIteration:  perIter,
+		WarmIteration: warm.PerIteration,
+		ColdIteration: cold.PerIteration,
+		Iterations:    iters,
+		Time:          perIter * time.Duration(iters),
+	}
+	est.Cost = it.Cost(est.Time, count)
+	return est, nil
+}
+
+// Report is the full stall characterization of one (job, instance)
+// combination.
+type Report struct {
+	Instance string
+	Model    string
+	Batch    int
+
+	IC   ICStall
+	Data DataStalls
+
+	// NW is only populated when the instance has at least 2 GPUs and an
+	// even GPU count (step 5 splits it across two machines).
+	NW    *NWStall
+	Epoch EpochEstimate
+}
+
+// Profile runs the complete Stash pipeline (steps 1-5) for a job on an
+// instance type.
+func (p *Profiler) Profile(job workload.Job, it cloud.InstanceType) (*Report, error) {
+	r := &Report{Instance: it.Name, Model: job.Model.Name, Batch: job.BatchPerGPU}
+	var err error
+	if r.IC, err = p.InterconnectStall(job, it); err != nil {
+		return nil, err
+	}
+	if r.Data, err = p.DataStallAnalysis(job, it); err != nil {
+		return nil, err
+	}
+	if it.NGPUs >= 2 && it.NGPUs%2 == 0 {
+		nw, err := p.NetworkStall(job, it, 2)
+		if err != nil {
+			return nil, err
+		}
+		r.NW = &nw
+	}
+	if r.Epoch, err = p.Epoch(job, it, 1); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

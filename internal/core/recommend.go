@@ -1,0 +1,206 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"stash/internal/cloud"
+	"stash/internal/workload"
+)
+
+// Constraints bound the configurations a recommendation may propose.
+type Constraints struct {
+	// MaxEpochTime is the deadline per epoch; zero means none.
+	MaxEpochTime time.Duration
+
+	// MaxCostPerEpoch is the budget per epoch in USD; zero means none.
+	MaxCostPerEpoch float64
+
+	// Families restricts instance families ("P2", "P3", "P4"); nil
+	// allows the paper's P2 and P3.
+	Families []string
+
+	// MaxNodes caps how many instances may be tied over the network;
+	// zero means 2 (the paper's step-5 shape).
+	MaxNodes int
+}
+
+func (c Constraints) families() map[string]bool {
+	out := make(map[string]bool)
+	if len(c.Families) == 0 {
+		out["P2"], out["P3"] = true, true
+		return out
+	}
+	for _, f := range c.Families {
+		out[f] = true
+	}
+	return out
+}
+
+// Candidate is one purchasable configuration with its measured profile.
+type Candidate struct {
+	Instance string
+	Nodes    int
+	Estimate EpochEstimate
+
+	// ICStallPct is the interconnect (plus network, for multi-node
+	// configurations) stall relative to a single GPU.
+	ICStallPct float64
+
+	// Notes explain what dominates this configuration's behavior.
+	Notes []string
+}
+
+// Recommendation ranks feasible configurations for a job.
+type Recommendation struct {
+	// Candidates are the feasible configurations, cheapest first.
+	Candidates []Candidate
+
+	// Cheapest and Fastest index into Candidates.
+	Cheapest, Fastest int
+
+	// Rejected maps configuration labels to the reason they were
+	// excluded (OOM, over deadline, over budget).
+	Rejected map[string]string
+
+	// ModelAdvice is the §VI-A4 architecture-level guidance for this
+	// model: whether it is latency-bound (deep, few gradients per layer)
+	// or bandwidth-bound (shallow, fat layers).
+	ModelAdvice string
+}
+
+// ErrNoFeasibleConfig is returned when every configuration violates the
+// constraints.
+var ErrNoFeasibleConfig = errors.New("stash: no configuration satisfies the constraints")
+
+// label names a configuration.
+func label(instance string, nodes int) string {
+	if nodes == 1 {
+		return instance
+	}
+	return fmt.Sprintf("%s*%d", instance, nodes)
+}
+
+// Recommend profiles the job on every allowed configuration and ranks the
+// feasible ones by epoch cost, reproducing the paper's recommendation
+// methodology (§V-A2, §V-B3, §V-C1, §VI-A4) as a library call.
+func (p *Profiler) Recommend(job workload.Job, cons Constraints) (*Recommendation, error) {
+	if cons.MaxNodes == 0 {
+		cons.MaxNodes = 2
+	}
+	if cons.MaxNodes < 1 {
+		return nil, fmt.Errorf("stash: MaxNodes %d < 1", cons.MaxNodes)
+	}
+	allowed := cons.families()
+
+	type config struct {
+		it    cloud.InstanceType
+		nodes int
+	}
+	var configs []config
+	for _, it := range cloud.Catalog() {
+		if !allowed[it.Family] {
+			continue
+		}
+		configs = append(configs, config{it, 1})
+		// Multi-node variants only make sense for multi-GPU instances
+		// that are not already the family's largest dedicated offering.
+		if it.NGPUs > 1 && it.NGPUs < 16 && cons.MaxNodes >= 2 {
+			configs = append(configs, config{it, 2})
+		}
+	}
+
+	rec := &Recommendation{Rejected: make(map[string]string)}
+	for _, c := range configs {
+		lbl := label(c.it.Name, c.nodes)
+		est, err := p.Epoch(job, c.it, c.nodes)
+		if err != nil {
+			var oom *OOMError
+			if errors.As(err, &oom) {
+				rec.Rejected[lbl] = "does not fit GPU memory"
+				continue
+			}
+			return nil, fmt.Errorf("recommend %s: %w", lbl, err)
+		}
+		if cons.MaxEpochTime > 0 && est.Time > cons.MaxEpochTime {
+			rec.Rejected[lbl] = fmt.Sprintf("epoch %v over deadline %v", est.Time.Round(time.Second), cons.MaxEpochTime)
+			continue
+		}
+		if cons.MaxCostPerEpoch > 0 && est.Cost > cons.MaxCostPerEpoch {
+			rec.Rejected[lbl] = fmt.Sprintf("epoch $%.2f over budget $%.2f", est.Cost, cons.MaxCostPerEpoch)
+			continue
+		}
+		cand := Candidate{
+			Instance: c.it.Name,
+			Nodes:    c.nodes,
+			Estimate: est,
+		}
+		if c.it.NGPUs*c.nodes > 1 {
+			stall, err := p.ClusterCommStall(job, c.it, c.nodes)
+			if err != nil {
+				return nil, fmt.Errorf("recommend %s: %w", lbl, err)
+			}
+			cand.ICStallPct = stall.Pct
+			switch {
+			case c.nodes > 1:
+				cand.Notes = append(cand.Notes, "network link in the all-reduce ring")
+			case stall.Pct > 50:
+				cand.Notes = append(cand.Notes, "interconnect-bound on this instance")
+			}
+		}
+		if frac := est.ColdIteration.Seconds() / est.WarmIteration.Seconds(); frac > 1.3 {
+			cand.Notes = append(cand.Notes, "first epoch disk-bound; DRAM caching absorbs later epochs")
+		}
+		rec.Candidates = append(rec.Candidates, cand)
+	}
+	if len(rec.Candidates) == 0 {
+		return nil, ErrNoFeasibleConfig
+	}
+
+	sort.Slice(rec.Candidates, func(i, j int) bool {
+		a, b := rec.Candidates[i], rec.Candidates[j]
+		if a.Estimate.Cost != b.Estimate.Cost {
+			return a.Estimate.Cost < b.Estimate.Cost
+		}
+		return a.Estimate.Time < b.Estimate.Time
+	})
+	rec.Cheapest = 0
+	for i, c := range rec.Candidates {
+		if c.Estimate.Time < rec.Candidates[rec.Fastest].Estimate.Time {
+			rec.Fastest = i
+		}
+	}
+	rec.ModelAdvice = modelAdvice(job)
+	return rec, nil
+}
+
+// modelAdvice classifies the model per §VI-A4: deep models with few
+// gradients per layer are latency-bound (any decent interconnect will
+// do); shallow models with fat layers are bandwidth-bound (buy the best
+// interconnect, never cross a network link).
+func modelAdvice(job workload.Job) string {
+	m := job.Model
+	layers := m.NumParamLayers()
+	if layers == 0 {
+		return ""
+	}
+	bytesPerLayer := m.GradientBytes() / float64(layers)
+	switch {
+	case bytesPerLayer > 8e6:
+		return fmt.Sprintf(
+			"%s is bandwidth-bound (%d layers averaging %.1f MB of gradients each): "+
+				"run it on the best interconnect available and avoid network-connected instances",
+			m.Name, layers, bytesPerLayer/1e6)
+	case layers > 100:
+		return fmt.Sprintf(
+			"%s is latency-bound (%d sync points, only %.2f MB each): "+
+				"a premium interconnect buys little; mid-tier instances and even network links carry a reduced penalty",
+			m.Name, layers, bytesPerLayer/1e6)
+	default:
+		return fmt.Sprintf(
+			"%s is balanced (%d sync points, %.2f MB each): choose by price",
+			m.Name, layers, bytesPerLayer/1e6)
+	}
+}

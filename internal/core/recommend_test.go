@@ -1,0 +1,161 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"stash/internal/dnn"
+)
+
+func TestRecommendRanksByCost(t *testing.T) {
+	p := fastProfiler()
+	rec, err := p.Recommend(job(t, resnet18(t), 32), Constraints{})
+	if err != nil {
+		t.Fatalf("Recommend: %v", err)
+	}
+	if len(rec.Candidates) < 8 {
+		t.Fatalf("only %d candidates", len(rec.Candidates))
+	}
+	for i := 1; i < len(rec.Candidates); i++ {
+		if rec.Candidates[i].Estimate.Cost < rec.Candidates[i-1].Estimate.Cost {
+			t.Errorf("candidates not sorted by cost at %d", i)
+		}
+	}
+	if rec.Cheapest != 0 {
+		t.Errorf("Cheapest = %d, want 0", rec.Cheapest)
+	}
+	fast := rec.Candidates[rec.Fastest]
+	for _, c := range rec.Candidates {
+		if c.Estimate.Time < fast.Estimate.Time {
+			t.Errorf("Fastest missed %s*%d (%v < %v)", c.Instance, c.Nodes, c.Estimate.Time, fast.Estimate.Time)
+		}
+	}
+	if rec.ModelAdvice == "" {
+		t.Error("no model advice")
+	}
+}
+
+func TestRecommendDeadline(t *testing.T) {
+	p := fastProfiler()
+	// A tight deadline excludes slow single-GPU instances.
+	rec, err := p.Recommend(job(t, resnet18(t), 32), Constraints{MaxEpochTime: 20 * time.Minute})
+	if err != nil {
+		t.Fatalf("Recommend: %v", err)
+	}
+	for _, c := range rec.Candidates {
+		if c.Estimate.Time > 20*time.Minute {
+			t.Errorf("%s*%d over deadline: %v", c.Instance, c.Nodes, c.Estimate.Time)
+		}
+	}
+	if _, ok := rec.Rejected["p2.xlarge"]; !ok {
+		t.Error("slow p2.xlarge should be rejected with a reason")
+	}
+}
+
+func TestRecommendBudget(t *testing.T) {
+	p := fastProfiler()
+	rec, err := p.Recommend(job(t, resnet18(t), 32), Constraints{MaxCostPerEpoch: 3})
+	if err != nil {
+		t.Fatalf("Recommend: %v", err)
+	}
+	for _, c := range rec.Candidates {
+		if c.Estimate.Cost > 3 {
+			t.Errorf("%s*%d over budget: $%.2f", c.Instance, c.Nodes, c.Estimate.Cost)
+		}
+	}
+	if len(rec.Rejected) == 0 {
+		t.Error("expected some rejections at a $3 budget")
+	}
+}
+
+func TestRecommendInfeasible(t *testing.T) {
+	p := fastProfiler()
+	_, err := p.Recommend(job(t, resnet18(t), 32), Constraints{MaxCostPerEpoch: 0.01})
+	if !errors.Is(err, ErrNoFeasibleConfig) {
+		t.Errorf("err = %v, want ErrNoFeasibleConfig", err)
+	}
+}
+
+func TestRecommendFamilyFilter(t *testing.T) {
+	p := fastProfiler()
+	rec, err := p.Recommend(job(t, resnet18(t), 32), Constraints{Families: []string{"P3"}})
+	if err != nil {
+		t.Fatalf("Recommend: %v", err)
+	}
+	for _, c := range rec.Candidates {
+		if !strings.HasPrefix(c.Instance, "p3.") {
+			t.Errorf("non-P3 candidate %s", c.Instance)
+		}
+	}
+}
+
+func TestRecommendOOMRejection(t *testing.T) {
+	p := fastProfiler()
+	// BERT-large at batch 12 fits only 32 GB GPUs.
+	rec, err := p.Recommend(job(t, dnn.BERTLarge(), 12), Constraints{Families: []string{"P3"}})
+	if err != nil {
+		t.Fatalf("Recommend: %v", err)
+	}
+	if reason, ok := rec.Rejected["p3.16xlarge"]; !ok || !strings.Contains(reason, "memory") {
+		t.Errorf("p3.16xlarge rejection = %q, want OOM", reason)
+	}
+	found := false
+	for _, c := range rec.Candidates {
+		if c.Instance == "p3.24xlarge" {
+			found = true
+		}
+		if c.Instance == "p3.16xlarge" || c.Instance == "p3.2xlarge" {
+			t.Errorf("16 GB instance %s should not fit BERT at batch 12", c.Instance)
+		}
+	}
+	if !found {
+		t.Error("p3.24xlarge (32 GB GPUs) should be feasible")
+	}
+}
+
+func TestModelAdviceClassification(t *testing.T) {
+	vgg := job(t, vgg11(t), 32)
+	if advice := modelAdvice(vgg); !strings.Contains(advice, "bandwidth-bound") {
+		t.Errorf("VGG advice = %q, want bandwidth-bound", advice)
+	}
+	deep, err := dnn.ResNet(152)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if advice := modelAdvice(job(t, deep, 32)); !strings.Contains(advice, "latency-bound") {
+		t.Errorf("ResNet152 advice = %q, want latency-bound", advice)
+	}
+	if advice := modelAdvice(job(t, resnet18(t), 32)); !strings.Contains(advice, "balanced") {
+		t.Errorf("ResNet18 advice = %q, want balanced", advice)
+	}
+}
+
+func TestRecommendShuffleNetPrefersP2(t *testing.T) {
+	// §V-C1: small models that cannot exploit a V100 are cheapest on P2.
+	p := fastProfiler()
+	rec, err := p.Recommend(job(t, dnn.ShuffleNetV2(), 64), Constraints{})
+	if err != nil {
+		t.Fatalf("Recommend: %v", err)
+	}
+	if got := rec.Candidates[0].Instance; !strings.HasPrefix(got, "p2.") {
+		t.Errorf("cheapest config for ShuffleNet = %s, want a P2 instance", got)
+	}
+}
+
+func TestRecommendMaxNodes(t *testing.T) {
+	p := fastProfiler()
+	rec, err := p.Recommend(job(t, resnet18(t), 32), Constraints{MaxNodes: 1})
+	if err != nil {
+		t.Fatalf("Recommend: %v", err)
+	}
+	for _, c := range rec.Candidates {
+		if c.Nodes != 1 {
+			t.Errorf("multi-node candidate %s*%d with MaxNodes=1", c.Instance, c.Nodes)
+		}
+	}
+	if _, err := p.Recommend(job(t, resnet18(t), 32), Constraints{MaxNodes: -1}); err == nil {
+		t.Error("negative MaxNodes should fail")
+	}
+}

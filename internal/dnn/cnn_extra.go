@@ -1,0 +1,143 @@
+package dnn
+
+import "fmt"
+
+// DenseNet returns DenseNet-121/169/201: the extreme point of the
+// paper's layers-vs-gradients spectrum (even more sync points per
+// gradient byte than ResNet), useful for extending the §VI-A micro study.
+// Like the Table II ResNets, the classifier is not included.
+func DenseNet(depth int) (*Model, error) {
+	var blocks [4]int
+	switch depth {
+	case 121:
+		blocks = [4]int{6, 12, 24, 16}
+	case 169:
+		blocks = [4]int{6, 12, 32, 32}
+	case 201:
+		blocks = [4]int{6, 12, 48, 32}
+	default:
+		return nil, fmt.Errorf("dnn: no DenseNet-%d; depths are 121/169/201", depth)
+	}
+	const growth = 32
+	b := newConvBuilder(fmt.Sprintf("densenet%d", depth), "densenet")
+	b.conv("conv1", 64, 7, 2, 3, 1)
+	b.bn("bn1")
+	b.relu("relu1")
+	b.maxPool("pool1", 3, 2, 1)
+
+	channels := 64
+	for stage, n := range blocks {
+		for l := 0; l < n; l++ {
+			prefix := fmt.Sprintf("dense%d.%d", stage+1, l)
+			// Bottleneck dense layer: BN-ReLU-1x1(4k) + BN-ReLU-3x3(k),
+			// concatenated onto the running feature map.
+			b.c = channels
+			b.bn(prefix + ".bn1")
+			b.relu(prefix + ".relu1")
+			b.conv(prefix+".conv1", 4*growth, 1, 1, 0, 1)
+			b.bn(prefix + ".bn2")
+			b.relu(prefix + ".relu2")
+			b.conv(prefix+".conv2", growth, 3, 1, 1, 1)
+			channels += growth
+			b.c = channels // concat
+		}
+		if stage < 3 {
+			// Transition: BN + 1x1 halving channels + 2x2 avg pool.
+			prefix := fmt.Sprintf("transition%d", stage+1)
+			b.bn(prefix + ".bn")
+			b.relu(prefix + ".relu")
+			channels /= 2
+			b.conv(prefix+".conv", channels, 1, 1, 0, 1)
+			b.maxPool(prefix+".pool", 2, 2, 0)
+		}
+	}
+	b.bn("bn_final")
+	b.relu("relu_final")
+	b.globalPool("avgpool")
+	return b.m, nil
+}
+
+// ResNeXt50 returns ResNeXt-50 (32x4d): ResNet50's shape with grouped
+// 3x3 convolutions. Same sync-point count as ResNet50 with slightly
+// fewer gradients -- a useful control for the micro study.
+func ResNeXt50() (*Model, error) {
+	return resnextLike("resnext50_32x4d", [4]int{3, 4, 6, 3}, 32, 4)
+}
+
+func resnextLike(name string, blocks [4]int, groups, widthPerGroup int) (*Model, error) {
+	b := newConvBuilder(name, "resnext")
+	b.conv("conv1", 64, 7, 2, 3, 1)
+	b.bn("bn1")
+	b.relu("relu1")
+	b.maxPool("pool1", 3, 2, 1)
+
+	stageChannels := [4]int{64, 128, 256, 512}
+	for stage := 0; stage < 4; stage++ {
+		ch := stageChannels[stage]
+		width := ch * groups * widthPerGroup / 64
+		for blk := 0; blk < blocks[stage]; blk++ {
+			stride := 1
+			if stage > 0 && blk == 0 {
+				stride = 2
+			}
+			prefix := fmt.Sprintf("layer%d.%d", stage+1, blk)
+			cout := 4 * ch
+			b.conv(prefix+".conv1", width, 1, 1, 0, 1)
+			b.bn(prefix + ".bn1")
+			b.relu(prefix + ".relu1")
+			b.conv(prefix+".conv2", width, 3, stride, 1, groups)
+			b.bn(prefix + ".bn2")
+			b.relu(prefix + ".relu2")
+			b.conv(prefix+".conv3", cout, 1, 1, 0, 1)
+			b.bn(prefix + ".bn3")
+			if blk == 0 {
+				b.projection(prefix+".downsample", cout, stride, false)
+			}
+			b.add(prefix + ".add")
+			b.relu(prefix + ".relu3")
+		}
+	}
+	b.globalPool("avgpool")
+	return b.m, nil
+}
+
+// WideResNet50 returns Wide ResNet-50-2: ResNet50's depth with doubled
+// bottleneck width, nearly tripling the gradient volume at the same
+// sync-point count -- the intra-family bandwidth/latency contrast.
+func WideResNet50() (*Model, error) {
+	b := newConvBuilder("wide_resnet50_2", "resnet")
+	b.conv("conv1", 64, 7, 2, 3, 1)
+	b.bn("bn1")
+	b.relu("relu1")
+	b.maxPool("pool1", 3, 2, 1)
+
+	blocks := [4]int{3, 4, 6, 3}
+	stageChannels := [4]int{64, 128, 256, 512}
+	for stage := 0; stage < 4; stage++ {
+		ch := stageChannels[stage]
+		for blk := 0; blk < blocks[stage]; blk++ {
+			stride := 1
+			if stage > 0 && blk == 0 {
+				stride = 2
+			}
+			prefix := fmt.Sprintf("layer%d.%d", stage+1, blk)
+			cout := 4 * ch
+			mid := 2 * ch // the "wide" factor
+			b.conv(prefix+".conv1", mid, 1, 1, 0, 1)
+			b.bn(prefix + ".bn1")
+			b.relu(prefix + ".relu1")
+			b.conv(prefix+".conv2", mid, 3, stride, 1, 1)
+			b.bn(prefix + ".bn2")
+			b.relu(prefix + ".relu2")
+			b.conv(prefix+".conv3", cout, 1, 1, 0, 1)
+			b.bn(prefix + ".bn3")
+			if blk == 0 {
+				b.projection(prefix+".downsample", cout, stride, false)
+			}
+			b.add(prefix + ".add")
+			b.relu(prefix + ".relu3")
+		}
+	}
+	b.globalPool("avgpool")
+	return b.m, nil
+}

@@ -1,0 +1,146 @@
+package dnn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDenseNetKnownParams(t *testing.T) {
+	// Backbone counts (torchvision totals minus the 1k classifier).
+	want := map[int]float64{121: 6.95, 169: 12.48, 201: 18.09}
+	for depth, wantM := range want {
+		m, err := DenseNet(depth)
+		if err != nil {
+			t.Fatalf("DenseNet(%d): %v", depth, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("Validate: %v", err)
+		}
+		gotM := float64(m.TotalParams()) / 1e6
+		if rel := math.Abs(gotM-wantM) / wantM; rel > 0.05 {
+			t.Errorf("DenseNet%d params = %.2fM, want ~%.2fM", depth, gotM, wantM)
+		}
+	}
+	if _, err := DenseNet(99); err == nil {
+		t.Error("DenseNet(99) should fail")
+	}
+}
+
+func TestDenseNetExtremeSyncPointDensity(t *testing.T) {
+	// DenseNet's raison d'etre in this repo: even more sync points per
+	// gradient byte than ResNet, extending the Fig-16 spectrum.
+	dense, err := DenseNet(121)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ResNet(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	denseDensity := float64(dense.NumParamLayers()) / dense.GradientBytes()
+	resDensity := float64(res.NumParamLayers()) / res.GradientBytes()
+	if denseDensity <= 1.5*resDensity {
+		t.Errorf("DenseNet sync density %.3g not well above ResNet50 %.3g", denseDensity, resDensity)
+	}
+}
+
+func TestResNeXt50(t *testing.T) {
+	m, err := ResNeXt50()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotM := float64(m.TotalParams()) / 1e6
+	// torchvision 25.03M minus 2.05M classifier.
+	if gotM < 21.5 || gotM > 24.5 {
+		t.Errorf("ResNeXt50 params = %.2fM, want ~23M", gotM)
+	}
+	res50, err := ResNet(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumParamLayers() != res50.NumParamLayers() {
+		t.Errorf("ResNeXt50 layers = %d, want ResNet50's %d", m.NumParamLayers(), res50.NumParamLayers())
+	}
+}
+
+func TestWideResNet50(t *testing.T) {
+	m, err := WideResNet50()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotM := float64(m.TotalParams()) / 1e6
+	// torchvision 68.88M minus 2.05M classifier.
+	if gotM < 63 || gotM > 70 {
+		t.Errorf("WideResNet50 params = %.2fM, want ~67M", gotM)
+	}
+	res50, err := ResNet(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same sync points, ~3x the gradients: the intra-family contrast.
+	if m.NumParamLayers() != res50.NumParamLayers() {
+		t.Errorf("layer counts differ: %d vs %d", m.NumParamLayers(), res50.NumParamLayers())
+	}
+	if ratio := m.GradientBytes() / res50.GradientBytes(); ratio < 2.4 || ratio > 3.2 {
+		t.Errorf("gradient ratio = %.2f, want ~2.8", ratio)
+	}
+}
+
+func TestTransformerBuilder(t *testing.T) {
+	m, err := Transformer(TransformerConfig{
+		Name: "tiny", Layers: 2, Hidden: 64, Heads: 4, SeqLen: 128, Vocab: 1000,
+	})
+	if err != nil {
+		t.Fatalf("Transformer: %v", err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if m.Family != "transformer" {
+		t.Errorf("family = %q", m.Family)
+	}
+}
+
+func TestTransformerValidation(t *testing.T) {
+	bad := []TransformerConfig{
+		{Layers: 2, Hidden: 64, Heads: 4, SeqLen: 128, Vocab: 100},            // no name
+		{Name: "x", Hidden: 64, Heads: 4, SeqLen: 128, Vocab: 100},            // no layers
+		{Name: "x", Layers: 2, Hidden: 65, Heads: 4, SeqLen: 128, Vocab: 100}, // indivisible
+		{Name: "x", Layers: 2, Hidden: 64, Heads: 4, Vocab: 100},              // no seq
+		{Name: "x", Layers: 2, Hidden: 64, Heads: 4, SeqLen: 128},             // no vocab
+	}
+	for i, c := range bad {
+		if _, err := Transformer(c); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+}
+
+func TestGPT2Small(t *testing.T) {
+	m := GPT2Small()
+	gotM := float64(m.TotalParams()) / 1e6
+	if gotM < 110 || gotM > 140 {
+		t.Errorf("GPT-2 small params = %.1fM, want ~124M", gotM)
+	}
+	if m.Family != "gpt" {
+		t.Errorf("family = %q", m.Family)
+	}
+	// Long sequences make attention a visible share of FLOPs.
+	if gf := m.FwdFLOPsPerSample() / 1e9; gf < 150 || gf > 600 {
+		t.Errorf("GPT-2 fwd = %.0f GFLOPs/sample, want hundreds at seq 1024", gf)
+	}
+}
+
+func TestIntermediateDefaultsTo4x(t *testing.T) {
+	a, err := Transformer(TransformerConfig{Name: "a", Layers: 1, Hidden: 64, Heads: 4, SeqLen: 32, Vocab: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Transformer(TransformerConfig{Name: "b", Layers: 1, Hidden: 64, Heads: 4, SeqLen: 32, Vocab: 100, Intermediate: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalParams() != b.TotalParams() {
+		t.Errorf("default intermediate != 4x hidden: %d vs %d", a.TotalParams(), b.TotalParams())
+	}
+}

@@ -1,0 +1,196 @@
+// Package dnn provides layer-level descriptions of the DNN models the
+// paper trains (Table II), plus synthetic-variant builders used by the
+// micro characterization (§VI-A): ResNet-N and VGG-N at several depths,
+// with batch-norm and residual connections individually removable.
+//
+// A model here is the information Stash's substrate needs and nothing
+// more: for every layer, its trainable parameter count (gradient volume),
+// its forward FLOPs per sample (compute time) and its activation size
+// (GPU memory). Weights are never materialized.
+package dnn
+
+import (
+	"fmt"
+)
+
+// BytesPerParam is the size of one fp32 parameter or gradient.
+const BytesPerParam = 4
+
+// LayerKind classifies a layer.
+type LayerKind int
+
+// Layer kinds.
+const (
+	KindConv LayerKind = iota + 1
+	KindFC
+	KindBatchNorm
+	KindLayerNorm
+	KindPool
+	KindActivation
+	KindAdd // residual connection
+	KindEmbedding
+	KindAttention
+	KindDropout
+)
+
+// String returns the kind name.
+func (k LayerKind) String() string {
+	switch k {
+	case KindConv:
+		return "Conv"
+	case KindFC:
+		return "FC"
+	case KindBatchNorm:
+		return "BatchNorm"
+	case KindLayerNorm:
+		return "LayerNorm"
+	case KindPool:
+		return "Pool"
+	case KindActivation:
+		return "Activation"
+	case KindAdd:
+		return "Add"
+	case KindEmbedding:
+		return "Embedding"
+	case KindAttention:
+		return "Attention"
+	case KindDropout:
+		return "Dropout"
+	default:
+		return fmt.Sprintf("LayerKind(%d)", int(k))
+	}
+}
+
+// Layer is one module in a model's execution order.
+type Layer struct {
+	Kind LayerKind
+	Name string
+
+	// Params is the number of trainable parameters (0 for pools etc.).
+	Params int64
+
+	// FwdFLOPs is the forward-pass floating point operations per sample.
+	// The backward pass is charged 2x this.
+	FwdFLOPs float64
+
+	// ActivationBytes is the output activation size per sample; it is
+	// retained for the backward pass and counts toward GPU memory.
+	ActivationBytes float64
+}
+
+// GradientBytes returns the bytes of gradient this layer contributes per
+// iteration.
+func (l Layer) GradientBytes() float64 { return float64(l.Params) * BytesPerParam }
+
+// Model is an ordered list of layers plus workload metadata.
+type Model struct {
+	Name string
+
+	// Family groups variants ("resnet", "vgg", ...).
+	Family string
+
+	// Layers in forward execution order.
+	Layers []Layer
+
+	// SampleBytes is the size of one pre-processed input sample as
+	// uploaded to the GPU (e.g. a decoded 224x224x3 fp32 image).
+	SampleBytes float64
+}
+
+// TotalParams returns the trainable parameter count.
+func (m *Model) TotalParams() int64 {
+	var n int64
+	for _, l := range m.Layers {
+		n += l.Params
+	}
+	return n
+}
+
+// GradientBytes returns the per-iteration gradient volume in bytes.
+func (m *Model) GradientBytes() float64 {
+	return float64(m.TotalParams()) * BytesPerParam
+}
+
+// FwdFLOPsPerSample returns the forward-pass FLOPs for one sample.
+func (m *Model) FwdFLOPsPerSample() float64 {
+	var f float64
+	for _, l := range m.Layers {
+		f += l.FwdFLOPs
+	}
+	return f
+}
+
+// TrainFLOPsPerSample returns forward+backward FLOPs for one sample
+// (backward costed at 2x forward, the standard approximation).
+func (m *Model) TrainFLOPsPerSample() float64 { return 3 * m.FwdFLOPsPerSample() }
+
+// NumParamLayers returns the number of layers that carry gradients; with
+// per-layer bucketing this is the number of all-reduce calls per
+// iteration, the L of the paper's §VI-A2 model.
+func (m *Model) NumParamLayers() int {
+	n := 0
+	for _, l := range m.Layers {
+		if l.Params > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ActivationBytesPerSample returns the total retained activation memory
+// per sample across the whole network.
+func (m *Model) ActivationBytesPerSample() float64 {
+	var b float64
+	for _, l := range m.Layers {
+		b += l.ActivationBytes
+	}
+	return b
+}
+
+// TrainingMemoryBytes estimates the per-GPU device memory needed to train
+// with the given per-GPU batch size: weights + gradients + SGD momentum
+// (3 copies of the parameters), retained activations for the batch, the
+// input batch itself, and a fixed framework/cuDNN workspace.
+func (m *Model) TrainingMemoryBytes(batch int) float64 {
+	const workspace = 1.2e9 // CUDA context + cuDNN workspace
+	states := 3 * float64(m.TotalParams()) * BytesPerParam
+	acts := m.ActivationBytesPerSample() * float64(batch)
+	input := m.SampleBytes * float64(batch)
+	return states + acts + input + workspace
+}
+
+// MaxBatch returns the largest per-GPU batch size that fits in gpuMem
+// bytes, or 0 if even batch 1 does not fit.
+func (m *Model) MaxBatch(gpuMem float64) int {
+	perSample := m.ActivationBytesPerSample() + m.SampleBytes
+	fixed := m.TrainingMemoryBytes(0)
+	if fixed+perSample > gpuMem {
+		return 0
+	}
+	return int((gpuMem - fixed) / perSample)
+}
+
+// Validate checks structural invariants of the model.
+func (m *Model) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("dnn: model has no name")
+	}
+	if len(m.Layers) == 0 {
+		return fmt.Errorf("dnn: model %s has no layers", m.Name)
+	}
+	for i, l := range m.Layers {
+		if l.Params < 0 || l.FwdFLOPs < 0 || l.ActivationBytes < 0 {
+			return fmt.Errorf("dnn: model %s layer %d (%s) has negative attribute", m.Name, i, l.Name)
+		}
+	}
+	if m.TotalParams() == 0 {
+		return fmt.Errorf("dnn: model %s has no trainable parameters", m.Name)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer with a compact summary.
+func (m *Model) String() string {
+	return fmt.Sprintf("%s(params=%.2fM, layers=%d, fwd=%.2f GFLOPs/sample)",
+		m.Name, float64(m.TotalParams())/1e6, m.NumParamLayers(), m.FwdFLOPsPerSample()/1e9)
+}

@@ -1,0 +1,86 @@
+package dnn
+
+import "fmt"
+
+// TransformerConfig parameterizes a generic encoder/decoder stack so
+// users can profile their own NLP workloads (the paper's BERT entries are
+// instances of this builder).
+type TransformerConfig struct {
+	Name string
+
+	// Layers is the number of transformer blocks.
+	Layers int
+
+	// Hidden is the model dimension.
+	Hidden int
+
+	// Heads is the attention head count.
+	Heads int
+
+	// Intermediate is the feed-forward expansion width (0 = 4*Hidden).
+	Intermediate int
+
+	// SeqLen is the training sequence length.
+	SeqLen int
+
+	// Vocab is the (tied) embedding vocabulary size.
+	Vocab int
+}
+
+// Validate checks the configuration.
+func (c TransformerConfig) Validate() error {
+	switch {
+	case c.Name == "":
+		return fmt.Errorf("dnn: transformer needs a name")
+	case c.Layers < 1:
+		return fmt.Errorf("dnn: layers %d < 1", c.Layers)
+	case c.Hidden < 1 || c.Heads < 1 || c.Hidden%c.Heads != 0:
+		return fmt.Errorf("dnn: hidden %d not divisible into %d heads", c.Hidden, c.Heads)
+	case c.SeqLen < 1:
+		return fmt.Errorf("dnn: sequence length %d < 1", c.SeqLen)
+	case c.Vocab < 1:
+		return fmt.Errorf("dnn: vocab %d < 1", c.Vocab)
+	}
+	return nil
+}
+
+// Transformer builds a model from the configuration.
+func Transformer(c TransformerConfig) (*Model, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	inter := c.Intermediate
+	if inter == 0 {
+		inter = 4 * c.Hidden
+	}
+	m := buildBERT(bertConfig{
+		name:         c.Name,
+		layers:       c.Layers,
+		hidden:       c.Hidden,
+		heads:        c.Heads,
+		intermediate: inter,
+		seqLen:       c.SeqLen,
+		vocab:        c.Vocab,
+	})
+	m.Family = "transformer"
+	return m, nil
+}
+
+// GPT2Small returns the 124 M-parameter GPT-2 decoder at sequence length
+// 1024, a causal-LM counterpart to BERT for NLP profiling.
+func GPT2Small() *Model {
+	m, err := Transformer(TransformerConfig{
+		Name:   "gpt2-small",
+		Layers: 12,
+		Hidden: 768,
+		Heads:  12,
+		SeqLen: 1024,
+		Vocab:  50257,
+	})
+	if err != nil {
+		// The configuration is a compile-time constant.
+		panic(err)
+	}
+	m.Family = "gpt"
+	return m
+}

@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"stash/internal/cloud"
+	"stash/internal/collective"
+	"stash/internal/core"
+	"stash/internal/dnn"
+	"stash/internal/report"
+	"stash/internal/sim"
+	"stash/internal/simnet"
+	"stash/internal/train"
+	"stash/internal/workload"
+)
+
+// rawRun executes a single training scenario directly on the substrate
+// (bypassing the profiler) so ablations can vary train.Config knobs the
+// profiler fixes.
+func rawRun(cfg Config, instance string, count int, job workload.Job, policy cloud.SlicePolicy, mutate func(*train.Config)) (*train.Result, error) {
+	c := cfg.normalize()
+	it, err := cloud.ByName(instance)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	net := simnet.New(eng)
+	top, err := cloud.NewProvisioner(policy, c.Seed).Provision(net, it, count)
+	if err != nil {
+		return nil, err
+	}
+	tc := train.Config{
+		Job:            job,
+		Topology:       top,
+		Iterations:     c.Iterations,
+		Warmup:         2,
+		Synthetic:      true,
+		DisableOverlap: !top.SupportsAsyncCollectives(),
+	}
+	if mutate != nil {
+		mutate(&tc)
+	}
+	return train.Run(eng, net, tc)
+}
+
+// AblateOverlap quantifies what communication/computation overlap buys on
+// a whole NVLink crossbar: the design choice behind the simulator's
+// additive cost model on PCIe paths (DESIGN.md §5.3).
+func AblateOverlap(cfg Config) ([]*report.Table, error) {
+	t := report.NewTable("EXT ablation: communication/computation overlap (p3.16xlarge, batch 32)",
+		"model", "overlapped iter", "serialized iter", "overlap saves")
+	for _, name := range []string{"resnet50", "vgg11"} {
+		m, err := dnn.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		job, err := newJob(m, 32)
+		if err != nil {
+			return nil, err
+		}
+		over, err := rawRun(cfg, "p3.16xlarge", 1, job, cloud.SliceDegraded, func(tc *train.Config) {
+			tc.DisableOverlap = false
+		})
+		if err != nil {
+			return nil, err
+		}
+		serial, err := rawRun(cfg, "p3.16xlarge", 1, job, cloud.SliceDegraded, func(tc *train.Config) {
+			tc.DisableOverlap = true
+		})
+		if err != nil {
+			return nil, err
+		}
+		saving := 100 * (serial.PerIteration - over.PerIteration).Seconds() / serial.PerIteration.Seconds()
+		t.AddRow(m.Name, report.Dur(over.PerIteration), report.Dur(serial.PerIteration),
+			report.Pct(saving))
+	}
+	return []*report.Table{t}, nil
+}
+
+// AblateBucketSize sweeps DDP's gradient bucket size: small buckets pay
+// per-call latency, huge buckets lose overlap and pipelining.
+func AblateBucketSize(cfg Config) ([]*report.Table, error) {
+	m, err := dnn.ResNet(152)
+	if err != nil {
+		return nil, err
+	}
+	job, err := newJob(m, 32)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("EXT ablation: gradient bucket size (resnet152, batch 32)",
+		"bucketing", "buckets", "p3.16xlarge iter", "p3.8xlarge*2 iter")
+	type bucketing struct {
+		label string
+		bytes float64 // 0 = per-layer
+	}
+	for _, bk := range []bucketing{
+		{"per-layer", 0},
+		{"5 MB", 5e6},
+		{"25 MB (DDP default)", 25e6},
+		{"100 MB", 100e6},
+	} {
+		var buckets []collective.Bucket
+		if bk.bytes == 0 {
+			buckets = collective.PerLayerBuckets(m)
+		} else {
+			buckets, err = collective.SizedBuckets(m, bk.bytes)
+			if err != nil {
+				return nil, err
+			}
+		}
+		mutate := func(tc *train.Config) { tc.Buckets = buckets }
+		intra, err := rawRun(cfg, "p3.16xlarge", 1, job, cloud.SliceDegraded, mutate)
+		if err != nil {
+			return nil, err
+		}
+		inter, err := rawRun(cfg, "p3.8xlarge", 2, job, cloud.SliceDegraded, mutate)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(bk.label, fmt.Sprintf("%d", len(buckets)),
+			report.Dur(intra.PerIteration), report.Dur(inter.PerIteration))
+	}
+	return []*report.Table{t}, nil
+}
+
+// AblateCompression sweeps lossy gradient compression on the
+// network-bound configuration: the remedy the communication-reduction
+// literature (§III) proposes for exactly the stalls Stash measures.
+func AblateCompression(cfg Config) ([]*report.Table, error) {
+	m, err := dnn.VGG(11)
+	if err != nil {
+		return nil, err
+	}
+	job, err := newJob(m, 32)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("EXT ablation: gradient compression (vgg11, 2x p3.8xlarge, batch 32)",
+		"compression", "iter time", "comm wait", "vs uncompressed")
+	var base time.Duration
+	for _, ratio := range []float64{1, 0.5, 0.25, 0.1} {
+		res, err := rawRun(cfg, "p3.8xlarge", 2, job, cloud.SliceDegraded, func(tc *train.Config) {
+			tc.CompressionRatio = ratio
+		})
+		if err != nil {
+			return nil, err
+		}
+		if ratio == 1 {
+			base = res.PerIteration
+		}
+		t.AddRow(fmt.Sprintf("%.0fx", 1/ratio), report.Dur(res.PerIteration),
+			report.Dur(res.CommWaitMax/time.Duration(res.Iterations)),
+			fmt.Sprintf("%.2fx", base.Seconds()/res.PerIteration.Seconds()))
+	}
+	return []*report.Table{t}, nil
+}
+
+// SliceLottery studies the p3.8xlarge crossbar lottery the paper calls
+// "probabilistic in nature" (§V-B1): the interconnect stall a tenant
+// should expect across many provisioning draws.
+func SliceLottery(cfg Config) ([]*report.Table, error) {
+	m, err := dnn.ResNet(18)
+	if err != nil {
+		return nil, err
+	}
+	job, err := newJob(m, 32)
+	if err != nil {
+		return nil, err
+	}
+	it, err := cloud.ByName("p3.8xlarge")
+	if err != nil {
+		return nil, err
+	}
+	const draws = 12
+	minPct, maxPct, sumPct := 1e9, 0.0, 0.0
+	for d := 0; d < draws; d++ {
+		p := core.New(
+			core.WithIterations(cfg.normalize().Iterations),
+			core.WithSlicePolicy(cloud.SliceLottery),
+			core.WithSeed(cfg.normalize().Seed+int64(d)),
+		)
+		s, err := p.InterconnectStall(job, it)
+		if err != nil {
+			return nil, err
+		}
+		sumPct += s.Pct
+		if s.Pct < minPct {
+			minPct = s.Pct
+		}
+		if s.Pct > maxPct {
+			maxPct = s.Pct
+		}
+	}
+	t := report.NewTable("EXT: p3.8xlarge NVLink slice lottery (resnet18, batch 32)",
+		"draws", "mean I/C stall", "best draw", "worst draw", "worst/best")
+	t.AddRow(fmt.Sprintf("%d", draws), report.Pct(sumPct/draws),
+		report.Pct(minPct), report.Pct(maxPct),
+		fmt.Sprintf("%.1fx", maxPct/minPct))
+	return []*report.Table{t}, nil
+}
+
+// MultiEpoch shows the paper's §I claim in motion: DRAM caching
+// eliminates fetch stalls after the first epoch, while communication
+// stalls recur every iteration forever.
+func MultiEpoch(cfg Config) ([]*report.Table, error) {
+	p := cfg.profiler()
+	m, err := dnn.ResNet(18)
+	if err != nil {
+		return nil, err
+	}
+	job, err := newJob(m, 32)
+	if err != nil {
+		return nil, err
+	}
+	it, err := cloud.ByName("p3.16xlarge")
+	if err != nil {
+		return nil, err
+	}
+	est, err := p.Epoch(job, it, 1)
+	if err != nil {
+		return nil, err
+	}
+	ic, err := p.InterconnectStall(job, it)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("EXT: stalls across epochs (resnet18, p3.16xlarge, batch 32)",
+		"epoch", "per-iteration", "fetch component", "comm component")
+	commPart := ic.Stall
+	for epoch := 1; epoch <= 5; epoch++ {
+		iter := est.WarmIteration
+		fetch := time.Duration(0)
+		if epoch == 1 {
+			iter = est.ColdIteration
+			fetch = est.ColdIteration - est.WarmIteration
+		}
+		t.AddRow(fmt.Sprintf("%d", epoch), report.Dur(iter), report.Dur(fetch), report.Dur(commPart))
+	}
+	return []*report.Table{t}, nil
+}
+
+// P4Preview extends the characterization to the P4 family the paper
+// leaves out ("a dedicated offering not considered herein"). The A100s
+// finish epochs faster, but because the per-bucket hook cost is fixed,
+// the *relative* interconnect stall actually grows on the faster GPUs --
+// and the premium price keeps P3 on the cost-effectiveness frontier for
+// these models.
+func P4Preview(cfg Config) ([]*report.Table, error) {
+	p := cfg.profiler()
+	t := report.NewTable("EXT: P4 (A100/NVSwitch) vs P3 preview",
+		"model", "instance", "I/C stall %", "epoch time", "epoch cost")
+	for _, name := range []string{"resnet50", "bert-large"} {
+		m, err := dnn.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		batch := 32
+		if name == "bert-large" {
+			batch = 4
+		}
+		job, err := newJob(m, batch)
+		if err != nil {
+			return nil, err
+		}
+		for _, instance := range []string{"p3.16xlarge", "p4d.24xlarge"} {
+			it, err := cloud.ByName(instance)
+			if err != nil {
+				return nil, err
+			}
+			ic, err := p.InterconnectStall(job, it)
+			if err != nil {
+				return nil, err
+			}
+			est, err := p.Epoch(job, it, 1)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(m.Name, instance, report.Pct(ic.Pct), report.Dur(est.Time), report.Money(est.Cost))
+		}
+	}
+	return []*report.Table{t}, nil
+}

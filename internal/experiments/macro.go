@@ -1,0 +1,385 @@
+package experiments
+
+import (
+	"fmt"
+
+	"stash/internal/cloud"
+	"stash/internal/core"
+	"stash/internal/dnn"
+	"stash/internal/report"
+	"stash/internal/workload"
+)
+
+// jobsFor pairs each model with one batch size.
+func jobsFor(models []*dnn.Model, batch int) ([]workload.Job, error) {
+	var jobs []workload.Job
+	for _, m := range models {
+		j, err := newJob(m, batch)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs, nil
+}
+
+func configLabels(cfgs []clusterConfig) []string {
+	labels := make([]string, len(cfgs))
+	for i, c := range cfgs {
+		labels[i] = c.label
+	}
+	return labels
+}
+
+// dataStallPair produces the CPU-stall and disk-stall tables of a Fig
+// 4/8/9-style panel.
+func dataStallPair(cfg Config, title string, jobs []workload.Job, configs []clusterConfig) ([]*report.Table, error) {
+	p := cfg.profiler()
+	cols := append([]string{"model"}, configLabels(configs)...)
+	cpu := report.NewTable(title+" - CPU stall % of training time", cols...)
+	disk := report.NewTable(title+" - disk stall % of training time", cols...)
+	for _, job := range jobs {
+		cpuRow := []string{jobLabel(job)}
+		diskRow := []string{jobLabel(job)}
+		for _, cc := range configs {
+			it, err := instanceOf(cc)
+			if err != nil {
+				return nil, err
+			}
+			ds, err := p.ClusterDataStalls(job, it, cc.count)
+			if err != nil {
+				cell, cerr := cellErr(err)
+				if cerr != nil {
+					return nil, fmt.Errorf("%s on %s: %w", jobLabel(job), cc.label, cerr)
+				}
+				cpuRow = append(cpuRow, cell)
+				diskRow = append(diskRow, cell)
+				continue
+			}
+			cpuRow = append(cpuRow, report.Pct(ds.PrepPct))
+			diskRow = append(diskRow, report.Pct(ds.FetchPct))
+		}
+		cpu.AddRow(cpuRow...)
+		disk.AddRow(diskRow...)
+	}
+	return []*report.Table{cpu, disk}, nil
+}
+
+// icStallTable produces a Fig 5/11-style interconnect-stall table.
+func icStallTable(cfg Config, title string, jobs []workload.Job, configs []clusterConfig) (*report.Table, error) {
+	p := cfg.profiler()
+	cols := append([]string{"model"}, configLabels(configs)...)
+	t := report.NewTable(title, cols...)
+	for _, job := range jobs {
+		row := []string{jobLabel(job)}
+		for _, cc := range configs {
+			it, err := instanceOf(cc)
+			if err != nil {
+				return nil, err
+			}
+			s, err := p.ClusterCommStall(job, it, cc.count)
+			if err != nil {
+				cell, cerr := cellErr(err)
+				if cerr != nil {
+					return nil, fmt.Errorf("%s on %s: %w", jobLabel(job), cc.label, cerr)
+				}
+				row = append(row, cell)
+				continue
+			}
+			row = append(row, report.Pct(s.Pct))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// timeCostPair produces the epoch-time and epoch-cost tables of a Fig
+// 6/10/12/14-style panel.
+func timeCostPair(cfg Config, title string, jobs []workload.Job, configs []clusterConfig) ([]*report.Table, error) {
+	p := cfg.profiler()
+	cols := append([]string{"model"}, configLabels(configs)...)
+	times := report.NewTable(title+" - training time per epoch", cols...)
+	costs := report.NewTable(title+" - training cost per epoch", cols...)
+	for _, job := range jobs {
+		timeRow := []string{jobLabel(job)}
+		costRow := []string{jobLabel(job)}
+		for _, cc := range configs {
+			it, err := instanceOf(cc)
+			if err != nil {
+				return nil, err
+			}
+			est, err := p.Epoch(job, it, cc.count)
+			if err != nil {
+				cell, cerr := cellErr(err)
+				if cerr != nil {
+					return nil, fmt.Errorf("%s on %s: %w", jobLabel(job), cc.label, cerr)
+				}
+				timeRow = append(timeRow, cell)
+				costRow = append(costRow, cell)
+				continue
+			}
+			timeRow = append(timeRow, report.Dur(est.Time))
+			costRow = append(costRow, report.Money(est.Cost))
+		}
+		times.AddRow(timeRow...)
+		costs.AddRow(costRow...)
+	}
+	return []*report.Table{times, costs}, nil
+}
+
+// Fig4 regenerates the P2 CPU/disk stall panels.
+func Fig4(cfg Config) ([]*report.Table, error) {
+	var tables []*report.Table
+	for _, bs := range []int{32, 128} {
+		jobs, err := jobsFor(smallModels(), bs)
+		if err != nil {
+			return nil, err
+		}
+		pair, err := dataStallPair(cfg, fmt.Sprintf("Fig 4, P2, batch %d", bs), jobs, p2Configs())
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, pair...)
+	}
+	return tables, nil
+}
+
+// Fig5 regenerates the interconnect-stall panels for small models on P2
+// and P3.
+func Fig5(cfg Config) ([]*report.Table, error) {
+	var tables []*report.Table
+	for _, family := range []struct {
+		name    string
+		configs []clusterConfig
+	}{
+		{"P2 (K80)", multiGPU(p2Configs())},
+		{"P3 (V100)", multiGPU(p3Configs())},
+	} {
+		for _, bs := range []int{32, 128} {
+			jobs, err := jobsFor(smallModels(), bs)
+			if err != nil {
+				return nil, err
+			}
+			t, err := icStallTable(cfg, fmt.Sprintf("Fig 5, %s, batch %d - I/C stall %% of single-GPU time", family.name, bs), jobs, family.configs)
+			if err != nil {
+				return nil, err
+			}
+			tables = append(tables, t)
+		}
+	}
+	return tables, nil
+}
+
+// Fig6 regenerates the P2 small-model time/cost panels.
+func Fig6(cfg Config) ([]*report.Table, error) {
+	var tables []*report.Table
+	for _, bs := range []int{32, 128} {
+		jobs, err := jobsFor(smallModels(), bs)
+		if err != nil {
+			return nil, err
+		}
+		pair, err := timeCostPair(cfg, fmt.Sprintf("Fig 6, P2, batch %d", bs), jobs, p2Configs())
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, pair...)
+	}
+	return tables, nil
+}
+
+// Fig7 regenerates the per-GPU PCIe bandwidth measurement on P2.
+func Fig7(cfg Config) ([]*report.Table, error) {
+	p := cfg.profiler()
+	t := report.NewTable("Fig 7: per-GPU PCIe bandwidth measured in P2 (all GPUs concurrent)",
+		"instance", "GPUs", "per-GPU bandwidth", "vs network rating")
+	for _, name := range []string{"p2.xlarge", "p2.8xlarge", "p2.16xlarge"} {
+		it, err := cloud.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		probe, err := p.PCIeBandwidthProbe(it)
+		if err != nil {
+			return nil, err
+		}
+		verdict := "above"
+		if probe.MinPerGPU() < it.NetworkGbps*1e9/8 {
+			verdict = "below"
+		}
+		t.AddRow(name, fmt.Sprintf("%d", it.NGPUs), report.GBps(probe.MinPerGPU()),
+			fmt.Sprintf("%s %s Gbps", verdict, it.NetworkDesc))
+	}
+	return []*report.Table{t}, nil
+}
+
+// Fig8 regenerates the P3 small-model CPU/disk stall panels.
+func Fig8(cfg Config) ([]*report.Table, error) {
+	var tables []*report.Table
+	for _, bs := range []int{32, 128} {
+		jobs, err := jobsFor(smallModels(), bs)
+		if err != nil {
+			return nil, err
+		}
+		pair, err := dataStallPair(cfg, fmt.Sprintf("Fig 8, P3, batch %d", bs), jobs, p3Configs())
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, pair...)
+	}
+	return tables, nil
+}
+
+// Fig9 regenerates the P3 large-model CPU/disk stall panels.
+func Fig9(cfg Config) ([]*report.Table, error) {
+	jobs, err := largeJobs()
+	if err != nil {
+		return nil, err
+	}
+	return dataStallPair(cfg, "Fig 9, P3 large models", jobs, p3LargeConfigs())
+}
+
+// Fig10 regenerates the P3 small-model time/cost panels.
+func Fig10(cfg Config) ([]*report.Table, error) {
+	var tables []*report.Table
+	for _, bs := range []int{32, 128} {
+		jobs, err := jobsFor(smallModels(), bs)
+		if err != nil {
+			return nil, err
+		}
+		pair, err := timeCostPair(cfg, fmt.Sprintf("Fig 10, P3, batch %d", bs), jobs, p3Configs())
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, pair...)
+	}
+	return tables, nil
+}
+
+// Fig11 regenerates the P3 interconnect-stall panels for small and large
+// models.
+func Fig11(cfg Config) ([]*report.Table, error) {
+	var tables []*report.Table
+	for _, bs := range []int{32, 128} {
+		jobs, err := jobsFor(smallModels(), bs)
+		if err != nil {
+			return nil, err
+		}
+		t, err := icStallTable(cfg, fmt.Sprintf("Fig 11a, P3 small models, batch %d - I/C stall %%", bs), jobs, multiGPU(p3Configs()))
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, t)
+	}
+	large, err := largeJobs()
+	if err != nil {
+		return nil, err
+	}
+	t, err := icStallTable(cfg, "Fig 11b, P3 large models - I/C stall %", large, multiGPU(p3LargeConfigs()))
+	if err != nil {
+		return nil, err
+	}
+	return append(tables, t), nil
+}
+
+// Fig12 regenerates the P3 large-model time/cost panels.
+func Fig12(cfg Config) ([]*report.Table, error) {
+	jobs, err := largeJobs()
+	if err != nil {
+		return nil, err
+	}
+	return timeCostPair(cfg, "Fig 12, P3 large models", jobs, p3LargeConfigs())
+}
+
+// Fig13 regenerates the network-stall sweep of two p3.8xlarge instances.
+// The single-instance baseline depends on the NVLink-slice lottery
+// (§V-B1), so both outcomes are reported; the paper's "up to 500%" lands
+// between them.
+func Fig13(cfg Config) ([]*report.Table, error) {
+	degraded := cfg.profiler()
+	clean := cfg.profiler(core.WithSlicePolicy(cloud.SliceClean))
+	it, err := cloud.ByName("p3.8xlarge")
+	if err != nil {
+		return nil, err
+	}
+	resnet, err := dnn.ResNet(18)
+	if err != nil {
+		return nil, err
+	}
+	vgg, err := dnn.VGG(11)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Fig 13: network stall % of two p3.8xlarge instances (vs one)",
+		"batch size",
+		resnet.Name+" (sliced)", vgg.Name+" (sliced)",
+		resnet.Name+" (whole)", vgg.Name+" (whole)")
+	for _, bs := range workload.SmallBatchSizes() {
+		row := []string{fmt.Sprintf("%d", bs)}
+		for _, p := range []*core.Profiler{degraded, clean} {
+			for _, m := range []*dnn.Model{resnet, vgg} {
+				job, err := newJob(m, bs)
+				if err != nil {
+					return nil, err
+				}
+				s, err := p.NetworkStall(job, it, 2)
+				if err != nil {
+					cell, cerr := cellErr(err)
+					if cerr != nil {
+						return nil, cerr
+					}
+					row = append(row, cell)
+					continue
+				}
+				row = append(row, report.Pct(s.Pct))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return []*report.Table{t}, nil
+}
+
+// Fig14 regenerates the P2-vs-P3 per-epoch time and cost comparison.
+func Fig14(cfg Config) ([]*report.Table, error) {
+	configs := []clusterConfig{
+		{"p2.xlarge", "p2.xlarge", 1},
+		{"p2.8xlarge", "p2.8xlarge", 1},
+		{"p2.16xlarge", "p2.16xlarge", 1},
+		{"p3.2xlarge", "p3.2xlarge", 1},
+		{"p3.8xlarge", "p3.8xlarge", 1},
+		{"p3.16xlarge", "p3.16xlarge", 1},
+	}
+	jobs, err := jobsFor(smallModels(), 64)
+	if err != nil {
+		return nil, err
+	}
+	return timeCostPair(cfg, "Fig 14, P2 vs P3, batch 64", jobs, configs)
+}
+
+// Fig15 regenerates the GPU memory utilization comparison.
+func Fig15(cfg Config) ([]*report.Table, error) {
+	instances := []string{"p2.xlarge", "p2.8xlarge", "p2.16xlarge", "p3.2xlarge", "p3.8xlarge", "p3.16xlarge"}
+	resnet, err := dnn.ResNet(18)
+	if err != nil {
+		return nil, err
+	}
+	models := []*dnn.Model{dnn.ShuffleNetV2(), resnet}
+	t := report.NewTable("Fig 15: GPU memory utilization %, P2 vs P3",
+		append([]string{"model/batch"}, instances...)...)
+	for _, m := range models {
+		for _, bs := range []int{32, 64, 128} {
+			job, err := newJob(m, bs)
+			if err != nil {
+				return nil, err
+			}
+			row := []string{jobLabel(job)}
+			for _, name := range instances {
+				it, err := cloud.ByName(name)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, report.Pct(core.MemoryUtilization(job, it)))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+
+	"stash/internal/cloud"
+	"stash/internal/collective"
+	"stash/internal/core"
+	"stash/internal/dnn"
+	"stash/internal/report"
+)
+
+// microVariant is one synthetic model of the §VI-A study.
+type microVariant struct {
+	series string
+	model  *dnn.Model
+}
+
+func microVariants() ([]microVariant, error) {
+	var out []microVariant
+	for _, depth := range []int{18, 34, 50, 101, 152} {
+		plain, err := dnn.ResNet(depth)
+		if err != nil {
+			return nil, err
+		}
+		noBN, err := dnn.ResNet(depth, dnn.ResNetWithoutBatchNorm())
+		if err != nil {
+			return nil, err
+		}
+		noRes, err := dnn.ResNet(depth, dnn.ResNetWithoutResidual())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out,
+			microVariant{"resnet", plain},
+			microVariant{"resnet-nobn", noBN},
+			microVariant{"resnet-noskip", noRes},
+		)
+	}
+	for _, depth := range []int{11, 13, 16, 19} {
+		vgg, err := dnn.VGG(depth)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, microVariant{"vgg", vgg})
+	}
+	return out, nil
+}
+
+// Fig16 regenerates the micro characterization: interconnect and network
+// stalls of ResNet/VGG variants as their layer counts vary, all on
+// p3.16xlarge with per-GPU batch 32 (§VI-A).
+func Fig16(cfg Config) ([]*report.Table, error) {
+	p := cfg.profiler()
+	it, err := cloud.ByName("p3.16xlarge")
+	if err != nil {
+		return nil, err
+	}
+	variants, err := microVariants()
+	if err != nil {
+		return nil, err
+	}
+	ic := report.NewTable("Fig 16a: I/C stall % vs number of layers (p3.16xlarge, batch 32)",
+		"series", "model", "param layers", "gradient MB", "I/C stall %", "I/C stall time")
+	nw := report.NewTable("Fig 16b: N/W stall % vs number of layers (2 nodes, batch 32)",
+		"series", "model", "param layers", "gradient MB", "N/W stall %", "N/W stall time")
+	for _, v := range variants {
+		job, err := newJob(v.model, 32)
+		if err != nil {
+			return nil, err
+		}
+		ics, err := p.InterconnectStall(job, it)
+		if err != nil {
+			return nil, fmt.Errorf("fig16 I/C %s: %w", v.model.Name, err)
+		}
+		nws, err := p.NetworkStall(job, it, 2)
+		if err != nil {
+			return nil, fmt.Errorf("fig16 N/W %s: %w", v.model.Name, err)
+		}
+		ic.AddRow(v.series, v.model.Name,
+			fmt.Sprintf("%d", v.model.NumParamLayers()),
+			fmt.Sprintf("%.1f", v.model.GradientBytes()/1e6),
+			report.Pct(ics.Pct), report.Dur(ics.Stall))
+		nw.AddRow(v.series, v.model.Name,
+			fmt.Sprintf("%d", v.model.NumParamLayers()),
+			fmt.Sprintf("%.1f", v.model.GradientBytes()/1e6),
+			report.Pct(nws.Pct), report.Dur(nws.Stall))
+	}
+	return []*report.Table{ic, nw}, nil
+}
+
+// LargeModelOnP2 reproduces §V-A's in-text pathology: training ResNet50
+// on p2.16xlarge suffers extreme interconnect stalls and costs a
+// multiple of the P3 price per epoch.
+func LargeModelOnP2(cfg Config) ([]*report.Table, error) {
+	p := cfg.profiler()
+	resnet50, err := dnn.ResNet(50)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("SV-A: ResNet50 on P2 vs P3 (the large-model pathology)",
+		"instance", "batch", "I/C stall %", "epoch time", "epoch cost", "cost vs p3.16xlarge")
+	var p3Cost float64
+	type cell struct {
+		instance string
+		batch    int
+	}
+	cells := []cell{
+		{"p3.16xlarge", 32},
+		{"p2.16xlarge", 32},
+		{"p2.16xlarge", 8},
+	}
+	for _, c := range cells {
+		it, err := cloud.ByName(c.instance)
+		if err != nil {
+			return nil, err
+		}
+		job, err := newJob(resnet50, c.batch)
+		if err != nil {
+			return nil, err
+		}
+		ic, err := p.InterconnectStall(job, it)
+		if err != nil {
+			return nil, err
+		}
+		est, err := p.Epoch(job, it, 1)
+		if err != nil {
+			return nil, err
+		}
+		if c.instance == "p3.16xlarge" {
+			p3Cost = est.Cost
+		}
+		rel := "1.0x"
+		if p3Cost > 0 {
+			rel = fmt.Sprintf("%.1fx", est.Cost/p3Cost)
+		}
+		t.AddRow(c.instance, fmt.Sprintf("%d", c.batch), report.Pct(ic.Pct),
+			report.Dur(est.Time), report.Money(est.Cost), rel)
+	}
+	return []*report.Table{t}, nil
+}
+
+// BERT24xl reproduces §V-B's in-text comparison: BERT-large on
+// p3.24xlarge at doubled batch size improves time per epoch but costs
+// more than the 16xlarge run.
+func BERT24xl(cfg Config) ([]*report.Table, error) {
+	p := cfg.profiler()
+	bert := dnn.BERTLarge()
+	t := report.NewTable("SV-B: BERT-large, p3.16xlarge vs p3.24xlarge",
+		"instance", "batch", "epoch time", "epoch cost", "time vs 16xlarge bs4")
+	var base float64
+	for _, c := range []struct {
+		instance string
+		batch    int
+	}{
+		{"p3.16xlarge", 4},
+		{"p3.24xlarge", 4},
+		{"p3.24xlarge", 8},
+	} {
+		it, err := cloud.ByName(c.instance)
+		if err != nil {
+			return nil, err
+		}
+		job, err := newJob(bert, c.batch)
+		if err != nil {
+			return nil, err
+		}
+		est, err := p.Epoch(job, it, 1)
+		if err != nil {
+			return nil, err
+		}
+		if base == 0 {
+			base = est.Time.Seconds()
+		}
+		t.AddRow(c.instance, fmt.Sprintf("%d", c.batch), report.Dur(est.Time),
+			report.Money(est.Cost),
+			fmt.Sprintf("%+.1f%%", 100*(est.Time.Seconds()-base)/base))
+	}
+	return []*report.Table{t}, nil
+}
+
+// PSvsAllReduce verifies §III's premise that parameter-server gradient
+// exchange is strictly slower than collective all-reduce.
+func PSvsAllReduce(cfg Config) ([]*report.Table, error) {
+	ring := cfg.profiler()
+	ps := cfg.profiler(core.WithCollectiveOptions(collective.WithAlgorithm(collective.ParameterServer)))
+	it, err := cloud.ByName("p3.16xlarge")
+	if err != nil {
+		return nil, err
+	}
+	resnet, err := dnn.ResNet(18)
+	if err != nil {
+		return nil, err
+	}
+	vgg, err := dnn.VGG(11)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("SIII: ring all-reduce vs parameter server (p3.16xlarge, batch 32)",
+		"model", "ring I/C stall %", "PS I/C stall %", "PS/ring stall-time ratio")
+	for _, m := range []*dnn.Model{resnet, vgg} {
+		job, err := newJob(m, 32)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ring.InterconnectStall(job, it)
+		if err != nil {
+			return nil, err
+		}
+		s, err := ps.InterconnectStall(job, it)
+		if err != nil {
+			return nil, err
+		}
+		ratio := "inf"
+		if r.Stall > 0 {
+			ratio = fmt.Sprintf("%.1fx", s.Stall.Seconds()/r.Stall.Seconds())
+		}
+		t.AddRow(m.Name, report.Pct(r.Pct), report.Pct(s.Pct), ratio)
+	}
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+
+	"stash/internal/cloud"
+	"stash/internal/dnn"
+	"stash/internal/report"
+)
+
+// TableI regenerates the AWS P-family catalog table.
+func TableI(Config) ([]*report.Table, error) {
+	t := report.NewTable("Table I: AWS GPU instance types with prices (N. Virginia)",
+		"Instance", "GPU(s)", "vCPUs", "Interconnect", "GPU Mem (GB)", "Main Mem (GB)", "Network (Gbps)", "Price/hr")
+	for _, it := range cloud.Catalog() {
+		t.AddRow(
+			it.Name,
+			fmt.Sprintf("%dx%s", it.NGPUs, it.GPU.Name),
+			fmt.Sprintf("%d", it.VCPUs),
+			it.InterconnectDesc,
+			fmt.Sprintf("%.0f", it.GPUMemoryGB),
+			fmt.Sprintf("%.0f", it.MainMemoryGB),
+			it.NetworkDesc,
+			report.Money(it.PricePerHour),
+		)
+	}
+	return []*report.Table{t}, nil
+}
+
+// TableII regenerates the model-zoo table with our reconstructed
+// gradient sizes next to the paper's.
+func TableII(Config) ([]*report.Table, error) {
+	t := report.NewTable("Table II: DDL models used",
+		"Domain", "Type", "Name", "Gradient size", "Paper says", "Param layers", "Fwd GFLOPs/sample", "Dataset")
+	for _, e := range dnn.Zoo() {
+		m := e.Model
+		t.AddRow(
+			e.Domain,
+			e.Size,
+			m.Name,
+			fmt.Sprintf("%.2fM", float64(m.TotalParams())/1e6),
+			fmt.Sprintf("%.2fM", e.PaperGradientM),
+			fmt.Sprintf("%d", m.NumParamLayers()),
+			fmt.Sprintf("%.2f", m.FwdFLOPsPerSample()/1e9),
+			e.Dataset,
+		)
+	}
+	return []*report.Table{t}, nil
+}

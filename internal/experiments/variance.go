@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"stash/internal/cloud"
+	"stash/internal/dnn"
+	"stash/internal/report"
+	"stash/internal/sim"
+	"stash/internal/simnet"
+	"stash/internal/train"
+)
+
+// NetworkVariance studies how the VPC's QoS variance (§I, §III) spreads
+// multi-node training times: the same 2x p3.8xlarge VGG11 job is
+// provisioned repeatedly with jittered network ratings, and the spread
+// of epoch-scale iteration times shows why one-shot bandwidth probes
+// (the Srifty discussion, §VI-B) mislead.
+func NetworkVariance(cfg Config) ([]*report.Table, error) {
+	m, err := dnn.VGG(11)
+	if err != nil {
+		return nil, err
+	}
+	job, err := newJob(m, 32)
+	if err != nil {
+		return nil, err
+	}
+	it, err := cloud.ByName("p3.8xlarge")
+	if err != nil {
+		return nil, err
+	}
+	c := cfg.normalize()
+
+	run := func(seed int64, jitter float64) (time.Duration, error) {
+		eng := sim.NewEngine()
+		net := simnet.New(eng)
+		prov := cloud.NewProvisioner(cloud.SliceDegraded, seed)
+		if err := prov.SetNetworkJitter(jitter); err != nil {
+			return 0, err
+		}
+		top, err := prov.Provision(net, it, 2)
+		if err != nil {
+			return 0, err
+		}
+		res, err := train.Run(eng, net, train.Config{
+			Job:            job,
+			Topology:       top,
+			Iterations:     c.Iterations,
+			Warmup:         2,
+			Synthetic:      true,
+			DisableOverlap: true,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.PerIteration, nil
+	}
+
+	t := report.NewTable("EXT: VPC network QoS variance (vgg11, 2x p3.8xlarge, batch 32)",
+		"jitter", "draws", "min iter", "mean iter", "max iter", "spread")
+	for _, jitter := range []float64{0, 0.2, 0.4} {
+		const draws = 10
+		minT, maxT := time.Duration(math.MaxInt64), time.Duration(0)
+		var sum time.Duration
+		for d := 0; d < draws; d++ {
+			iter, err := run(c.Seed+int64(d), jitter)
+			if err != nil {
+				return nil, err
+			}
+			sum += iter
+			if iter < minT {
+				minT = iter
+			}
+			if iter > maxT {
+				maxT = iter
+			}
+		}
+		t.AddRow(
+			fmt.Sprintf("%.0f%%", jitter*100),
+			fmt.Sprintf("%d", draws),
+			report.Dur(minT),
+			report.Dur(sum/draws),
+			report.Dur(maxT),
+			fmt.Sprintf("%.2fx", maxT.Seconds()/minT.Seconds()),
+		)
+	}
+	return []*report.Table{t}, nil
+}

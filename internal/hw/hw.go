@@ -1,0 +1,247 @@
+// Package hw defines the hardware building blocks of the simulated cloud:
+// GPU models, interconnect link classes, storage devices and host CPUs,
+// plus the roofline-style model that converts DNN layer work into compute
+// time on a given GPU.
+//
+// The specs are calibrated to the public datasheets of the devices the
+// paper's AWS P2/P3 instances use (NVIDIA K80 and V100, PCIe gen3,
+// NVLink 2.0, EBS gp2 SSD), with utilization factors fit so that absolute
+// per-model throughputs land near published training numbers. Stash only
+// depends on the *relative* balance of compute, interconnect and network
+// speeds, which these numbers set.
+package hw
+
+import (
+	"fmt"
+	"time"
+)
+
+// Byte-size and rate helpers used across the simulator.
+const (
+	KB = 1e3
+	MB = 1e6
+	GB = 1e9
+
+	// GbpsBytes converts gigabits/sec to bytes/sec.
+	GbpsBytes = 1e9 / 8
+)
+
+// GPUSpec describes a GPU model.
+type GPUSpec struct {
+	Name string
+
+	// PeakFLOPS is the peak single-precision throughput (FLOP/s).
+	PeakFLOPS float64
+
+	// MemBytes is the device memory capacity.
+	MemBytes float64
+
+	// MemBandwidth is the device memory bandwidth (bytes/s).
+	MemBandwidth float64
+
+	// KernelOverhead is the fixed launch+sync cost charged per layer per
+	// pass; it dominates for tiny layers and grows training time of very
+	// deep networks.
+	KernelOverhead time.Duration
+
+	// MaxUtilization is the fraction of peak FLOPS a well-tuned dense
+	// workload achieves when fully saturated.
+	MaxUtilization float64
+
+	// HalfUtilWork is the per-iteration forward-pass work (FLOPs, i.e.
+	// per-GPU batch size x model forward FLOPs per sample) at which
+	// utilization reaches half of MaxUtilization. Wider GPUs need more
+	// work in flight to saturate, which is why small models such as
+	// ShuffleNet cannot exploit a V100 (paper Fig. 15 / §V-C).
+	HalfUtilWork float64
+}
+
+// Predefined GPU models used by the AWS P-family.
+var (
+	// K80 is one GK210 die of a Tesla K80 board (AWS exposes each die as
+	// one GPU: p2.xlarge has 1, p2.16xlarge has 16).
+	K80 = GPUSpec{
+		Name:           "K80",
+		PeakFLOPS:      4.37e12,
+		MemBytes:       12 * GB,
+		MemBandwidth:   240 * GB,
+		KernelOverhead: 18 * time.Microsecond,
+		MaxUtilization: 0.30,
+		HalfUtilWork:   10e9,
+	}
+
+	// V100 is the Tesla V100-SXM2-16GB used by p3.2x/8x/16xlarge.
+	V100 = GPUSpec{
+		Name:           "V100",
+		PeakFLOPS:      15.7e12,
+		MemBytes:       16 * GB,
+		MemBandwidth:   900 * GB,
+		KernelOverhead: 7 * time.Microsecond,
+		MaxUtilization: 0.70,
+		HalfUtilWork:   90e9,
+	}
+
+	// V100x32 is the 32 GB variant used by p3dn.24xlarge.
+	V100x32 = func() GPUSpec {
+		s := V100
+		s.Name = "V100-32GB"
+		s.MemBytes = 32 * GB
+		return s
+	}()
+
+	// A100 is included for the P4 catalog row; the paper does not
+	// characterize P4 (single dedicated offering).
+	A100 = GPUSpec{
+		Name:           "A100",
+		PeakFLOPS:      19.5e12,
+		MemBytes:       40 * GB,
+		MemBandwidth:   1555 * GB,
+		KernelOverhead: 5 * time.Microsecond,
+		MaxUtilization: 0.75,
+		HalfUtilWork:   150e9,
+	}
+)
+
+// Utilization returns the fraction of peak FLOPS achieved when each
+// iteration's forward pass performs iterFwdFLOPs of work.
+func (g GPUSpec) Utilization(iterFwdFLOPs float64) float64 {
+	if iterFwdFLOPs <= 0 {
+		return 0
+	}
+	x := iterFwdFLOPs / g.HalfUtilWork
+	return g.MaxUtilization * x / (1 + x)
+}
+
+// EffectiveFLOPS returns achieved FLOP/s for a workload whose forward
+// pass performs iterFwdFLOPs per iteration.
+func (g GPUSpec) EffectiveFLOPS(iterFwdFLOPs float64) float64 {
+	return g.PeakFLOPS * g.Utilization(iterFwdFLOPs)
+}
+
+// LayerTime returns the roofline execution time of one layer pass that
+// performs flops floating-point operations and moves memBytes through
+// device memory, given the effective FLOP/s the workload sustains
+// (from EffectiveFLOPS).
+func (g GPUSpec) LayerTime(flops, memBytes, effFLOPS float64) time.Duration {
+	var t float64
+	if effFLOPS > 0 {
+		t = flops / effFLOPS
+	}
+	if memory := memBytes / g.MemBandwidth; memory > t {
+		t = memory
+	}
+	return time.Duration(t*float64(time.Second)) + g.KernelOverhead
+}
+
+// LinkClass enumerates the interconnect families in the P instances.
+type LinkClass int
+
+// Link classes, ordered roughly by bandwidth.
+const (
+	LinkPCIe LinkClass = iota + 1
+	LinkNVLink
+	LinkNVSwitch
+	LinkNetwork
+)
+
+// String returns the class name.
+func (c LinkClass) String() string {
+	switch c {
+	case LinkPCIe:
+		return "PCIe"
+	case LinkNVLink:
+		return "NVLink"
+	case LinkNVSwitch:
+		return "NVSwitch"
+	case LinkNetwork:
+		return "Network"
+	default:
+		return fmt.Sprintf("LinkClass(%d)", int(c))
+	}
+}
+
+// LinkSpec describes one interconnect hop.
+type LinkSpec struct {
+	Class     LinkClass
+	Bandwidth float64 // bytes/s
+	Latency   time.Duration
+}
+
+// Interconnect hop specs.
+var (
+	// PCIeGen3x16 is a single device's PCIe 3.0 x16 attachment
+	// (~12 GB/s effective).
+	PCIeGen3x16 = LinkSpec{Class: LinkPCIe, Bandwidth: 12 * GB, Latency: 5 * time.Microsecond}
+
+	// NVLink2 is the effective NVLink path between a directly connected
+	// V100 pair in the p3 hybrid cube mesh. NCCL stripes a collective
+	// across all six bricks' rings, so the effective pairwise path
+	// bandwidth during an all-reduce is well above a single brick pair;
+	// 120 GB/s reproduces measured DGX-1 ring bus bandwidth.
+	NVLink2 = LinkSpec{Class: LinkNVLink, Bandwidth: 120 * GB, Latency: 2 * time.Microsecond}
+
+	// NVSwitchLink is one A100 NVSwitch port (P4 only).
+	NVSwitchLink = LinkSpec{Class: LinkNVSwitch, Bandwidth: 300 * GB, Latency: 2 * time.Microsecond}
+)
+
+// NetworkGoodput is the fraction of an instance's headline network rating
+// that gradient traffic achieves in practice (TCP/ENA framing, congestion
+// control and NCCL socket overheads).
+const NetworkGoodput = 0.67
+
+// NetworkLink returns a VPC network hop for an instance with the given
+// headline Gbps rating, derated to achievable goodput. The latency covers
+// TCP/ENA per-transfer overhead inside one all-reduce step.
+func NetworkLink(gbps float64) LinkSpec {
+	return LinkSpec{Class: LinkNetwork, Bandwidth: gbps * GbpsBytes * NetworkGoodput, Latency: 60 * time.Microsecond}
+}
+
+// StorageSpec describes the volume the training dataset lives on.
+type StorageSpec struct {
+	Name string
+
+	// Throughput is the sustained sequential read rate (bytes/s) of the
+	// whole volume; concurrent readers share it.
+	Throughput float64
+
+	// IOPS is the volume's random-read operation budget; reading many
+	// small training files (an ImageNet JPEG is ~100 KB) is IOPS-bound
+	// long before it is throughput-bound, which is what creates the
+	// 16xlarge disk stalls of Figs 4b/8b.
+	IOPS float64
+
+	// RequestLatency is the per-read-request overhead.
+	RequestLatency time.Duration
+}
+
+// Storage volumes used in the experiments.
+var (
+	// GP2SSD is the AWS general-purpose EBS volume the paper's instances
+	// read training data from; its modest throughput is what makes the
+	// 16xlarge disk stalls dominate (Figs 4b, 8b, 9b).
+	GP2SSD = StorageSpec{Name: "gp2-ssd", Throughput: 250 * MB, IOPS: 1600, RequestLatency: 500 * time.Microsecond}
+
+	// LocalNVMe is the p3dn.24xlarge dedicated local NVMe storage.
+	LocalNVMe = StorageSpec{Name: "local-nvme", Throughput: 2 * GB, IOPS: 200000, RequestLatency: 80 * time.Microsecond}
+)
+
+// CPUSpec describes host pre-processing capacity.
+type CPUSpec struct {
+	Name string
+
+	// VCPUs is the number of hardware threads.
+	VCPUs int
+
+	// PrepRate is the per-vCPU pre-processing throughput in samples/sec
+	// for a standard ImageNet-style decode+augment stage.
+	PrepRate float64
+}
+
+// Xeon returns the host CPU spec for an instance with n vCPUs. The AWS
+// P-family uses Broadwell/Skylake Xeons; ~400 images/s/vCPU is what a
+// tuned decode+augment stage (libjpeg-turbo / pillow-simd) sustains,
+// which is why the paper finds AWS vCPUs sufficient and CPU stalls
+// negligible (SV-A1), unlike DS-Analyzer's 3-vCPU-per-GPU cluster.
+func Xeon(vcpus int) CPUSpec {
+	return CPUSpec{Name: fmt.Sprintf("xeon-%dvcpu", vcpus), VCPUs: vcpus, PrepRate: 400}
+}

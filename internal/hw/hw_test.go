@@ -1,0 +1,189 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestUtilizationMonotonicInWork(t *testing.T) {
+	for _, g := range []GPUSpec{K80, V100, A100} {
+		prev := 0.0
+		for _, w := range []float64{1e8, 1e9, 1e10, 1e11, 1e12} {
+			u := g.Utilization(w)
+			if u <= prev {
+				t.Errorf("%s: utilization not increasing at work %v: %v <= %v", g.Name, w, u, prev)
+			}
+			if u >= g.MaxUtilization {
+				t.Errorf("%s: utilization %v >= max %v", g.Name, u, g.MaxUtilization)
+			}
+			prev = u
+		}
+	}
+}
+
+func TestUtilizationZeroWork(t *testing.T) {
+	if got := V100.Utilization(0); got != 0 {
+		t.Errorf("Utilization(0) = %v, want 0", got)
+	}
+	if got := V100.Utilization(-5); got != 0 {
+		t.Errorf("Utilization(-5) = %v, want 0", got)
+	}
+}
+
+func TestUtilizationHalfSaturation(t *testing.T) {
+	for _, g := range []GPUSpec{K80, V100} {
+		got := g.Utilization(g.HalfUtilWork)
+		want := g.MaxUtilization / 2
+		if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("%s: Utilization(HalfUtilWork) = %v, want %v", g.Name, got, want)
+		}
+	}
+}
+
+func TestV100FasterThanK80OnLargeModels(t *testing.T) {
+	// ResNet50-scale iteration: 4.1 GFLOPs/sample x batch 32 forward work.
+	work := 32 * 4.1e9
+	tv := V100.LayerTime(3*work, 0, V100.EffectiveFLOPS(work))
+	tk := K80.LayerTime(3*work, 0, K80.EffectiveFLOPS(work))
+	if ratio := float64(tk) / float64(tv); ratio < 4 {
+		t.Errorf("K80/V100 ratio for large model = %v, want >= 4 (V100 dominant)", ratio)
+	}
+}
+
+func TestSmallModelCannotExploitV100(t *testing.T) {
+	// ShuffleNet-scale iteration: 0.15 GFLOPs/sample x batch 32.
+	work := 32 * 0.15e9
+	tv := V100.LayerTime(3*work, 0, V100.EffectiveFLOPS(work))
+	tk := K80.LayerTime(3*work, 0, K80.EffectiveFLOPS(work))
+	ratio := float64(tk) / float64(tv)
+	// The speedup must be below the ~1.7x P3/P2 price ratio so that small
+	// models are cheaper on P2 (paper §V-C, Fig 14).
+	if ratio > 1.7 {
+		t.Errorf("K80/V100 ratio for small model = %v, want <= 1.7", ratio)
+	}
+	if ratio < 1 {
+		t.Errorf("K80/V100 ratio = %v: V100 should never be slower", ratio)
+	}
+}
+
+func TestLayerTimeIncludesKernelOverhead(t *testing.T) {
+	got := V100.LayerTime(0, 0, V100.EffectiveFLOPS(1e9))
+	if got != V100.KernelOverhead {
+		t.Errorf("zero-work layer time = %v, want kernel overhead %v", got, V100.KernelOverhead)
+	}
+}
+
+func TestLayerTimeMemoryBound(t *testing.T) {
+	// Tiny FLOPs, huge memory traffic: time set by bandwidth.
+	bytes := 90.0 * GB // 100 ms at 900 GB/s on V100
+	got := V100.LayerTime(1, bytes, V100.EffectiveFLOPS(1e12))
+	want := 100*time.Millisecond + V100.KernelOverhead
+	if got < want || got > want+time.Millisecond {
+		t.Errorf("memory-bound layer time = %v, want ~%v", got, want)
+	}
+}
+
+func TestLayerTimeComputeBound(t *testing.T) {
+	eff := V100.EffectiveFLOPS(1e12)
+	got := V100.LayerTime(eff, 1, eff) // exactly 1 second of work
+	want := time.Second + V100.KernelOverhead
+	if got < want-time.Millisecond || got > want+time.Millisecond {
+		t.Errorf("compute-bound layer time = %v, want ~%v", got, want)
+	}
+}
+
+func TestLayerTimeZeroEffFLOPS(t *testing.T) {
+	got := V100.LayerTime(1e9, 8*GB, 0)
+	// With no compute throughput the memory term still applies.
+	wantMem := time.Duration(8 * GB / V100.MemBandwidth * float64(time.Second))
+	if got != wantMem+V100.KernelOverhead {
+		t.Errorf("LayerTime with eff=0 = %v, want %v", got, wantMem+V100.KernelOverhead)
+	}
+}
+
+func TestNetworkLinkConversion(t *testing.T) {
+	l := NetworkLink(10)
+	if want := 10 * GbpsBytes * NetworkGoodput; l.Bandwidth != want {
+		t.Errorf("10 Gbps = %v B/s, want %v (goodput-derated)", l.Bandwidth, want)
+	}
+	if l.Class != LinkNetwork {
+		t.Errorf("class = %v, want Network", l.Class)
+	}
+}
+
+func TestLinkClassString(t *testing.T) {
+	cases := map[LinkClass]string{
+		LinkPCIe:     "PCIe",
+		LinkNVLink:   "NVLink",
+		LinkNVSwitch: "NVSwitch",
+		LinkNetwork:  "Network",
+		LinkClass(0): "LinkClass(0)",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(c), got, want)
+		}
+	}
+}
+
+func TestInterconnectBandwidthOrdering(t *testing.T) {
+	if !(PCIeGen3x16.Bandwidth < NVLink2.Bandwidth && NVLink2.Bandwidth < NVSwitchLink.Bandwidth) {
+		t.Error("interconnect bandwidths not ordered PCIe < NVLink < NVSwitch")
+	}
+	if net := NetworkLink(25); net.Bandwidth >= PCIeGen3x16.Bandwidth {
+		t.Error("25 Gbps network should be slower than PCIe gen3 x16")
+	}
+}
+
+func TestV100x32HasDoubleMemory(t *testing.T) {
+	if V100x32.MemBytes != 2*V100.MemBytes {
+		t.Errorf("V100-32GB memory = %v, want %v", V100x32.MemBytes, 2*V100.MemBytes)
+	}
+	if V100x32.PeakFLOPS != V100.PeakFLOPS {
+		t.Error("V100-32GB should have same FLOPS as V100")
+	}
+}
+
+func TestXeonScalesWithVCPUs(t *testing.T) {
+	small, big := Xeon(8), Xeon(96)
+	if small.VCPUs != 8 || big.VCPUs != 96 {
+		t.Fatalf("vCPU counts wrong: %d, %d", small.VCPUs, big.VCPUs)
+	}
+	if small.PrepRate != big.PrepRate {
+		t.Error("per-vCPU prep rate should be identical across sizes")
+	}
+}
+
+// Property: layer time is monotonically non-decreasing in FLOPs and in
+// memory bytes.
+func TestQuickLayerTimeMonotone(t *testing.T) {
+	eff := V100.EffectiveFLOPS(1e11)
+	f := func(f1Raw, f2Raw uint32, bytesRaw uint32) bool {
+		f1, f2 := float64(f1Raw)*1e3, float64(f2Raw)*1e3
+		if f1 > f2 {
+			f1, f2 = f2, f1
+		}
+		bytes := float64(bytesRaw)
+		return V100.LayerTime(f1, bytes, eff) <= V100.LayerTime(f2, bytes, eff)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: effective FLOPS never exceeds peak for any workload size.
+func TestQuickEffectiveBelowPeak(t *testing.T) {
+	f := func(workRaw uint32) bool {
+		work := float64(workRaw) * 1e6
+		for _, g := range []GPUSpec{K80, V100, V100x32, A100} {
+			if g.EffectiveFLOPS(work) >= g.PeakFLOPS {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,21 @@
+package pipeline
+
+import (
+	"testing"
+
+	"stash/internal/dnn"
+)
+
+func mustResNet18(t *testing.T) *dnn.Model {
+	t.Helper()
+	m, err := dnn.ResNet(18)
+	if err != nil {
+		t.Fatalf("ResNet(18): %v", err)
+	}
+	return m
+}
+
+func mustBERT(t *testing.T) *dnn.Model {
+	t.Helper()
+	return dnn.BERTLarge()
+}

@@ -1,0 +1,241 @@
+// Package pipeline simulates the DNN input pipeline of one machine: a
+// storage volume shared by all dataloader workers, the OS page cache, a
+// CPU pre-processing pool, and the PCIe upload to each GPU. Fetch (disk)
+// and prep (CPU) stalls emerge when the pipeline cannot keep up with the
+// GPUs, exactly the phenomena DS-Analyzer's steps measure (§II-B).
+//
+// Contention is modeled with fluid flows: the disk and the CPU pool are
+// simnet links whose capacity all concurrent workers share max-min
+// fairly, so 16 workers hammering one gp2 volume starve each other the
+// way Fig 4b shows.
+package pipeline
+
+import (
+	"fmt"
+
+	"stash/internal/hw"
+	"stash/internal/sim"
+	"stash/internal/simnet"
+	"stash/internal/workload"
+)
+
+// CacheMode selects the page-cache state for a run, mirroring
+// DS-Analyzer's methodology.
+type CacheMode int
+
+// Cache modes.
+const (
+	// CacheCold models step 3: caches dropped before the run, every
+	// sample is read from the volume (each exactly once per epoch).
+	CacheCold CacheMode = iota + 1
+
+	// CacheWarm models step 4: the dataset was fully read in a previous
+	// epoch; reads hit DRAM up to the cache capacity.
+	CacheWarm
+)
+
+// String returns the mode name.
+func (m CacheMode) String() string {
+	switch m {
+	case CacheCold:
+		return "cold"
+	case CacheWarm:
+		return "warm"
+	default:
+		return fmt.Sprintf("CacheMode(%d)", int(m))
+	}
+}
+
+// Config describes one machine's input-pipeline hardware.
+type Config struct {
+	Storage hw.StorageSpec
+	CPU     hw.CPUSpec
+
+	// CacheBytes is the DRAM available for the page cache (main memory
+	// minus framework overhead).
+	CacheBytes float64
+
+	// PrefetchDepth is how many batches each dataloader keeps in flight
+	// ahead of the consumer (PyTorch DataLoader prefetch); 0 uses the
+	// default of 2.
+	PrefetchDepth int
+}
+
+// HostPipeline is the shared input-pipeline state of one machine.
+type HostPipeline struct {
+	eng  *sim.Engine
+	net  *simnet.Network
+	cfg  Config
+	disk *simnet.Link
+	iops *simnet.Link
+	cpu  *simnet.Link
+	mode CacheMode
+}
+
+// New builds a host pipeline on the machine's network. Node namespaces
+// the link names.
+func New(eng *sim.Engine, net *simnet.Network, node int, cfg Config) (*HostPipeline, error) {
+	if cfg.Storage.Throughput <= 0 {
+		return nil, fmt.Errorf("pipeline: storage throughput %v <= 0", cfg.Storage.Throughput)
+	}
+	if cfg.CPU.VCPUs < 1 || cfg.CPU.PrepRate <= 0 {
+		return nil, fmt.Errorf("pipeline: bad CPU spec %+v", cfg.CPU)
+	}
+	if cfg.CacheBytes < 0 {
+		return nil, fmt.Errorf("pipeline: negative cache size")
+	}
+	if cfg.PrefetchDepth == 0 {
+		cfg.PrefetchDepth = 4
+	}
+	if cfg.PrefetchDepth < 0 {
+		return nil, fmt.Errorf("pipeline: negative prefetch depth")
+	}
+	hp := &HostPipeline{
+		eng:  eng,
+		net:  net,
+		cfg:  cfg,
+		mode: CacheWarm,
+		disk: net.NewLink(fmt.Sprintf("node%d/disk", node), cfg.Storage.Throughput, cfg.Storage.RequestLatency),
+		// The CPU pool is a fluid resource measured in samples/sec.
+		cpu: net.NewLink(fmt.Sprintf("node%d/cpu", node), float64(cfg.CPU.VCPUs)*cfg.CPU.PrepRate, 0),
+	}
+	if cfg.Storage.IOPS > 0 {
+		// Random small-file reads are bounded by the volume's operation
+		// budget as well as its byte throughput (one read op per sample).
+		hp.iops = net.NewLink(fmt.Sprintf("node%d/disk-iops", node), cfg.Storage.IOPS, 0)
+	}
+	return hp, nil
+}
+
+// SetCacheMode switches between the cold (step 3) and warm (step 4)
+// cache regimes for subsequent reads.
+func (hp *HostPipeline) SetCacheMode(m CacheMode) { hp.mode = m }
+
+// CacheMode returns the current cache regime.
+func (hp *HostPipeline) CacheMode() CacheMode { return hp.mode }
+
+// hitFraction returns the fraction of reads served from DRAM for the
+// given dataset.
+func (hp *HostPipeline) hitFraction(ds workload.Dataset) float64 {
+	if hp.mode == CacheCold {
+		return 0
+	}
+	total := ds.TotalBytes()
+	if total <= hp.cfg.CacheBytes {
+		return 1
+	}
+	return hp.cfg.CacheBytes / total
+}
+
+// Batch is one ready-to-train mini-batch produced by a loader.
+type Batch struct {
+	Index int
+}
+
+// Loader is one GPU worker's dataloader: it fetches, preps and uploads
+// batches ahead of the consumer.
+type Loader struct {
+	hp         *HostPipeline
+	job        workload.Job
+	uploadTo   []*simnet.Link
+	iterations int
+	queue      *sim.Queue[Batch]
+	credits    *sim.Resource
+	proc       *sim.Process
+}
+
+// NewLoader creates a dataloader that will produce the given number of
+// batches for job, uploading each decoded batch along uploadTo (the
+// host-to-GPU route). Call Start to spawn its producer process.
+func (hp *HostPipeline) NewLoader(job workload.Job, uploadTo []*simnet.Link, iterations int) (*Loader, error) {
+	if iterations < 1 {
+		return nil, fmt.Errorf("pipeline: iterations %d < 1", iterations)
+	}
+	if len(uploadTo) == 0 {
+		return nil, fmt.Errorf("pipeline: empty upload route")
+	}
+	return &Loader{
+		hp:         hp,
+		job:        job,
+		uploadTo:   uploadTo,
+		iterations: iterations,
+		queue:      sim.NewQueue[Batch](hp.eng),
+		credits:    sim.NewResource(hp.eng, hp.cfg.PrefetchDepth),
+	}, nil
+}
+
+// Start spawns the loader's stage processes. Fetch, prep and upload run
+// as a three-stage pipeline (as PyTorch DataLoader workers plus the
+// pinned-memory uploader do), so steady-state loader throughput is set by
+// the slowest stage, not their sum. Name prefixes the process names.
+func (l *Loader) Start(name string) {
+	batch := float64(l.job.BatchPerGPU)
+	ds := l.job.Dataset
+	fetched := sim.NewQueue[Batch](l.hp.eng)
+	prepped := sim.NewQueue[Batch](l.hp.eng)
+
+	l.proc = l.hp.eng.Go(name+"/fetch", func(p *sim.Process) {
+		for i := 0; i < l.iterations; i++ {
+			l.credits.Acquire(p)
+			// Read the encoded batch from the volume, minus cache hits.
+			// Bytes and read operations are separate budgets consumed
+			// concurrently; the slower one gates the fetch.
+			missFrac := 1 - l.hp.hitFraction(ds)
+			diskBytes := batch * ds.DiskBytesPerSample * missFrac
+			if diskBytes > 0 {
+				bytesFlow := l.hp.net.StartFlow(diskBytes, []*simnet.Link{l.hp.disk})
+				if l.hp.iops != nil {
+					opsFlow := l.hp.net.StartFlowLatency(batch*missFrac, []*simnet.Link{l.hp.iops}, 0)
+					p.Await(opsFlow.Done())
+				}
+				p.Await(bytesFlow.Done())
+			}
+			fetched.Put(Batch{Index: i})
+		}
+		fetched.Close()
+	})
+	l.hp.eng.Go(name+"/prep", func(p *sim.Process) {
+		for {
+			b, ok := fetched.Get(p)
+			if !ok {
+				prepped.Close()
+				return
+			}
+			// Decode+augment on the shared CPU pool. The "bytes" of this
+			// flow are samples of standard prep work.
+			if prepWork := batch * ds.PrepCostFactor; prepWork > 0 {
+				l.hp.net.Transfer(p, prepWork, []*simnet.Link{l.hp.cpu})
+			}
+			prepped.Put(b)
+		}
+	})
+	l.hp.eng.Go(name+"/upload", func(p *sim.Process) {
+		for {
+			b, ok := prepped.Get(p)
+			if !ok {
+				l.queue.Close()
+				return
+			}
+			// Upload the decoded batch to the GPU over PCIe.
+			l.hp.net.Transfer(p, batch*l.job.Model.SampleBytes, l.uploadTo)
+			l.queue.Put(b)
+		}
+	})
+}
+
+// Next blocks the consumer until a batch is ready; ok is false after the
+// final batch. The time spent blocked here is the worker's fetch+prep
+// stall.
+func (l *Loader) Next(p *sim.Process) (Batch, bool) {
+	b, ok := l.queue.Get(p)
+	if ok {
+		l.credits.Release()
+	}
+	return b, ok
+}
+
+// DiskLink exposes the machine's storage link (for probes and tests).
+func (hp *HostPipeline) DiskLink() *simnet.Link { return hp.disk }
+
+// CPULink exposes the machine's prep-pool link (for probes and tests).
+func (hp *HostPipeline) CPULink() *simnet.Link { return hp.cpu }

@@ -1,0 +1,282 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"stash/internal/hw"
+	"stash/internal/sim"
+	"stash/internal/simnet"
+	"stash/internal/workload"
+)
+
+// testRig bundles an engine, a network and a host pipeline.
+type testRig struct {
+	eng    *sim.Engine
+	net    *simnet.Network
+	hp     *HostPipeline
+	upload *simnet.Link
+}
+
+func newRig(t *testing.T, cfg Config) *testRig {
+	t.Helper()
+	eng := sim.NewEngine()
+	net := simnet.New(eng)
+	hp, err := New(eng, net, 0, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return &testRig{
+		eng:    eng,
+		net:    net,
+		hp:     hp,
+		upload: net.NewLink("upload", 12*hw.GB, 5*time.Microsecond),
+	}
+}
+
+func smallJob(t *testing.T, batch int) workload.Job {
+	t.Helper()
+	job, err := workload.NewJob(mustResNet18(t), batch)
+	if err != nil {
+		t.Fatalf("NewJob: %v", err)
+	}
+	return job
+}
+
+func defaultCfg() Config {
+	return Config{
+		Storage:    hw.GP2SSD,
+		CPU:        hw.Xeon(32),
+		CacheBytes: 200e9,
+	}
+}
+
+// consume drains n batches, sleeping computeTime per batch, and returns
+// the total elapsed virtual time.
+func (r *testRig) consume(t *testing.T, l *Loader, computeTime time.Duration) time.Duration {
+	t.Helper()
+	var elapsed time.Duration
+	r.eng.Go("consumer", func(p *sim.Process) {
+		for {
+			if _, ok := l.Next(p); !ok {
+				break
+			}
+			p.Sleep(computeTime)
+		}
+		elapsed = p.Now()
+	})
+	if err := r.eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return elapsed
+}
+
+func TestConfigValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	net := simnet.New(eng)
+	bad := []Config{
+		{CPU: hw.Xeon(8)},    // no storage
+		{Storage: hw.GP2SSD}, // no CPU
+		{Storage: hw.GP2SSD, CPU: hw.Xeon(8), CacheBytes: -1},    // negative cache
+		{Storage: hw.GP2SSD, CPU: hw.Xeon(8), PrefetchDepth: -2}, // negative prefetch
+	}
+	for i, cfg := range bad {
+		if _, err := New(eng, net, 0, cfg); err == nil {
+			t.Errorf("config %d: expected error", i)
+		}
+	}
+}
+
+func TestLoaderValidation(t *testing.T) {
+	r := newRig(t, defaultCfg())
+	job := smallJob(t, 32)
+	if _, err := r.hp.NewLoader(job, []*simnet.Link{r.upload}, 0); err == nil {
+		t.Error("zero iterations should fail")
+	}
+	if _, err := r.hp.NewLoader(job, nil, 5); err == nil {
+		t.Error("empty route should fail")
+	}
+}
+
+func TestWarmCacheSkipsDisk(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.CacheBytes = 200e9 // dataset (133 GB) fits
+	r := newRig(t, cfg)
+	r.hp.SetCacheMode(CacheWarm)
+	l, err := r.hp.NewLoader(smallJob(t, 32), []*simnet.Link{r.upload}, 10)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	l.Start("loader")
+	r.consume(t, l, time.Millisecond)
+	if got := r.hp.DiskLink().BytesCarried(); got != 0 {
+		t.Errorf("warm cache read %v bytes from disk, want 0", got)
+	}
+}
+
+func TestColdCacheReadsEverything(t *testing.T) {
+	r := newRig(t, defaultCfg())
+	r.hp.SetCacheMode(CacheCold)
+	job := smallJob(t, 32)
+	const iters = 10
+	l, err := r.hp.NewLoader(job, []*simnet.Link{r.upload}, iters)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	l.Start("loader")
+	r.consume(t, l, time.Millisecond)
+	want := float64(iters) * 32 * job.Dataset.DiskBytesPerSample
+	got := r.hp.DiskLink().BytesCarried()
+	if diff := got - want; diff > 1 || diff < -1 {
+		t.Errorf("disk bytes = %v, want %v", got, want)
+	}
+}
+
+func TestPartialCacheReducesDiskTraffic(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.CacheBytes = workload.ImageNet1k.TotalBytes() / 2 // half fits
+	r := newRig(t, cfg)
+	r.hp.SetCacheMode(CacheWarm)
+	job := smallJob(t, 32)
+	const iters = 10
+	l, err := r.hp.NewLoader(job, []*simnet.Link{r.upload}, iters)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	l.Start("loader")
+	r.consume(t, l, time.Millisecond)
+	full := float64(iters) * 32 * job.Dataset.DiskBytesPerSample
+	got := r.hp.DiskLink().BytesCarried()
+	if got <= 0.4*full || got >= 0.6*full {
+		t.Errorf("half-cached disk bytes = %v, want ~%v", got, full/2)
+	}
+}
+
+func TestSlowConsumerSeesNoStall(t *testing.T) {
+	// A consumer much slower than the pipeline should spend ~all its time
+	// computing: total ~= iters x compute.
+	r := newRig(t, defaultCfg())
+	r.hp.SetCacheMode(CacheWarm)
+	const iters = 20
+	compute := 100 * time.Millisecond
+	l, err := r.hp.NewLoader(smallJob(t, 32), []*simnet.Link{r.upload}, iters)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	l.Start("loader")
+	total := r.consume(t, l, compute)
+	ideal := time.Duration(iters) * compute
+	if total > ideal+ideal/10 {
+		t.Errorf("total = %v, want close to compute-bound %v", total, ideal)
+	}
+}
+
+func TestFastConsumerStallsOnColdDisk(t *testing.T) {
+	// A consumer much faster than the disk must be fetch-bound: total ~=
+	// disk time.
+	r := newRig(t, defaultCfg())
+	r.hp.SetCacheMode(CacheCold)
+	const iters = 20
+	job := smallJob(t, 128)
+	l, err := r.hp.NewLoader(job, []*simnet.Link{r.upload}, iters)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	l.Start("loader")
+	total := r.consume(t, l, time.Millisecond)
+	byteSeconds := float64(iters) * 128 * job.Dataset.DiskBytesPerSample / hw.GP2SSD.Throughput
+	iopsSeconds := float64(iters) * 128 / hw.GP2SSD.IOPS
+	diskSeconds := math.Max(byteSeconds, iopsSeconds)
+	if total.Seconds() < diskSeconds {
+		t.Errorf("total %v below disk lower bound %vs", total, diskSeconds)
+	}
+	if total.Seconds() > diskSeconds*1.3 {
+		t.Errorf("total %v far above disk bound %vs: unexplained stall", total, diskSeconds)
+	}
+}
+
+func TestTwoLoadersContendOnDisk(t *testing.T) {
+	elapsed := func(nLoaders int) time.Duration {
+		r := newRig(t, defaultCfg())
+		r.hp.SetCacheMode(CacheCold)
+		const iters = 10
+		var loaders []*Loader
+		for i := 0; i < nLoaders; i++ {
+			l, err := r.hp.NewLoader(smallJob(t, 64), []*simnet.Link{r.upload}, iters)
+			if err != nil {
+				t.Fatalf("NewLoader: %v", err)
+			}
+			l.Start("loader")
+			loaders = append(loaders, l)
+		}
+		var max time.Duration
+		done := make([]time.Duration, nLoaders)
+		for i, l := range loaders {
+			i, l := i, l
+			r.eng.Go("consumer", func(p *sim.Process) {
+				for {
+					if _, ok := l.Next(p); !ok {
+						break
+					}
+					p.Sleep(time.Millisecond)
+				}
+				done[i] = p.Now()
+			})
+		}
+		if err := r.eng.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		for _, d := range done {
+			if d > max {
+				max = d
+			}
+		}
+		return max
+	}
+	one, four := elapsed(1), elapsed(4)
+	if ratio := four.Seconds() / one.Seconds(); ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("4-loader slowdown = %.2fx, want ~4x (shared disk)", ratio)
+	}
+}
+
+func TestPrepUsesCPUPool(t *testing.T) {
+	// With a tiny CPU, prep dominates: total ~= batch*iters/prepRate.
+	cfg := defaultCfg()
+	cfg.CPU = hw.CPUSpec{Name: "tiny", VCPUs: 1, PrepRate: 100}
+	r := newRig(t, cfg)
+	r.hp.SetCacheMode(CacheWarm)
+	const iters, batch = 10, 128
+	l, err := r.hp.NewLoader(smallJob(t, batch), []*simnet.Link{r.upload}, iters)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	l.Start("loader")
+	total := r.consume(t, l, time.Millisecond)
+	prepSeconds := float64(iters*batch) / 100
+	if total.Seconds() < prepSeconds || total.Seconds() > prepSeconds*1.2 {
+		t.Errorf("total = %v, want ~%vs (prep-bound)", total, prepSeconds)
+	}
+}
+
+func TestBERTPrepIsCheap(t *testing.T) {
+	job, err := workload.NewJob(mustBERT(t), 4)
+	if err != nil {
+		t.Fatalf("NewJob: %v", err)
+	}
+	if job.Dataset.Name != "squad2" {
+		t.Fatalf("BERT dataset = %s, want squad2", job.Dataset.Name)
+	}
+	if job.Dataset.PrepCostFactor >= workload.ImageNet1k.PrepCostFactor {
+		t.Error("tokenized text prep should be cheaper than image decode")
+	}
+}
+
+func TestCacheModeString(t *testing.T) {
+	if CacheCold.String() != "cold" || CacheWarm.String() != "warm" {
+		t.Error("CacheMode strings wrong")
+	}
+	if CacheMode(0).String() != "CacheMode(0)" {
+		t.Error("unknown CacheMode string wrong")
+	}
+}

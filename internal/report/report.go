@@ -1,0 +1,140 @@
+// Package report renders experiment results as aligned plain-text tables
+// and CSV, the textual equivalents of the paper's figures.
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; missing cells render empty, extra cells are an
+// error surfaced at render time.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(cells))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// NumRows reports the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Rows returns a copy of the table body.
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, w := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", w, c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+// Cells containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i := range t.Columns {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(escapeCSV(c))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func escapeCSV(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// Pct formats a percentage with one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// Money formats a dollar amount.
+func Money(v float64) string { return fmt.Sprintf("$%.2f", v) }
+
+// Dur formats a duration rounded for display.
+func Dur(d time.Duration) string {
+	switch {
+	case d >= time.Hour:
+		return d.Round(time.Minute).String()
+	case d >= time.Minute:
+		return d.Round(time.Second).String()
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	default:
+		return d.Round(10 * time.Microsecond).String()
+	}
+}
+
+// Seconds formats a duration as raw seconds (for CSV post-processing).
+func Seconds(d time.Duration) string { return fmt.Sprintf("%.4f", d.Seconds()) }
+
+// GBps formats a bandwidth in GB/s.
+func GBps(bytesPerSec float64) string { return fmt.Sprintf("%.2f GB/s", bytesPerSec/1e9) }

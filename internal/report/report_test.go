@@ -1,0 +1,97 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableString(t *testing.T) {
+	tb := NewTable("Demo", "model", "stall")
+	tb.AddRow("resnet18", "12.5%")
+	tb.AddRow("vgg11", "3.1%")
+	s := tb.String()
+	for _, want := range []string{"== Demo ==", "model", "resnet18", "vgg11", "3.1%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), s)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "a", "long-header")
+	tb.AddRow("x", "y")
+	lines := strings.Split(strings.TrimSpace(tb.String()), "\n")
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("header and separator widths differ:\n%s", tb.String())
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	tb := NewTable("t", "a", "b", "c")
+	tb.AddRow("only")
+	s := tb.String()
+	if !strings.Contains(s, "only") {
+		t.Errorf("short row lost: %s", s)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("t", "name", "value")
+	tb.AddRow("plain", "1")
+	tb.AddRow("has,comma", `has"quote`)
+	csv := tb.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want 3", len(lines))
+	}
+	if lines[0] != "name,value" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[2] != `"has,comma","has""quote"` {
+		t.Errorf("escaped row = %q", lines[2])
+	}
+}
+
+func TestRowsReturnsCopy(t *testing.T) {
+	tb := NewTable("t", "a")
+	tb.AddRow("v")
+	rows := tb.Rows()
+	rows[0][0] = "mutated"
+	if tb.Rows()[0][0] != "v" {
+		t.Error("Rows exposed internal state")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Pct(12.34); got != "12.3%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Money(5.678); got != "$5.68" {
+		t.Errorf("Money = %q", got)
+	}
+	if got := GBps(2.5e9); got != "2.50 GB/s" {
+		t.Errorf("GBps = %q", got)
+	}
+	if got := Seconds(1500 * time.Millisecond); got != "1.5000" {
+		t.Errorf("Seconds = %q", got)
+	}
+	cases := map[time.Duration]string{
+		90 * time.Minute:        "1h30m0s",
+		90 * time.Second:        "1m30s",
+		1234 * time.Millisecond: "1.23s",
+		123 * time.Microsecond:  "120µs",
+	}
+	for d, want := range cases {
+		if got := Dur(d); got != want {
+			t.Errorf("Dur(%v) = %q, want %q", d, got, want)
+		}
+	}
+}

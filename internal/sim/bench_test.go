@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEventDispatch measures raw event-loop throughput.
+func BenchmarkEventDispatch(b *testing.B) {
+	e := NewEngine()
+	var chain func()
+	n := 0
+	chain = func() {
+		n++
+		if n < b.N {
+			e.Schedule(time.Microsecond, chain)
+		}
+	}
+	e.Schedule(0, chain)
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkProcessSwitch measures the goroutine handoff cost of a
+// process park/resume cycle.
+func BenchmarkProcessSwitch(b *testing.B) {
+	e := NewEngine()
+	e.Go("sleeper", func(p *Process) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkBarrier measures a 8-way barrier round.
+func BenchmarkBarrier(b *testing.B) {
+	e := NewEngine()
+	bar := NewBarrier(e, 8)
+	for i := 0; i < 8; i++ {
+		e.Go("w", func(p *Process) {
+			for r := 0; r < b.N; r++ {
+				bar.Wait(p)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

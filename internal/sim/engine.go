@@ -1,0 +1,173 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of events.
+// Higher-level code is written as processes (see process.go): goroutines
+// that run one at a time, interleaved with event dispatch, so that the
+// whole simulation is sequential and reproducible even though it is
+// expressed as concurrent-looking code.
+//
+// All timestamps are time.Duration offsets from the simulation start.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// ErrDeadlock is returned by Run when live processes remain but no events
+// are scheduled, meaning the simulation can never make progress again.
+var ErrDeadlock = errors.New("sim: deadlock: live processes but no pending events")
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at       time.Duration
+	seq      uint64 // tiebreaker for deterministic ordering
+	index    int    // heap index, -1 when not queued
+	fn       func()
+	canceled bool
+}
+
+// At returns the virtual time at which the event is scheduled to fire.
+func (ev *Event) At() time.Duration { return ev.at }
+
+// eventHeap orders events by (time, sequence number).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; use
+// NewEngine.
+type Engine struct {
+	now       time.Duration
+	seq       uint64
+	events    eventHeap
+	liveProcs int
+	running   bool
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Schedule registers fn to run after delay of virtual time. A negative
+// delay is treated as zero. Events scheduled for the same instant fire in
+// scheduling order.
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	ev := &Event{at: e.now + delay, seq: e.seq, fn: fn, index: -1}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// ScheduleAt registers fn to run at absolute virtual time at. Times in the
+// past are clamped to now.
+func (e *Engine) ScheduleAt(at time.Duration, fn func()) *Event {
+	return e.Schedule(at-e.now, fn)
+}
+
+// Cancel removes a pending event so it never fires. Cancelling an event
+// that already fired (or was already cancelled) is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled {
+		return
+	}
+	ev.canceled = true
+	if ev.index >= 0 {
+		heap.Remove(&e.events, ev.index)
+		ev.index = -1
+	}
+}
+
+// Pending reports the number of events waiting to fire.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// step pops and dispatches the next event. It reports whether an event was
+// dispatched.
+func (e *Engine) step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		if ev.at < e.now {
+			// Heap invariant guarantees this cannot happen; guard anyway.
+			panic(fmt.Sprintf("sim: event at %v fired after clock %v", ev.at, e.now))
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run dispatches events until none remain. It returns ErrDeadlock if live
+// processes remain blocked with no way to wake them.
+func (e *Engine) Run() error {
+	return e.RunUntil(time.Duration(math.MaxInt64))
+}
+
+// RunUntil dispatches events with timestamps <= limit, then advances the
+// clock to limit if it ran out of events earlier. It returns ErrDeadlock if
+// it stops with live processes still blocked and no pending events.
+func (e *Engine) RunUntil(limit time.Duration) error {
+	if e.running {
+		return errors.New("sim: engine already running")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.events) > 0 && e.events[0].at <= limit {
+		e.step()
+	}
+	if len(e.events) == 0 {
+		if e.liveProcs > 0 {
+			return ErrDeadlock
+		}
+		if limit != time.Duration(math.MaxInt64) && limit > e.now {
+			e.now = limit
+		}
+		return nil
+	}
+	if limit > e.now {
+		e.now = limit
+	}
+	return nil
+}

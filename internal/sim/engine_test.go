@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(3*time.Second, func() { got = append(got, 3) })
+	e.Schedule(1*time.Second, func() { got = append(got, 1) })
+	e.Schedule(2*time.Second, func() { got = append(got, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("Now = %v, want 3s", e.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant order = %v, want ascending", got)
+		}
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(-time.Second, func() { fired = true })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !fired {
+		t.Error("negative-delay event never fired")
+	}
+	if e.Now() != 0 {
+		t.Errorf("Now = %v, want 0", e.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(time.Second, func() { fired = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double cancel is a no-op
+	e.Cancel(nil)
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	var evs []*Event
+	for i := 0; i < 5; i++ {
+		i := i
+		evs = append(evs, e.Schedule(time.Duration(i+1)*time.Second, func() { got = append(got, i) }))
+	}
+	e.Cancel(evs[2])
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScheduleAt(t *testing.T) {
+	e := NewEngine()
+	var at time.Duration
+	e.Schedule(time.Second, func() {
+		e.ScheduleAt(5*time.Second, func() { at = e.Now() })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != 5*time.Second {
+		t.Errorf("fired at %v, want 5s", at)
+	}
+}
+
+func TestScheduleAtPastClampsToNow(t *testing.T) {
+	e := NewEngine()
+	var at time.Duration
+	e.Schedule(3*time.Second, func() {
+		e.ScheduleAt(time.Second, func() { at = e.Now() })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != 3*time.Second {
+		t.Errorf("fired at %v, want clamp to 3s", at)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	for _, d := range []time.Duration{1, 2, 3, 4} {
+		d := d * time.Second
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	if err := e.RunUntil(2 * time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want 2 events", fired)
+	}
+	if e.Now() != 2*time.Second {
+		t.Errorf("Now = %v, want 2s", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", e.Pending())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(fired) != 4 {
+		t.Errorf("fired %v, want all 4", fired)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	e := NewEngine()
+	if err := e.RunUntil(10 * time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if e.Now() != 10*time.Second {
+		t.Errorf("Now = %v, want 10s", e.Now())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var chain func()
+	chain = func() {
+		depth++
+		if depth < 100 {
+			e.Schedule(time.Millisecond, chain)
+		}
+	}
+	e.Schedule(0, chain)
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if depth != 100 {
+		t.Errorf("depth = %d, want 100", depth)
+	}
+	if e.Now() != 99*time.Millisecond {
+		t.Errorf("Now = %v, want 99ms", e.Now())
+	}
+}
+
+// Property: dispatch order equals sorted order of scheduled times, with
+// scheduling order breaking ties.
+func TestQuickDispatchOrderIsSorted(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := NewEngine()
+		var fired []time.Duration
+		for _, d := range delays {
+			d := time.Duration(d) * time.Millisecond
+			e.Schedule(d, func() { fired = append(fired, d) })
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		if len(fired) != len(delays) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cancelling a random subset fires exactly the complement.
+func TestQuickCancelSubset(t *testing.T) {
+	f := func(n uint8, seed int64) bool {
+		count := int(n%64) + 1
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		firedCount := 0
+		var evs []*Event
+		for i := 0; i < count; i++ {
+			evs = append(evs, e.Schedule(time.Duration(rng.Intn(1000))*time.Millisecond, func() { firedCount++ }))
+		}
+		cancelled := 0
+		for _, ev := range evs {
+			if rng.Intn(2) == 0 {
+				e.Cancel(ev)
+				cancelled++
+			}
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return firedCount == count-cancelled
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

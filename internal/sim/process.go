@@ -1,0 +1,291 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Process is a simulated thread of control. Each process runs on its own
+// goroutine, but the engine guarantees that at most one process (or event
+// callback) executes at a time, so process code needs no locking and the
+// simulation is fully deterministic.
+//
+// Process methods that block (Sleep, Await, Acquire, ...) must only be
+// called from the process's own goroutine.
+type Process struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	yield  chan struct{}
+	done   bool
+	doneSg *Signal
+}
+
+// Go spawns a new process executing fn. The process starts at the current
+// virtual time (after already-queued events at this instant).
+func (e *Engine) Go(name string, fn func(p *Process)) *Process {
+	p := &Process{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+		doneSg: NewSignal(e),
+	}
+	e.liveProcs++
+	go func() {
+		<-p.resume
+		fn(p)
+		p.done = true
+		p.eng.liveProcs--
+		p.doneSg.Fire()
+		p.yield <- struct{}{}
+	}()
+	e.Schedule(0, p.step)
+	return p
+}
+
+// step transfers control to the process goroutine and waits for it to
+// yield back. It is always invoked from the engine's event loop.
+func (p *Process) step() {
+	if p.done {
+		return
+	}
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// park gives control back to the engine. The process stays blocked until
+// something calls step again (typically a scheduled event or a signal).
+func (p *Process) park() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Engine returns the engine this process runs on.
+func (p *Process) Engine() *Engine { return p.eng }
+
+// Name returns the process name given to Go.
+func (p *Process) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Process) Now() time.Duration { return p.eng.now }
+
+// Done reports whether the process function has returned.
+func (p *Process) Done() bool { return p.done }
+
+// Completion returns a signal that fires when the process function
+// returns. Await it to join the process.
+func (p *Process) Completion() *Signal { return p.doneSg }
+
+// Sleep suspends the process for d of virtual time. Negative durations are
+// treated as zero.
+func (p *Process) Sleep(d time.Duration) {
+	p.eng.Schedule(d, p.step)
+	p.park()
+}
+
+// Yield suspends the process until all other events scheduled for the
+// current instant have run.
+func (p *Process) Yield() { p.Sleep(0) }
+
+// Await blocks until the signal fires. If the signal has already fired it
+// returns immediately.
+func (p *Process) Await(s *Signal) {
+	if s.fired {
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.park()
+}
+
+// Join blocks until all the given processes have completed.
+func (p *Process) Join(procs ...*Process) {
+	for _, q := range procs {
+		p.Await(q.Completion())
+	}
+}
+
+// Signal is a one-shot broadcast: processes Await it, Fire wakes them all.
+// Once fired, Await returns immediately forever after.
+type Signal struct {
+	eng     *Engine
+	fired   bool
+	waiters []*Process
+}
+
+// NewSignal returns an unfired signal bound to the engine.
+func NewSignal(e *Engine) *Signal { return &Signal{eng: e} }
+
+// Fired reports whether Fire has been called.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Fire wakes all current and future waiters. Firing twice is a no-op.
+// It may be called from event callbacks or from process context.
+func (s *Signal) Fire() {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	waiters := s.waiters
+	s.waiters = nil
+	for _, w := range waiters {
+		s.eng.Schedule(0, w.step)
+	}
+}
+
+// Barrier releases a batch of processes once a fixed number have arrived.
+// It is reusable: after releasing a full batch it resets for the next one.
+type Barrier struct {
+	eng     *Engine
+	n       int
+	arrived []*Process
+	rounds  int
+}
+
+// NewBarrier returns a barrier for groups of n processes. n must be >= 1.
+func NewBarrier(e *Engine, n int) *Barrier {
+	if n < 1 {
+		panic(fmt.Sprintf("sim: barrier size %d < 1", n))
+	}
+	return &Barrier{eng: e, n: n}
+}
+
+// Rounds reports how many full batches have been released.
+func (b *Barrier) Rounds() int { return b.rounds }
+
+// Wait blocks the process until n processes (including this one) have
+// arrived, then releases them all.
+func (b *Barrier) Wait(p *Process) {
+	if b.n == 1 {
+		b.rounds++
+		return
+	}
+	b.arrived = append(b.arrived, p)
+	if len(b.arrived) < b.n {
+		p.park()
+		return
+	}
+	// Last arrival releases everyone else and continues.
+	waiters := b.arrived[:len(b.arrived)-1]
+	b.arrived = nil
+	b.rounds++
+	for _, w := range waiters {
+		b.eng.Schedule(0, w.step)
+	}
+}
+
+// Resource is a counting semaphore with a FIFO wait queue.
+type Resource struct {
+	eng      *Engine
+	capacity int
+	inUse    int
+	queue    []*Process
+}
+
+// NewResource returns a resource with the given capacity (>= 1).
+func NewResource(e *Engine, capacity int) *Resource {
+	if capacity < 1 {
+		panic(fmt.Sprintf("sim: resource capacity %d < 1", capacity))
+	}
+	return &Resource{eng: e, capacity: capacity}
+}
+
+// Capacity returns the total number of units.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Acquire blocks until a unit is available, then claims it.
+func (r *Resource) Acquire(p *Process) {
+	if r.inUse < r.capacity {
+		r.inUse++
+		return
+	}
+	r.queue = append(r.queue, p)
+	p.park()
+	// Ownership was transferred by Release before waking us.
+}
+
+// Release returns a unit, waking the longest-waiting process if any.
+// It may be called from any context.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: Release without matching Acquire")
+	}
+	if len(r.queue) > 0 {
+		next := r.queue[0]
+		r.queue = r.queue[1:]
+		// The unit passes directly to the waiter; inUse stays constant.
+		r.eng.Schedule(0, next.step)
+		return
+	}
+	r.inUse--
+}
+
+// Queue is an unbounded FIFO channel between processes: Put never blocks,
+// Get blocks while empty.
+type Queue[T any] struct {
+	eng     *Engine
+	items   []T
+	waiters []*Process
+	closed  bool
+}
+
+// NewQueue returns an empty queue bound to the engine.
+func NewQueue[T any](e *Engine) *Queue[T] { return &Queue[T]{eng: e} }
+
+// Len reports the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Put appends an item and wakes one waiting getter, if any. It may be
+// called from any context.
+func (q *Queue[T]) Put(v T) {
+	if q.closed {
+		panic("sim: Put on closed queue")
+	}
+	q.items = append(q.items, v)
+	q.wakeOne()
+}
+
+// Close marks the queue closed: subsequent Gets on an empty queue return
+// ok=false instead of blocking. Buffered items can still be drained.
+func (q *Queue[T]) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	waiters := q.waiters
+	q.waiters = nil
+	for _, w := range waiters {
+		q.eng.Schedule(0, w.step)
+	}
+}
+
+func (q *Queue[T]) wakeOne() {
+	if len(q.waiters) == 0 {
+		return
+	}
+	w := q.waiters[0]
+	q.waiters = q.waiters[1:]
+	q.eng.Schedule(0, w.step)
+}
+
+// Get removes and returns the oldest item, blocking while the queue is
+// empty. It returns ok=false once the queue is closed and drained.
+func (q *Queue[T]) Get(p *Process) (v T, ok bool) {
+	for len(q.items) == 0 {
+		if q.closed {
+			return v, false
+		}
+		q.waiters = append(q.waiters, p)
+		p.park()
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	// Another waiter may be runnable if more items remain.
+	if len(q.items) > 0 {
+		q.wakeOne()
+	}
+	return v, true
+}

@@ -1,0 +1,332 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// run drives the engine and fails the test on error.
+func run(t *testing.T, e *Engine) {
+	t.Helper()
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestProcessSleep(t *testing.T) {
+	e := NewEngine()
+	var woke time.Duration
+	e.Go("sleeper", func(p *Process) {
+		p.Sleep(5 * time.Second)
+		woke = p.Now()
+	})
+	run(t, e)
+	if woke != 5*time.Second {
+		t.Errorf("woke at %v, want 5s", woke)
+	}
+}
+
+func TestProcessInterleaving(t *testing.T) {
+	e := NewEngine()
+	var trace []string
+	e.Go("a", func(p *Process) {
+		trace = append(trace, "a0")
+		p.Sleep(2 * time.Second)
+		trace = append(trace, "a2")
+	})
+	e.Go("b", func(p *Process) {
+		trace = append(trace, "b0")
+		p.Sleep(1 * time.Second)
+		trace = append(trace, "b1")
+		p.Sleep(2 * time.Second)
+		trace = append(trace, "b3")
+	})
+	run(t, e)
+	want := []string{"a0", "b0", "b1", "a2", "b3"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestSignalAwaitAndFire(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal(e)
+	var woke [2]time.Duration
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Go("waiter", func(p *Process) {
+			p.Await(s)
+			woke[i] = p.Now()
+		})
+	}
+	e.Go("firer", func(p *Process) {
+		p.Sleep(3 * time.Second)
+		s.Fire()
+	})
+	run(t, e)
+	for i, w := range woke {
+		if w != 3*time.Second {
+			t.Errorf("waiter %d woke at %v, want 3s", i, w)
+		}
+	}
+	if !s.Fired() {
+		t.Error("signal not marked fired")
+	}
+}
+
+func TestAwaitAlreadyFired(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal(e)
+	s.Fire()
+	s.Fire() // double fire is a no-op
+	var woke time.Duration = -1
+	e.Go("late", func(p *Process) {
+		p.Sleep(time.Second)
+		p.Await(s) // must not block
+		woke = p.Now()
+	})
+	run(t, e)
+	if woke != time.Second {
+		t.Errorf("late waiter woke at %v, want 1s", woke)
+	}
+}
+
+func TestProcessJoin(t *testing.T) {
+	e := NewEngine()
+	var joined time.Duration
+	a := e.Go("a", func(p *Process) { p.Sleep(2 * time.Second) })
+	b := e.Go("b", func(p *Process) { p.Sleep(5 * time.Second) })
+	e.Go("joiner", func(p *Process) {
+		p.Join(a, b)
+		joined = p.Now()
+	})
+	run(t, e)
+	if joined != 5*time.Second {
+		t.Errorf("joined at %v, want 5s", joined)
+	}
+	if !a.Done() || !b.Done() {
+		t.Error("processes not marked done")
+	}
+}
+
+func TestBarrierReleasesBatch(t *testing.T) {
+	e := NewEngine()
+	b := NewBarrier(e, 3)
+	var woke []time.Duration
+	for i := 0; i < 3; i++ {
+		delay := time.Duration(i+1) * time.Second
+		e.Go("w", func(p *Process) {
+			p.Sleep(delay)
+			b.Wait(p)
+			woke = append(woke, p.Now())
+		})
+	}
+	run(t, e)
+	if len(woke) != 3 {
+		t.Fatalf("only %d processes released", len(woke))
+	}
+	for _, w := range woke {
+		if w != 3*time.Second {
+			t.Errorf("released at %v, want 3s (last arrival)", w)
+		}
+	}
+	if b.Rounds() != 1 {
+		t.Errorf("Rounds = %d, want 1", b.Rounds())
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	e := NewEngine()
+	b := NewBarrier(e, 2)
+	rounds := 0
+	for i := 0; i < 2; i++ {
+		e.Go("w", func(p *Process) {
+			for r := 0; r < 5; r++ {
+				p.Sleep(time.Second)
+				b.Wait(p)
+			}
+			rounds++
+		})
+	}
+	run(t, e)
+	if rounds != 2 {
+		t.Fatalf("processes finished = %d, want 2", rounds)
+	}
+	if b.Rounds() != 5 {
+		t.Errorf("Rounds = %d, want 5", b.Rounds())
+	}
+}
+
+func TestBarrierSizeOne(t *testing.T) {
+	e := NewEngine()
+	b := NewBarrier(e, 1)
+	done := false
+	e.Go("solo", func(p *Process) {
+		b.Wait(p)
+		done = true
+	})
+	run(t, e)
+	if !done {
+		t.Error("size-1 barrier blocked")
+	}
+}
+
+func TestResourceMutualExclusion(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 1)
+	var holds []time.Duration
+	for i := 0; i < 3; i++ {
+		e.Go("worker", func(p *Process) {
+			r.Acquire(p)
+			holds = append(holds, p.Now())
+			p.Sleep(time.Second)
+			r.Release()
+		})
+	}
+	run(t, e)
+	want := []time.Duration{0, time.Second, 2 * time.Second}
+	if len(holds) != len(want) {
+		t.Fatalf("holds = %v", holds)
+	}
+	for i := range want {
+		if holds[i] != want[i] {
+			t.Fatalf("holds = %v, want %v (serialized)", holds, want)
+		}
+	}
+}
+
+func TestResourceCapacityTwo(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 2)
+	var done []time.Duration
+	for i := 0; i < 4; i++ {
+		e.Go("worker", func(p *Process) {
+			r.Acquire(p)
+			p.Sleep(time.Second)
+			r.Release()
+			done = append(done, p.Now())
+		})
+	}
+	run(t, e)
+	// Two run in [0,1), two in [1,2).
+	want := []time.Duration{time.Second, time.Second, 2 * time.Second, 2 * time.Second}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("done = %v, want %v", done, want)
+		}
+	}
+	if r.InUse() != 0 {
+		t.Errorf("InUse = %d after all released", r.InUse())
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int](e)
+	var got []int
+	e.Go("consumer", func(p *Process) {
+		for {
+			v, ok := q.Get(p)
+			if !ok {
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	e.Go("producer", func(p *Process) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(time.Second)
+			q.Put(i)
+		}
+		q.Close()
+	})
+	run(t, e)
+	if len(got) != 5 {
+		t.Fatalf("got %v, want 5 items", got)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got %v, want FIFO order", got)
+		}
+	}
+}
+
+func TestQueueMultipleConsumers(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int](e)
+	total := 0
+	for i := 0; i < 3; i++ {
+		e.Go("consumer", func(p *Process) {
+			for {
+				v, ok := q.Get(p)
+				if !ok {
+					return
+				}
+				total += v
+				p.Sleep(time.Second)
+			}
+		})
+	}
+	e.Go("producer", func(p *Process) {
+		for i := 1; i <= 9; i++ {
+			q.Put(i)
+		}
+		q.Close()
+	})
+	run(t, e)
+	if total != 45 {
+		t.Errorf("total = %d, want 45", total)
+	}
+}
+
+func TestQueueCloseUnblocksGetters(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int](e)
+	unblocked := 0
+	for i := 0; i < 2; i++ {
+		e.Go("consumer", func(p *Process) {
+			_, ok := q.Get(p)
+			if !ok {
+				unblocked++
+			}
+		})
+	}
+	e.Go("closer", func(p *Process) {
+		p.Sleep(time.Second)
+		q.Close()
+	})
+	run(t, e)
+	if unblocked != 2 {
+		t.Errorf("unblocked = %d, want 2", unblocked)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal(e)
+	e.Go("stuck", func(p *Process) {
+		p.Await(s) // never fired
+	})
+	if err := e.Run(); err != ErrDeadlock {
+		t.Errorf("Run = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestProcessCompletionSignal(t *testing.T) {
+	e := NewEngine()
+	p1 := e.Go("short", func(p *Process) { p.Sleep(time.Second) })
+	var saw time.Duration
+	e.Go("watcher", func(p *Process) {
+		p.Await(p1.Completion())
+		saw = p.Now()
+	})
+	run(t, e)
+	if saw != time.Second {
+		t.Errorf("completion observed at %v, want 1s", saw)
+	}
+}

@@ -1,0 +1,55 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"stash/internal/sim"
+)
+
+// BenchmarkFlowLifecycle measures start-to-completion cost of sequential
+// flows on one link.
+func BenchmarkFlowLifecycle(b *testing.B) {
+	e := sim.NewEngine()
+	n := New(e)
+	l := n.NewLink("l", 1e9, time.Microsecond)
+	done := 0
+	var next func()
+	next = func() {
+		f := n.StartFlow(1e6, []*Link{l})
+		e.Schedule(0, func() {
+			_ = f
+		})
+		done++
+		if done < b.N {
+			e.Schedule(time.Millisecond, next)
+		}
+	}
+	e.Schedule(0, next)
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRecompute16Way measures the max-min fair recomputation with a
+// 16-flow contention set (the p2.16xlarge ring shape).
+func BenchmarkRecompute16Way(b *testing.B) {
+	e := sim.NewEngine()
+	n := New(e)
+	bus := n.NewLink("bus", 1e12, 0)
+	var up, down []*Link
+	for i := 0; i < 16; i++ {
+		up = append(up, n.NewLink("up", 1e10, 0))
+		down = append(down, n.NewLink("down", 1e10, 0))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 16; j++ {
+			n.StartFlow(1e5, []*Link{up[j], bus, down[(j+1)%16]})
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

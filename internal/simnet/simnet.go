@@ -1,0 +1,380 @@
+// Package simnet models data transfer over a network of capacity-limited
+// links using a fluid-flow approximation: at any instant every active flow
+// transfers at its max-min fair rate, computed by progressive filling over
+// the links of its route. When flows start or finish the rates are
+// recomputed, so contention effects (e.g. 16 GPUs sharing one PCIe root
+// complex) emerge naturally.
+//
+// simnet runs on the virtual clock of an internal/sim Engine. Rate
+// recomputation is coalesced: any number of flow arrivals and departures
+// at one instant trigger a single progressive-filling pass.
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"stash/internal/sim"
+)
+
+// epsilonBytes is the residual below which a flow counts as finished,
+// absorbing float rounding from repeated settlement.
+const epsilonBytes = 1e-6
+
+// Link is a unidirectionally-modeled communication link with a fixed
+// capacity. (Full-duplex hardware is modeled as two Links or, where the
+// paper's contention story is about an aggregate bus budget, one shared
+// Link.)
+type Link struct {
+	name     string
+	capacity float64 // bytes per second
+	latency  time.Duration
+
+	// Progressive-filling scratch state.
+	residual float64
+	unfrozen int
+
+	// Statistics.
+	bytesCarried float64
+	flowsCarried int
+}
+
+// Name returns the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// Capacity returns the link capacity in bytes per second.
+func (l *Link) Capacity() float64 { return l.capacity }
+
+// Latency returns the link's per-traversal propagation latency.
+func (l *Link) Latency() time.Duration { return l.latency }
+
+// BytesCarried returns the total bytes transferred over the link by
+// completed and in-progress flows (settled so far).
+func (l *Link) BytesCarried() float64 { return l.bytesCarried }
+
+// FlowsCarried returns the number of flows that have used this link.
+func (l *Link) FlowsCarried() int { return l.flowsCarried }
+
+// Flow is an in-flight transfer across a route of links.
+type Flow struct {
+	route     []*Link
+	remaining float64
+	bytes     float64
+	rate      float64
+	index     int // position in Network.flows, -1 when inactive
+	frozen    bool
+	completed bool
+	started   time.Duration
+	finished  time.Duration
+	done      *sim.Signal
+}
+
+// Done returns a signal fired when the flow completes.
+func (f *Flow) Done() *sim.Signal { return f.done }
+
+// Completed reports whether the flow has finished.
+func (f *Flow) Completed() bool { return f.completed }
+
+// Rate returns the flow's current fair-share rate in bytes/sec.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Duration returns the wall-clock (virtual) time the flow took, valid
+// after completion.
+func (f *Flow) Duration() time.Duration { return f.finished - f.started }
+
+// Throughput returns achieved bytes/sec over the flow's lifetime, valid
+// after completion. Zero-duration flows report +Inf for non-zero sizes.
+func (f *Flow) Throughput() float64 {
+	d := f.Duration().Seconds()
+	if d == 0 {
+		if f.bytes == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return f.bytes / d
+}
+
+// Network owns a set of links and the flows crossing them.
+type Network struct {
+	eng        *sim.Engine
+	links      []*Link
+	flows      []*Flow
+	lastSettle time.Duration
+	completion *sim.Event
+	dirty      bool
+}
+
+// New returns an empty network bound to the engine.
+func New(eng *sim.Engine) *Network {
+	return &Network{eng: eng}
+}
+
+// NewLink adds a link with the given capacity (bytes/sec) and latency.
+func (n *Network) NewLink(name string, capacity float64, latency time.Duration) *Link {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("simnet: link %q capacity %v <= 0", name, capacity))
+	}
+	l := &Link{name: name, capacity: capacity, latency: latency}
+	n.links = append(n.links, l)
+	return l
+}
+
+// RouteLatency returns the total propagation latency across a route.
+func RouteLatency(route []*Link) time.Duration {
+	var d time.Duration
+	for _, l := range route {
+		d += l.latency
+	}
+	return d
+}
+
+// StartFlow begins transferring bytes across route. The flow first waits
+// out the route's propagation latency, then competes for bandwidth. The
+// returned flow's Done signal fires on completion. A zero-byte flow
+// completes after the latency alone. Route must be non-empty unless
+// bytes == 0.
+func (n *Network) StartFlow(bytes float64, route []*Link) *Flow {
+	return n.StartFlowLatency(bytes, route, RouteLatency(route))
+}
+
+// StartFlowLatency is StartFlow with an explicit startup latency instead
+// of the route's propagation latency. Pipelined protocols (e.g. ring
+// all-reduce slices after the first) use zero here because their path is
+// already streaming.
+func (n *Network) StartFlowLatency(bytes float64, route []*Link, latency time.Duration) *Flow {
+	if bytes < 0 {
+		panic(fmt.Sprintf("simnet: negative flow size %v", bytes))
+	}
+	if len(route) == 0 && bytes > 0 {
+		panic("simnet: non-zero flow with empty route")
+	}
+	if latency < 0 {
+		latency = 0
+	}
+	f := &Flow{
+		route:     route,
+		remaining: bytes,
+		bytes:     bytes,
+		index:     -1,
+		started:   n.eng.Now(),
+		done:      sim.NewSignal(n.eng),
+	}
+	n.eng.Schedule(latency, func() { n.activate(f) })
+	return f
+}
+
+// Transfer starts a flow and blocks the process until it completes.
+func (n *Network) Transfer(p *sim.Process, bytes float64, route []*Link) *Flow {
+	f := n.StartFlow(bytes, route)
+	p.Await(f.done)
+	return f
+}
+
+func (n *Network) activate(f *Flow) {
+	for _, l := range f.route {
+		l.flowsCarried++
+	}
+	if f.remaining <= epsilonBytes {
+		n.finish(f)
+		return
+	}
+	n.settle()
+	f.index = len(n.flows)
+	n.flows = append(n.flows, f)
+	n.markDirty()
+}
+
+func (n *Network) finish(f *Flow) {
+	f.completed = true
+	f.finished = n.eng.Now()
+	f.rate = 0
+	f.done.Fire()
+}
+
+// removeFlow drops an active flow by swap-removal.
+func (n *Network) removeFlow(f *Flow) {
+	last := len(n.flows) - 1
+	i := f.index
+	n.flows[i] = n.flows[last]
+	n.flows[i].index = i
+	n.flows[last] = nil
+	n.flows = n.flows[:last]
+	f.index = -1
+}
+
+// markDirty schedules a single rate recomputation at the current instant,
+// coalescing any number of same-instant arrivals and departures.
+func (n *Network) markDirty() {
+	if n.dirty {
+		return
+	}
+	n.dirty = true
+	n.eng.Schedule(0, func() {
+		n.dirty = false
+		n.settle()
+		n.recompute()
+	})
+}
+
+// settle advances all active flows' progress from lastSettle to now at
+// their current rates.
+func (n *Network) settle() {
+	now := n.eng.Now()
+	dt := (now - n.lastSettle).Seconds()
+	n.lastSettle = now
+	if dt <= 0 {
+		return
+	}
+	for _, f := range n.flows {
+		moved := f.rate * dt
+		if moved > f.remaining {
+			moved = f.remaining
+		}
+		f.remaining -= moved
+		for _, l := range f.route {
+			l.bytesCarried += moved
+		}
+	}
+}
+
+// recompute runs progressive filling to assign max-min fair rates, then
+// reschedules the next completion event.
+func (n *Network) recompute() {
+	if n.completion != nil {
+		n.eng.Cancel(n.completion)
+		n.completion = nil
+	}
+	if len(n.flows) == 0 {
+		return
+	}
+
+	// Reset scratch state on links touched by active flows.
+	for _, f := range n.flows {
+		f.rate = 0
+		f.frozen = false
+		for _, l := range f.route {
+			l.residual = l.capacity
+			l.unfrozen = 0
+		}
+	}
+	for _, f := range n.flows {
+		for _, l := range f.route {
+			l.unfrozen++
+		}
+	}
+
+	remaining := len(n.flows)
+	for remaining > 0 {
+		// Find the tightest link share among links with unfrozen flows.
+		share := math.Inf(1)
+		for _, f := range n.flows {
+			if f.frozen {
+				continue
+			}
+			for _, l := range f.route {
+				if l.unfrozen > 0 {
+					if s := l.residual / float64(l.unfrozen); s < share {
+						share = s
+					}
+				}
+			}
+		}
+		if math.IsInf(share, 1) {
+			// No capacity-constrained links (cannot happen with non-empty
+			// routes); freeze at an arbitrary large rate to terminate.
+			for _, f := range n.flows {
+				if !f.frozen {
+					f.frozen = true
+					f.rate = math.MaxFloat64
+					remaining--
+				}
+			}
+			break
+		}
+		if share < 0 {
+			share = 0
+		}
+		// Freeze every unfrozen flow crossing a bottleneck link.
+		progressed := false
+		for _, f := range n.flows {
+			if f.frozen {
+				continue
+			}
+			bottlenecked := false
+			for _, l := range f.route {
+				if l.unfrozen > 0 && l.residual/float64(l.unfrozen) <= share*(1+1e-12) {
+					bottlenecked = true
+					break
+				}
+			}
+			if !bottlenecked {
+				continue
+			}
+			f.frozen = true
+			f.rate = share
+			remaining--
+			progressed = true
+			for _, l := range f.route {
+				l.residual -= share
+				if l.residual < 0 {
+					l.residual = 0
+				}
+				l.unfrozen--
+			}
+		}
+		if !progressed {
+			// Numerical corner: freeze everything left at the share.
+			for _, f := range n.flows {
+				if !f.frozen {
+					f.frozen = true
+					f.rate = share
+					remaining--
+				}
+			}
+		}
+	}
+
+	// Schedule the earliest completion.
+	next := math.Inf(1)
+	for _, f := range n.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		if t := f.remaining / f.rate; t < next {
+			next = t
+		}
+	}
+	if math.IsInf(next, 1) {
+		return
+	}
+	// Clamp to a horizon far beyond any experiment but safely inside
+	// time.Duration's range; enormous flows re-settle there instead of
+	// overflowing into a negative (immediate) delay.
+	const maxHorizonSeconds = 1e9 // ~31 years
+	if next > maxHorizonSeconds {
+		next = maxHorizonSeconds
+	}
+	delay := time.Duration(math.Ceil(next * float64(time.Second)))
+	n.completion = n.eng.Schedule(delay, n.onCompletion)
+}
+
+func (n *Network) onCompletion() {
+	n.completion = nil
+	n.settle()
+	for i := 0; i < len(n.flows); {
+		f := n.flows[i]
+		if f.remaining <= epsilonBytes {
+			n.removeFlow(f)
+			n.finish(f)
+			continue // swapped element now at i
+		}
+		i++
+	}
+	n.recompute()
+}
+
+// ActiveFlows reports the number of flows currently competing for
+// bandwidth (excludes flows still in their latency phase).
+func (n *Network) ActiveFlows() int { return len(n.flows) }

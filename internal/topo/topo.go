@@ -1,0 +1,345 @@
+// Package topo builds the device-and-link topologies of simulated cloud
+// machines and clusters: PCIe trees (P2), NVLink crossbars whole or
+// degraded (P3), NVSwitch fabrics (P4), and VPC networks tying machines
+// together. It provides routing between any two devices, expressed as a
+// sequence of simnet links, so that collective operations see the same
+// contention the paper measures.
+package topo
+
+import (
+	"fmt"
+	"time"
+
+	"stash/internal/hw"
+	"stash/internal/simnet"
+)
+
+// Kind classifies a device node in the topology.
+type Kind int
+
+// Device kinds.
+const (
+	KindGPU Kind = iota + 1
+	KindHost
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindGPU:
+		return "GPU"
+	case KindHost:
+		return "Host"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Device is a node in the topology: a GPU or a host (CPU+DRAM+NIC).
+type Device struct {
+	Kind  Kind
+	Name  string
+	GPU   hw.GPUSpec // valid when Kind == KindGPU
+	Node  int        // machine index within the cluster
+	Index int        // local index within the machine (GPU local rank)
+}
+
+// Interconnect selects how a machine's GPUs talk to each other.
+type Interconnect int
+
+// Interconnect kinds for machine construction.
+const (
+	// InterconnectPCIe routes every GPU pair through the shared PCIe
+	// root complex (P2 instances).
+	InterconnectPCIe Interconnect = iota + 1
+
+	// InterconnectNVLink gives every GPU pair a dedicated NVLink
+	// connection (a full crossbar slice, as on p3.16xlarge).
+	InterconnectNVLink
+
+	// InterconnectNVLinkDegraded models the p3.8xlarge slicing anomaly
+	// (§V-B1): the instance's GPUs straddle two half-crossbars, so only
+	// same-half pairs have NVLink; cross-half pairs fall back to PCIe.
+	InterconnectNVLinkDegraded
+
+	// InterconnectNVSwitch connects all pairs through an NVSwitch fabric
+	// (P4 instances).
+	InterconnectNVSwitch
+)
+
+// String returns the interconnect name.
+func (i Interconnect) String() string {
+	switch i {
+	case InterconnectPCIe:
+		return "PCIe"
+	case InterconnectNVLink:
+		return "NVLink"
+	case InterconnectNVLinkDegraded:
+		return "NVLink(degraded)"
+	case InterconnectNVSwitch:
+		return "NVSwitch"
+	default:
+		return fmt.Sprintf("Interconnect(%d)", int(i))
+	}
+}
+
+// MachineSpec describes one machine to build.
+type MachineSpec struct {
+	GPU          hw.GPUSpec
+	NGPUs        int
+	Interconnect Interconnect
+
+	// PCIe is the per-GPU PCIe attachment (used for host transfers and,
+	// on PCIe-interconnect machines, for GPU peer traffic).
+	PCIe hw.LinkSpec
+
+	// RootComplexBandwidth is the aggregate PCIe root-complex budget all
+	// of the machine's device traffic shares, in bytes/s. On
+	// p2.16xlarge this budget is not scaled up with the GPU count, which
+	// produces the Fig-7 per-GPU bandwidth collapse.
+	RootComplexBandwidth float64
+
+	// NVLink is the GPU-pair attachment for NVLink interconnects.
+	NVLink hw.LinkSpec
+
+	// NetworkGbps is the instance's headline network rating.
+	NetworkGbps float64
+}
+
+// Machine is a built machine: one host and its GPUs.
+type Machine struct {
+	Spec MachineSpec
+	Node int
+	Host *Device
+	GPUs []*Device
+
+	rootBus *simnet.Link // shared PCIe root complex
+	gpuUp   []*simnet.Link
+	gpuDown []*simnet.Link
+	nicOut  *simnet.Link
+	nicIn   *simnet.Link
+}
+
+// Topology is a built cluster: machines joined by a network fabric.
+type Topology struct {
+	Net      *simnet.Network
+	Machines []*Machine
+
+	routes map[[2]*Device][]*simnet.Link
+}
+
+// BuildCluster constructs machines and the VPC fabric between them on the
+// given simnet network. Machines are indexed by position.
+func BuildCluster(net *simnet.Network, specs []MachineSpec) (*Topology, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("topo: no machines")
+	}
+	t := &Topology{
+		Net:    net,
+		routes: make(map[[2]*Device][]*simnet.Link),
+	}
+	for node, spec := range specs {
+		m, err := buildMachine(net, node, spec)
+		if err != nil {
+			return nil, fmt.Errorf("machine %d: %w", node, err)
+		}
+		t.Machines = append(t.Machines, m)
+	}
+	t.buildIntraMachineRoutes()
+	t.buildInterMachineRoutes()
+	return t, nil
+}
+
+func buildMachine(net *simnet.Network, node int, spec MachineSpec) (*Machine, error) {
+	if spec.NGPUs < 1 {
+		return nil, fmt.Errorf("NGPUs %d < 1", spec.NGPUs)
+	}
+	if spec.RootComplexBandwidth <= 0 {
+		return nil, fmt.Errorf("RootComplexBandwidth %v <= 0", spec.RootComplexBandwidth)
+	}
+	switch spec.Interconnect {
+	case InterconnectPCIe, InterconnectNVLink, InterconnectNVLinkDegraded, InterconnectNVSwitch:
+	default:
+		return nil, fmt.Errorf("unknown interconnect %v", spec.Interconnect)
+	}
+	if spec.Interconnect == InterconnectNVLinkDegraded && spec.NGPUs < 2 {
+		return nil, fmt.Errorf("degraded NVLink needs >= 2 GPUs")
+	}
+	m := &Machine{
+		Spec: spec,
+		Node: node,
+		Host: &Device{Kind: KindHost, Name: fmt.Sprintf("node%d/host", node), Node: node},
+	}
+	m.rootBus = net.NewLink(fmt.Sprintf("node%d/rootcomplex", node), spec.RootComplexBandwidth, spec.PCIe.Latency)
+	for i := 0; i < spec.NGPUs; i++ {
+		m.GPUs = append(m.GPUs, &Device{
+			Kind:  KindGPU,
+			Name:  fmt.Sprintf("node%d/gpu%d", node, i),
+			GPU:   spec.GPU,
+			Node:  node,
+			Index: i,
+		})
+		m.gpuUp = append(m.gpuUp, net.NewLink(fmt.Sprintf("node%d/gpu%d/pcie-up", node, i), spec.PCIe.Bandwidth, spec.PCIe.Latency))
+		m.gpuDown = append(m.gpuDown, net.NewLink(fmt.Sprintf("node%d/gpu%d/pcie-down", node, i), spec.PCIe.Bandwidth, spec.PCIe.Latency))
+	}
+	if spec.NetworkGbps > 0 {
+		nl := hw.NetworkLink(spec.NetworkGbps)
+		m.nicOut = net.NewLink(fmt.Sprintf("node%d/nic-out", node), nl.Bandwidth, nl.Latency)
+		m.nicIn = net.NewLink(fmt.Sprintf("node%d/nic-in", node), nl.Bandwidth, nl.Latency)
+	}
+	return m, nil
+}
+
+// pcieRoute is the staged path between two GPUs (or host and GPU) through
+// the shared root complex.
+func (m *Machine) pcieRoute(from, to int) []*simnet.Link {
+	switch {
+	case from >= 0 && to >= 0:
+		return []*simnet.Link{m.gpuUp[from], m.rootBus, m.gpuDown[to]}
+	case from < 0: // host -> GPU
+		return []*simnet.Link{m.rootBus, m.gpuDown[to]}
+	default: // GPU -> host
+		return []*simnet.Link{m.gpuUp[from], m.rootBus}
+	}
+}
+
+// sameNVLinkHalf reports whether two local GPU indices live on the same
+// half-crossbar under the degraded 8xlarge slicing.
+func sameNVLinkHalf(i, j, n int) bool {
+	half := (n + 1) / 2
+	return (i < half) == (j < half)
+}
+
+func (t *Topology) buildIntraMachineRoutes() {
+	for _, m := range t.Machines {
+		n := m.Spec.NGPUs
+		// Host <-> GPU always goes over PCIe.
+		for i := 0; i < n; i++ {
+			t.routes[[2]*Device{m.Host, m.GPUs[i]}] = m.pcieRoute(-1, i)
+			t.routes[[2]*Device{m.GPUs[i], m.Host}] = m.pcieRoute(i, -1)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				key := [2]*Device{m.GPUs[i], m.GPUs[j]}
+				switch m.Spec.Interconnect {
+				case InterconnectPCIe:
+					t.routes[key] = m.pcieRoute(i, j)
+				case InterconnectNVLink, InterconnectNVSwitch:
+					t.routes[key] = []*simnet.Link{t.nvlLink(m, i, j)}
+				case InterconnectNVLinkDegraded:
+					if sameNVLinkHalf(i, j, n) {
+						t.routes[key] = []*simnet.Link{t.nvlLink(m, i, j)}
+					} else {
+						t.routes[key] = m.pcieRoute(i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// nvlLink lazily creates the dedicated point-to-point link for a GPU pair
+// direction on NVLink/NVSwitch machines.
+func (t *Topology) nvlLink(m *Machine, i, j int) *simnet.Link {
+	spec := m.Spec.NVLink
+	if m.Spec.Interconnect == InterconnectNVSwitch {
+		spec = hw.NVSwitchLink
+	}
+	name := fmt.Sprintf("node%d/nvlink-%d-%d", m.Node, i, j)
+	// Each ordered pair gets its own link: NVLink is full-duplex and the
+	// crossbar gives every pair dedicated bandwidth.
+	l := t.Net.NewLink(name, spec.Bandwidth, spec.Latency)
+	return l
+}
+
+func (t *Topology) buildInterMachineRoutes() {
+	for _, a := range t.Machines {
+		for _, b := range t.Machines {
+			if a == b {
+				continue
+			}
+			if a.nicOut == nil || b.nicIn == nil {
+				continue
+			}
+			for i, gi := range a.GPUs {
+				for j, gj := range b.GPUs {
+					route := []*simnet.Link{a.gpuUp[i], a.rootBus, a.nicOut, b.nicIn, b.rootBus, b.gpuDown[j]}
+					t.routes[[2]*Device{gi, gj}] = route
+				}
+			}
+			t.routes[[2]*Device{a.Host, b.Host}] = []*simnet.Link{a.nicOut, b.nicIn}
+			// Host to remote GPU and back (parameter-server traffic).
+			for j, gj := range b.GPUs {
+				t.routes[[2]*Device{a.Host, gj}] = []*simnet.Link{a.nicOut, b.nicIn, b.rootBus, b.gpuDown[j]}
+				t.routes[[2]*Device{gj, a.Host}] = []*simnet.Link{b.gpuUp[j], b.rootBus, b.nicOut, a.nicIn}
+			}
+		}
+	}
+}
+
+// Route returns the link path from one device to another, or an error if
+// no route exists (e.g. machines without network links).
+func (t *Topology) Route(from, to *Device) ([]*simnet.Link, error) {
+	if from == to {
+		return nil, fmt.Errorf("topo: route from %s to itself", from.Name)
+	}
+	r, ok := t.routes[[2]*Device{from, to}]
+	if !ok {
+		return nil, fmt.Errorf("topo: no route %s -> %s", from.Name, to.Name)
+	}
+	return r, nil
+}
+
+// AllGPUs returns every GPU in the cluster in (node, index) order; the
+// position in the slice is the GPU's global rank.
+func (t *Topology) AllGPUs() []*Device {
+	var gpus []*Device
+	for _, m := range t.Machines {
+		gpus = append(gpus, m.GPUs...)
+	}
+	return gpus
+}
+
+// NumGPUs returns the total GPU count across the cluster.
+func (t *Topology) NumGPUs() int {
+	n := 0
+	for _, m := range t.Machines {
+		n += m.Spec.NGPUs
+	}
+	return n
+}
+
+// Machine returns the machine a device belongs to.
+func (t *Topology) Machine(d *Device) *Machine { return t.Machines[d.Node] }
+
+// SupportsAsyncCollectives reports whether gradient transfers on this
+// cluster can overlap with GPU compute. True only for a single machine
+// whose GPU pairs are all directly NVLink/NVSwitch connected: PCIe peer
+// traffic (P2, the degraded p3.8xlarge slice) and any network path stage
+// through host memory with synchronous copies that block the compute
+// stream, which is why the paper's per-layer cost model is additive
+// (§VI-A2).
+func (t *Topology) SupportsAsyncCollectives() bool {
+	if len(t.Machines) != 1 {
+		return false
+	}
+	switch t.Machines[0].Spec.Interconnect {
+	case InterconnectNVLink, InterconnectNVSwitch:
+		return true
+	default:
+		return false
+	}
+}
+
+// RouteLatency returns the propagation latency of the path between two
+// devices, or 0 when no route exists.
+func (t *Topology) RouteLatency(from, to *Device) time.Duration {
+	r, err := t.Route(from, to)
+	if err != nil {
+		return 0
+	}
+	return simnet.RouteLatency(r)
+}

@@ -1,0 +1,299 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"stash/internal/hw"
+	"stash/internal/sim"
+	"stash/internal/simnet"
+)
+
+func p2Spec(n int, rootBW float64) MachineSpec {
+	return MachineSpec{
+		GPU:                  hw.K80,
+		NGPUs:                n,
+		Interconnect:         InterconnectPCIe,
+		PCIe:                 hw.PCIeGen3x16,
+		RootComplexBandwidth: rootBW,
+		NetworkGbps:          10,
+	}
+}
+
+func p3Spec(n int, ic Interconnect) MachineSpec {
+	return MachineSpec{
+		GPU:                  hw.V100,
+		NGPUs:                n,
+		Interconnect:         ic,
+		PCIe:                 hw.PCIeGen3x16,
+		RootComplexBandwidth: 48 * hw.GB,
+		NVLink:               hw.NVLink2,
+		NetworkGbps:          25,
+	}
+}
+
+func build(t *testing.T, specs ...MachineSpec) (*sim.Engine, *Topology) {
+	t.Helper()
+	e := sim.NewEngine()
+	net := simnet.New(e)
+	top, err := BuildCluster(net, specs)
+	if err != nil {
+		t.Fatalf("BuildCluster: %v", err)
+	}
+	return e, top
+}
+
+func TestBuildValidation(t *testing.T) {
+	e := sim.NewEngine()
+	net := simnet.New(e)
+	cases := []struct {
+		name  string
+		specs []MachineSpec
+	}{
+		{"empty", nil},
+		{"zero gpus", []MachineSpec{p2Spec(0, 24*hw.GB)}},
+		{"zero root bw", []MachineSpec{p2Spec(4, 0)}},
+		{"bad interconnect", []MachineSpec{{GPU: hw.K80, NGPUs: 2, RootComplexBandwidth: 1, Interconnect: 0}}},
+		{"degraded single gpu", []MachineSpec{{GPU: hw.V100, NGPUs: 1, RootComplexBandwidth: 1, Interconnect: InterconnectNVLinkDegraded}}},
+	}
+	for _, tc := range cases {
+		if _, err := BuildCluster(net, tc.specs); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestGPURanksAndCounts(t *testing.T) {
+	_, top := build(t, p3Spec(4, InterconnectNVLink), p3Spec(4, InterconnectNVLink))
+	gpus := top.AllGPUs()
+	if len(gpus) != 8 || top.NumGPUs() != 8 {
+		t.Fatalf("got %d GPUs, want 8", len(gpus))
+	}
+	for rank, g := range gpus {
+		if g.Node != rank/4 || g.Index != rank%4 {
+			t.Errorf("rank %d: node %d index %d, want %d/%d", rank, g.Node, g.Index, rank/4, rank%4)
+		}
+		if g.Kind != KindGPU {
+			t.Errorf("rank %d: kind %v", rank, g.Kind)
+		}
+	}
+}
+
+func TestPCIeRouteGoesThroughRootComplex(t *testing.T) {
+	_, top := build(t, p2Spec(8, 24*hw.GB))
+	m := top.Machines[0]
+	route, err := top.Route(m.GPUs[0], m.GPUs[5])
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if len(route) != 3 {
+		t.Fatalf("route length = %d, want 3 (up, root, down)", len(route))
+	}
+	if !strings.Contains(route[1].Name(), "rootcomplex") {
+		t.Errorf("middle hop = %s, want root complex", route[1].Name())
+	}
+}
+
+func TestNVLinkRouteIsDirect(t *testing.T) {
+	_, top := build(t, p3Spec(8, InterconnectNVLink))
+	m := top.Machines[0]
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if i == j {
+				continue
+			}
+			route, err := top.Route(m.GPUs[i], m.GPUs[j])
+			if err != nil {
+				t.Fatalf("Route(%d,%d): %v", i, j, err)
+			}
+			if len(route) != 1 || !strings.Contains(route[0].Name(), "nvlink") {
+				t.Errorf("route %d->%d = %v links, want 1 NVLink hop", i, j, len(route))
+			}
+			if route[0].Capacity() != hw.NVLink2.Bandwidth {
+				t.Errorf("NVLink capacity = %v, want %v", route[0].Capacity(), hw.NVLink2.Bandwidth)
+			}
+		}
+	}
+}
+
+func TestDegradedNVLinkCrossHalfUsesPCIe(t *testing.T) {
+	_, top := build(t, p3Spec(4, InterconnectNVLinkDegraded))
+	m := top.Machines[0]
+	// Same half: NVLink.
+	route, err := top.Route(m.GPUs[0], m.GPUs[1])
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if len(route) != 1 || !strings.Contains(route[0].Name(), "nvlink") {
+		t.Errorf("same-half route = %d hops (%s), want direct NVLink", len(route), route[0].Name())
+	}
+	// Cross half: PCIe through root complex.
+	route, err = top.Route(m.GPUs[1], m.GPUs[2])
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if len(route) != 3 || !strings.Contains(route[1].Name(), "rootcomplex") {
+		t.Errorf("cross-half route = %d hops, want PCIe staging", len(route))
+	}
+}
+
+func TestHostGPURoutesAlwaysPCIe(t *testing.T) {
+	_, top := build(t, p3Spec(8, InterconnectNVLink))
+	m := top.Machines[0]
+	down, err := top.Route(m.Host, m.GPUs[3])
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if len(down) != 2 || !strings.Contains(down[0].Name(), "rootcomplex") {
+		t.Errorf("host->gpu route = %v, want [root, down]", len(down))
+	}
+	up, err := top.Route(m.GPUs[3], m.Host)
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if len(up) != 2 || !strings.Contains(up[1].Name(), "rootcomplex") {
+		t.Errorf("gpu->host route = %v, want [up, root]", len(up))
+	}
+}
+
+func TestInterMachineRouteCrossesNICs(t *testing.T) {
+	_, top := build(t, p3Spec(4, InterconnectNVLink), p3Spec(4, InterconnectNVLink))
+	g0 := top.Machines[0].GPUs[0]
+	g1 := top.Machines[1].GPUs[2]
+	route, err := top.Route(g0, g1)
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if len(route) != 6 {
+		t.Fatalf("inter-machine route = %d hops, want 6", len(route))
+	}
+	if !strings.Contains(route[2].Name(), "nic-out") || !strings.Contains(route[3].Name(), "nic-in") {
+		t.Errorf("route hops 2,3 = %s,%s, want NICs", route[2].Name(), route[3].Name())
+	}
+	// The network hop is the slowest link of the route.
+	for _, l := range route[:2] {
+		if l.Capacity() <= route[2].Capacity() {
+			t.Errorf("intra hop %s (%v B/s) not faster than NIC (%v B/s)", l.Name(), l.Capacity(), route[2].Capacity())
+		}
+	}
+}
+
+func TestNoRouteWithoutNetwork(t *testing.T) {
+	spec := p3Spec(2, InterconnectNVLink)
+	spec.NetworkGbps = 0
+	_, top := build(t, spec, spec)
+	_, err := top.Route(top.Machines[0].GPUs[0], top.Machines[1].GPUs[0])
+	if err == nil {
+		t.Error("expected no-route error for machines without NICs")
+	}
+}
+
+func TestRouteToSelfIsError(t *testing.T) {
+	_, top := build(t, p3Spec(2, InterconnectNVLink))
+	g := top.Machines[0].GPUs[0]
+	if _, err := top.Route(g, g); err == nil {
+		t.Error("expected error for self route")
+	}
+}
+
+func TestRouteLatency(t *testing.T) {
+	_, top := build(t, p2Spec(4, 24*hw.GB))
+	m := top.Machines[0]
+	got := top.RouteLatency(m.GPUs[0], m.GPUs[1])
+	want := 3 * hw.PCIeGen3x16.Latency
+	if got != want {
+		t.Errorf("latency = %v, want %v", got, want)
+	}
+	if top.RouteLatency(m.GPUs[0], m.GPUs[0]) != 0 {
+		t.Error("self route latency should be 0")
+	}
+}
+
+func TestMachineLookup(t *testing.T) {
+	_, top := build(t, p3Spec(2, InterconnectNVLink), p3Spec(2, InterconnectNVLink))
+	g := top.Machines[1].GPUs[0]
+	if m := top.Machine(g); m != top.Machines[1] {
+		t.Error("Machine() returned wrong machine")
+	}
+}
+
+// The Fig-7 scenario as a topology-level integration test: concurrent
+// host->GPU transfers on a fixed root budget degrade per-GPU bandwidth as
+// GPU count grows.
+func TestRootComplexContention(t *testing.T) {
+	perGPU := func(n int) float64 {
+		e := sim.NewEngine()
+		net := simnet.New(e)
+		top, err := BuildCluster(net, []MachineSpec{p2Spec(n, 24*hw.GB)})
+		if err != nil {
+			t.Fatalf("BuildCluster: %v", err)
+		}
+		m := top.Machines[0]
+		var flows []*simnet.Flow
+		for i := 0; i < n; i++ {
+			route, err := top.Route(m.Host, m.GPUs[i])
+			if err != nil {
+				t.Fatalf("Route: %v", err)
+			}
+			flows = append(flows, net.StartFlow(1*hw.GB, route))
+		}
+		if err := e.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return flows[0].Throughput()
+	}
+	bw1, bw8, bw16 := perGPU(1), perGPU(8), perGPU(16)
+	if !(bw1 > bw8 && bw8 > bw16) {
+		t.Errorf("per-GPU bandwidth not degrading: 1=%.2g 8=%.2g 16=%.2g", bw1, bw8, bw16)
+	}
+}
+
+// NVLink pairs have dedicated links: concurrent transfers between
+// disjoint pairs do not contend.
+func TestNVLinkPairsIndependent(t *testing.T) {
+	e := sim.NewEngine()
+	net := simnet.New(e)
+	top, err := BuildCluster(net, []MachineSpec{p3Spec(8, InterconnectNVLink)})
+	if err != nil {
+		t.Fatalf("BuildCluster: %v", err)
+	}
+	m := top.Machines[0]
+	var flows []*simnet.Flow
+	for i := 0; i < 8; i++ {
+		route, err := top.Route(m.GPUs[i], m.GPUs[(i+1)%8])
+		if err != nil {
+			t.Fatalf("Route: %v", err)
+		}
+		flows = append(flows, net.StartFlow(50*hw.GB, route))
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, f := range flows {
+		// 50 GB at 50 GB/s dedicated: ~1s each despite 8 concurrent flows.
+		if d := f.Duration(); d > time.Second+time.Millisecond {
+			t.Errorf("flow %d took %v, want ~1s (dedicated NVLink)", i, d)
+		}
+	}
+}
+
+func TestKindAndInterconnectStrings(t *testing.T) {
+	if KindGPU.String() != "GPU" || KindHost.String() != "Host" {
+		t.Error("Kind strings wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Error("unknown Kind string wrong")
+	}
+	for ic, want := range map[Interconnect]string{
+		InterconnectPCIe:           "PCIe",
+		InterconnectNVLink:         "NVLink",
+		InterconnectNVLinkDegraded: "NVLink(degraded)",
+		InterconnectNVSwitch:       "NVSwitch",
+		Interconnect(0):            "Interconnect(0)",
+	} {
+		if got := ic.String(); got != want {
+			t.Errorf("Interconnect(%d).String() = %q, want %q", int(ic), got, want)
+		}
+	}
+}

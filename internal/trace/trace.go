@@ -1,0 +1,202 @@
+// Package trace records per-worker execution timelines of simulated
+// training runs: compute spans, gradient-hook costs, communication waits,
+// data waits and optimizer steps. Timelines can be summarized (time by
+// kind, per worker) or exported in the Chrome trace-event format for
+// visual inspection in chrome://tracing or Perfetto.
+//
+// The recorder is how a user of this library looks *inside* an epoch
+// that Stash, by design, only measures from the outside.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Kind classifies a span.
+type Kind int
+
+// Span kinds.
+const (
+	KindDataWait Kind = iota + 1
+	KindForward
+	KindBackward
+	KindHook
+	KindCommWait
+	KindOptimizer
+	KindCollective
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindDataWait:
+		return "data-wait"
+	case KindForward:
+		return "forward"
+	case KindBackward:
+		return "backward"
+	case KindHook:
+		return "hook"
+	case KindCommWait:
+		return "comm-wait"
+	case KindOptimizer:
+		return "optimizer"
+	case KindCollective:
+		return "collective"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Span is one timed interval on a worker's (or the collective engine's)
+// timeline.
+type Span struct {
+	// Worker is the GPU rank, or -1 for group-level spans (collectives).
+	Worker int
+
+	Kind Kind
+
+	// Name carries detail (bucket index, iteration number).
+	Name string
+
+	Start, End time.Duration
+}
+
+// Duration returns the span length.
+func (s Span) Duration() time.Duration { return s.End - s.Start }
+
+// Recorder accumulates spans. The zero value is invalid; use New. A nil
+// *Recorder is safe to call (no-ops), so instrumented code does not need
+// nil checks.
+type Recorder struct {
+	spans []Span
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Add appends a span. Safe on a nil recorder.
+func (r *Recorder) Add(s Span) {
+	if r == nil {
+		return
+	}
+	if s.End < s.Start {
+		s.Start, s.End = s.End, s.Start
+	}
+	r.spans = append(r.spans, s)
+}
+
+// Len reports the number of recorded spans.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.spans)
+}
+
+// Spans returns a copy of all spans in recording order.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	return append([]Span(nil), r.spans...)
+}
+
+// WorkerSpans returns the spans of one worker, in recording order.
+func (r *Recorder) WorkerSpans(worker int) []Span {
+	if r == nil {
+		return nil
+	}
+	var out []Span
+	for _, s := range r.spans {
+		if s.Worker == worker {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TotalByKind sums span durations per kind across all workers.
+func (r *Recorder) TotalByKind() map[Kind]time.Duration {
+	out := make(map[Kind]time.Duration)
+	if r == nil {
+		return out
+	}
+	for _, s := range r.spans {
+		out[s.Kind] += s.Duration()
+	}
+	return out
+}
+
+// WorkerBusy returns the sum of a worker's span durations by kind.
+func (r *Recorder) WorkerBusy(worker int) map[Kind]time.Duration {
+	out := make(map[Kind]time.Duration)
+	if r == nil {
+		return out
+	}
+	for _, s := range r.spans {
+		if s.Worker == worker {
+			out[s.Kind] += s.Duration()
+		}
+	}
+	return out
+}
+
+// Summary is a human-readable per-kind accounting.
+func (r *Recorder) Summary() string {
+	totals := r.TotalByKind()
+	kinds := make([]Kind, 0, len(totals))
+	for k := range totals {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	out := ""
+	for _, k := range kinds {
+		out += fmt.Sprintf("%-10s %v\n", k, totals[k].Round(10*time.Microsecond))
+	}
+	return out
+}
+
+// chromeEvent is one entry of the Chrome trace-event ("catapult") format.
+type chromeEvent struct {
+	Name      string  `json:"name"`
+	Category  string  `json:"cat"`
+	Phase     string  `json:"ph"`
+	TsMicros  float64 `json:"ts"`
+	DurMicros float64 `json:"dur"`
+	PID       int     `json:"pid"`
+	TID       int     `json:"tid"`
+}
+
+// ChromeTrace serializes the timeline as a Chrome trace-event JSON array
+// loadable in chrome://tracing or https://ui.perfetto.dev. Workers map to
+// thread IDs; group-level spans go to tid 1000.
+func (r *Recorder) ChromeTrace() ([]byte, error) {
+	if r == nil {
+		return []byte("[]"), nil
+	}
+	events := make([]chromeEvent, 0, len(r.spans))
+	for _, s := range r.spans {
+		tid := s.Worker
+		if tid < 0 {
+			tid = 1000
+		}
+		name := s.Kind.String()
+		if s.Name != "" {
+			name += ":" + s.Name
+		}
+		events = append(events, chromeEvent{
+			Name:      name,
+			Category:  s.Kind.String(),
+			Phase:     "X",
+			TsMicros:  float64(s.Start) / float64(time.Microsecond),
+			DurMicros: float64(s.Duration()) / float64(time.Microsecond),
+			PID:       0,
+			TID:       tid,
+		})
+	}
+	return json.Marshal(events)
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAddAndQuery(t *testing.T) {
+	r := New()
+	r.Add(Span{Worker: 0, Kind: KindForward, Name: "iter0", Start: 0, End: 10 * time.Millisecond})
+	r.Add(Span{Worker: 0, Kind: KindBackward, Name: "iter0", Start: 10 * time.Millisecond, End: 30 * time.Millisecond})
+	r.Add(Span{Worker: 1, Kind: KindForward, Name: "iter0", Start: 0, End: 12 * time.Millisecond})
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if got := len(r.WorkerSpans(0)); got != 2 {
+		t.Errorf("worker 0 spans = %d, want 2", got)
+	}
+	if got := len(r.WorkerSpans(1)); got != 1 {
+		t.Errorf("worker 1 spans = %d, want 1", got)
+	}
+	totals := r.TotalByKind()
+	if totals[KindForward] != 22*time.Millisecond {
+		t.Errorf("forward total = %v", totals[KindForward])
+	}
+	if totals[KindBackward] != 20*time.Millisecond {
+		t.Errorf("backward total = %v", totals[KindBackward])
+	}
+	busy := r.WorkerBusy(0)
+	if busy[KindForward] != 10*time.Millisecond {
+		t.Errorf("worker 0 forward = %v", busy[KindForward])
+	}
+}
+
+func TestInvertedSpanNormalized(t *testing.T) {
+	r := New()
+	r.Add(Span{Kind: KindHook, Start: 5 * time.Millisecond, End: 2 * time.Millisecond})
+	s := r.Spans()[0]
+	if s.Duration() != 3*time.Millisecond {
+		t.Errorf("normalized duration = %v, want 3ms", s.Duration())
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Add(Span{Kind: KindForward, End: time.Second}) // must not panic
+	if r.Len() != 0 || r.Spans() != nil || r.WorkerSpans(0) != nil {
+		t.Error("nil recorder leaked state")
+	}
+	if len(r.TotalByKind()) != 0 || len(r.WorkerBusy(0)) != 0 {
+		t.Error("nil recorder totals non-empty")
+	}
+	if b, err := r.ChromeTrace(); err != nil || string(b) != "[]" {
+		t.Errorf("nil ChromeTrace = %s, %v", b, err)
+	}
+}
+
+func TestSpansReturnsCopy(t *testing.T) {
+	r := New()
+	r.Add(Span{Worker: 3, Kind: KindForward})
+	spans := r.Spans()
+	spans[0].Worker = 99
+	if r.Spans()[0].Worker != 3 {
+		t.Error("Spans exposed internal state")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindDataWait:   "data-wait",
+		KindForward:    "forward",
+		KindBackward:   "backward",
+		KindHook:       "hook",
+		KindCommWait:   "comm-wait",
+		KindOptimizer:  "optimizer",
+		KindCollective: "collective",
+		Kind(99):       "Kind(99)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d) = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	r := New()
+	r.Add(Span{Kind: KindForward, End: time.Second})
+	r.Add(Span{Kind: KindCommWait, End: 250 * time.Millisecond})
+	s := r.Summary()
+	if !strings.Contains(s, "forward") || !strings.Contains(s, "comm-wait") {
+		t.Errorf("Summary = %q", s)
+	}
+}
+
+func TestChromeTraceFormat(t *testing.T) {
+	r := New()
+	r.Add(Span{Worker: 2, Kind: KindForward, Name: "iter0", Start: time.Millisecond, End: 3 * time.Millisecond})
+	r.Add(Span{Worker: -1, Kind: KindCollective, Name: "bucket1", Start: 0, End: time.Millisecond})
+	raw, err := r.ChromeTrace()
+	if err != nil {
+		t.Fatalf("ChromeTrace: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	first := events[0]
+	if first["ph"] != "X" {
+		t.Errorf("phase = %v, want X (complete event)", first["ph"])
+	}
+	if first["ts"].(float64) != 1000 {
+		t.Errorf("ts = %v, want 1000 us", first["ts"])
+	}
+	if first["dur"].(float64) != 2000 {
+		t.Errorf("dur = %v, want 2000 us", first["dur"])
+	}
+	if first["name"] != "forward:iter0" {
+		t.Errorf("name = %v", first["name"])
+	}
+	// Group-level spans land on the reserved tid.
+	if events[1]["tid"].(float64) != 1000 {
+		t.Errorf("group tid = %v, want 1000", events[1]["tid"])
+	}
+}

@@ -1,0 +1,395 @@
+// Package train simulates synchronous data-parallel DNN training (the
+// paper's PyTorch-DDP setup, §IV) on a simulated cluster: per-layer
+// forward/backward compute on each GPU, gradient bucketing with
+// communication overlapped into the backward pass, ring all-reduce over
+// the topology, and optionally the full input pipeline (disk, cache, CPU
+// prep, PCIe upload).
+//
+// Training can run on synthetic pre-populated data (no input pipeline,
+// as in Stash's steps 1, 2 and 5) or on real data through per-worker
+// dataloaders (DS-Analyzer's steps 3 and 4).
+package train
+
+import (
+	"fmt"
+	"time"
+
+	"stash/internal/collective"
+	"stash/internal/dnn"
+	"stash/internal/hw"
+	"stash/internal/pipeline"
+	"stash/internal/sim"
+	"stash/internal/simnet"
+	"stash/internal/topo"
+	"stash/internal/trace"
+	"stash/internal/workload"
+)
+
+// Config describes one training run.
+type Config struct {
+	Job workload.Job
+
+	// Topology is the provisioned cluster.
+	Topology *topo.Topology
+
+	// GPUs are the participating workers in rank order. Leave nil to use
+	// every GPU in the topology. Stash's step 1 passes a single GPU of a
+	// multi-GPU machine here.
+	GPUs []*topo.Device
+
+	// Iterations is the number of optimizer steps each worker executes.
+	Iterations int
+
+	// Synthetic pre-populates training data in GPU memory, eliminating
+	// all pipeline stages before the GPU (steps 1, 2, 5).
+	Synthetic bool
+
+	// Pipelines maps machine node index to its input pipeline; required
+	// when Synthetic is false for every machine that hosts a worker.
+	Pipelines map[int]*pipeline.HostPipeline
+
+	// CacheMode selects cold (step 3) or warm (step 4) caches for
+	// real-data runs.
+	CacheMode pipeline.CacheMode
+
+	// Buckets overrides gradient bucketing; nil uses per-layer buckets.
+	Buckets []collective.Bucket
+
+	// CollectiveOptions configures the gradient-synchronization group
+	// (algorithm, call overhead).
+	CollectiveOptions []collective.Option
+
+	// DisableOverlap makes every bucket's all-reduce block the backward
+	// pass (no communication/computation overlap). Profilers set this on
+	// clusters where transfers stage through host memory (PCIe peer
+	// traffic, network paths), where real stacks lose the overlap; see
+	// topo.Topology.SupportsAsyncCollectives.
+	DisableOverlap bool
+
+	// HookOverhead is the host-side cost DDP's autograd hook charges the
+	// backward pass per gradient bucket, regardless of overlap. Zero uses
+	// DefaultHookOverhead; negative disables it.
+	HookOverhead time.Duration
+
+	// Warmup is the number of leading iterations excluded from timing
+	// (pipeline fill, first-touch effects). The run executes
+	// Warmup+Iterations optimizer steps.
+	Warmup int
+
+	// CompressionRatio scales the gradient bytes each bucket carries,
+	// modeling lossy gradient compression (top-k / quantization) schemes
+	// from the communication-reduction literature the paper surveys
+	// (SIII). 0 or 1 means no compression; 0.25 sends a quarter of the
+	// bytes. Compute time is unaffected.
+	CompressionRatio float64
+
+	// Trace, when non-nil, records the per-worker execution timeline.
+	Trace *trace.Recorder
+}
+
+// DefaultHookOverhead is the per-bucket host-side synchronization cost of
+// the framework's gradient hook (Python autograd callback + NCCL enqueue
+// serialization). Fitted so the per-layer stall slope of deep models
+// matches the paper's Fig 16a.
+const DefaultHookOverhead = 250 * time.Microsecond
+
+// Result reports a completed run.
+type Result struct {
+	// Elapsed is the wall-clock (virtual) time from start to the last
+	// worker finishing.
+	Elapsed time.Duration
+
+	// Iterations and WorldSize echo the configuration.
+	Iterations int
+	WorldSize  int
+
+	// PerIteration is Elapsed / Iterations.
+	PerIteration time.Duration
+
+	// ComputePerWorker is the pure GPU compute time each worker spent
+	// (identical across workers).
+	ComputePerWorker time.Duration
+
+	// DataWaitMax is the largest per-worker time spent blocked on the
+	// input pipeline (fetch+prep+upload backpressure).
+	DataWaitMax time.Duration
+
+	// CommWaitMax is the largest per-worker time spent blocked on
+	// gradient synchronization after backward compute finished.
+	CommWaitMax time.Duration
+
+	// CommBusy is the total time the collective group spent executing.
+	CommBusy time.Duration
+
+	// SamplesPerSecond is the aggregate training throughput.
+	SamplesPerSecond float64
+}
+
+// Run executes the configured training on the engine that the topology's
+// network lives on, driving the simulation to completion.
+func Run(eng *sim.Engine, net *simnet.Network, cfg Config) (*Result, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("train: nil topology")
+	}
+	if cfg.Iterations < 1 {
+		return nil, fmt.Errorf("train: iterations %d < 1", cfg.Iterations)
+	}
+	if cfg.Warmup < 0 {
+		return nil, fmt.Errorf("train: warmup %d < 0", cfg.Warmup)
+	}
+	switch {
+	case cfg.HookOverhead == 0:
+		cfg.HookOverhead = DefaultHookOverhead
+	case cfg.HookOverhead < 0:
+		cfg.HookOverhead = 0
+	}
+	switch {
+	case cfg.CompressionRatio == 0:
+		cfg.CompressionRatio = 1
+	case cfg.CompressionRatio < 0 || cfg.CompressionRatio > 1:
+		return nil, fmt.Errorf("train: compression ratio %v outside (0, 1]", cfg.CompressionRatio)
+	}
+	if err := cfg.Job.Model.Validate(); err != nil {
+		return nil, fmt.Errorf("train: %w", err)
+	}
+	gpus := cfg.GPUs
+	if gpus == nil {
+		gpus = cfg.Topology.AllGPUs()
+	}
+	if len(gpus) == 0 {
+		return nil, fmt.Errorf("train: no GPUs")
+	}
+	buckets := cfg.Buckets
+	if buckets == nil {
+		buckets = collective.PerLayerBuckets(cfg.Job.Model)
+	}
+	group, err := collective.NewGroup(eng, net, cfg.Topology, gpus, cfg.CollectiveOptions...)
+	if err != nil {
+		return nil, fmt.Errorf("train: %w", err)
+	}
+
+	plan, err := newIterationPlan(cfg.Job, gpus[0].GPU, buckets)
+	if err != nil {
+		return nil, fmt.Errorf("train: %w", err)
+	}
+
+	workers := make([]*worker, len(gpus))
+	for rank, gpu := range gpus {
+		w := &worker{
+			rank:  rank,
+			gpu:   gpu,
+			cfg:   &cfg,
+			plan:  plan,
+			group: group,
+		}
+		if !cfg.Synthetic {
+			hp := cfg.Pipelines[gpu.Node]
+			if hp == nil {
+				return nil, fmt.Errorf("train: no pipeline for machine %d", gpu.Node)
+			}
+			hp.SetCacheMode(cfg.CacheMode)
+			route, err := cfg.Topology.Route(cfg.Topology.Machines[gpu.Node].Host, gpu)
+			if err != nil {
+				return nil, fmt.Errorf("train: upload route: %w", err)
+			}
+			loader, err := hp.NewLoader(cfg.Job, route, cfg.Warmup+cfg.Iterations)
+			if err != nil {
+				return nil, fmt.Errorf("train: %w", err)
+			}
+			w.loader = loader
+		}
+		workers[rank] = w
+	}
+	for _, w := range workers {
+		if w.loader != nil {
+			w.loader.Start(fmt.Sprintf("loader-%d", w.rank))
+		}
+		w.proc = eng.Go(fmt.Sprintf("worker-%d", w.rank), w.run)
+	}
+	if err := eng.Run(); err != nil {
+		return nil, fmt.Errorf("train: %w", err)
+	}
+
+	res := &Result{
+		Iterations:       cfg.Iterations,
+		WorldSize:        len(gpus),
+		ComputePerWorker: plan.computeTotal * time.Duration(cfg.Iterations),
+		CommBusy:         group.BusyTime(),
+	}
+	for _, w := range workers {
+		if measured := w.finish - w.warmupEnd; measured > res.Elapsed {
+			res.Elapsed = measured
+		}
+		if w.dataWait > res.DataWaitMax {
+			res.DataWaitMax = w.dataWait
+		}
+		if w.commWait > res.CommWaitMax {
+			res.CommWaitMax = w.commWait
+		}
+	}
+	res.PerIteration = res.Elapsed / time.Duration(cfg.Iterations)
+	if res.Elapsed > 0 {
+		res.SamplesPerSecond = float64(cfg.Iterations*cfg.Job.BatchPerGPU*len(gpus)) / res.Elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// iterationPlan precomputes the compute timeline of one iteration:
+// a single forward-pass duration, then backward-pass segments ending at
+// each bucket's issue point.
+type iterationPlan struct {
+	forward time.Duration
+
+	// backwardSegments[i] is the backward compute between bucket i-1's
+	// issue point and bucket i's. backwardTail is the compute after the
+	// final bucket issue (layers before the first parameter layer).
+	backwardSegments []time.Duration
+	backwardTail     time.Duration
+
+	buckets      []collective.Bucket
+	optimizer    time.Duration
+	computeTotal time.Duration
+}
+
+func newIterationPlan(job workload.Job, gpu hw.GPUSpec, buckets []collective.Bucket) (*iterationPlan, error) {
+	m := job.Model
+	batch := float64(job.BatchPerGPU)
+	eff := gpu.EffectiveFLOPS(batch * m.FwdFLOPsPerSample())
+
+	// Activations stream per sample; weights are read once per pass
+	// regardless of batch size.
+	fwdTime := func(l dnn.Layer) time.Duration {
+		mem := 2*batch*l.ActivationBytes + float64(l.Params)*dnn.BytesPerParam
+		return gpu.LayerTime(batch*l.FwdFLOPs, mem, eff)
+	}
+	bwdTime := func(l dnn.Layer) time.Duration {
+		mem := 4*batch*l.ActivationBytes + 3*float64(l.Params)*dnn.BytesPerParam
+		return gpu.LayerTime(2*batch*l.FwdFLOPs, mem, eff)
+	}
+
+	p := &iterationPlan{buckets: buckets}
+	for _, l := range m.Layers {
+		p.forward += fwdTime(l)
+	}
+
+	// Map each layer index to the bucket issued when its gradient is
+	// ready (the bucket whose earliest backward-order layer it is).
+	issueAt := make(map[int]int) // layer index -> bucket index
+	for bi, b := range buckets {
+		if len(b.Layers) == 0 {
+			return nil, fmt.Errorf("bucket %d has no layers", bi)
+		}
+		last := b.Layers[len(b.Layers)-1] // deepest layer in backward order
+		issueAt[last] = bi
+	}
+
+	seg := time.Duration(0)
+	nextBucket := 0
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		seg += bwdTime(m.Layers[i])
+		if bi, ok := issueAt[i]; ok {
+			if bi != nextBucket {
+				return nil, fmt.Errorf("bucket %d issued out of order (expected %d)", bi, nextBucket)
+			}
+			p.backwardSegments = append(p.backwardSegments, seg)
+			seg = 0
+			nextBucket++
+		}
+	}
+	if nextBucket != len(buckets) {
+		return nil, fmt.Errorf("only %d of %d buckets have issue points", nextBucket, len(buckets))
+	}
+	p.backwardTail = seg
+
+	// SGD+momentum touches three parameter-sized arrays.
+	optBytes := 3 * float64(m.TotalParams()) * dnn.BytesPerParam
+	p.optimizer = time.Duration(optBytes / gpu.MemBandwidth * float64(time.Second))
+
+	p.computeTotal = p.forward + p.backwardTail + p.optimizer
+	for _, s := range p.backwardSegments {
+		p.computeTotal += s
+	}
+	return p, nil
+}
+
+type worker struct {
+	rank   int
+	gpu    *topo.Device
+	cfg    *Config
+	plan   *iterationPlan
+	group  *collective.Group
+	loader *pipeline.Loader
+	proc   *sim.Process
+
+	finish    time.Duration
+	warmupEnd time.Duration
+	dataWait  time.Duration
+	commWait  time.Duration
+}
+
+func (w *worker) run(p *sim.Process) {
+	hook := w.cfg.HookOverhead
+	if w.group.WorldSize() == 1 {
+		hook = 0 // DDP hooks are not installed on single-GPU training
+	}
+	tr := w.cfg.Trace
+	span := func(kind trace.Kind, name string, start time.Duration) {
+		tr.Add(trace.Span{Worker: w.rank, Kind: kind, Name: name, Start: start, End: p.Now()})
+	}
+	total := w.cfg.Warmup + w.cfg.Iterations
+	for it := 0; it < total; it++ {
+		if it == w.cfg.Warmup {
+			w.warmupEnd = p.Now()
+			w.dataWait, w.commWait = 0, 0
+		}
+		iterName := fmt.Sprintf("iter%d", it)
+		if w.loader != nil {
+			t0 := p.Now()
+			if _, ok := w.loader.Next(p); !ok {
+				panic(fmt.Sprintf("train: loader for rank %d exhausted at iteration %d", w.rank, it))
+			}
+			w.dataWait += p.Now() - t0
+			span(trace.KindDataWait, iterName, t0)
+		}
+		t0 := p.Now()
+		p.Sleep(w.plan.forward)
+		span(trace.KindForward, iterName, t0)
+
+		var pending []*sim.Signal
+		bwdStart := p.Now()
+		for bi, seg := range w.plan.backwardSegments {
+			p.Sleep(seg)
+			if hook > 0 {
+				h0 := p.Now()
+				p.Sleep(hook)
+				span(trace.KindHook, fmt.Sprintf("bucket%d", bi), h0)
+			}
+			bytes := w.plan.buckets[bi].Bytes * w.cfg.CompressionRatio
+			sig := w.group.AllReduceAsync(w.rank, bytes)
+			if w.cfg.DisableOverlap {
+				c0 := p.Now()
+				p.Await(sig)
+				w.commWait += p.Now() - c0
+				span(trace.KindCommWait, fmt.Sprintf("bucket%d", bi), c0)
+			} else {
+				pending = append(pending, sig)
+			}
+		}
+		p.Sleep(w.plan.backwardTail)
+		span(trace.KindBackward, iterName, bwdStart)
+
+		c0 := p.Now()
+		for _, sig := range pending {
+			p.Await(sig)
+		}
+		w.commWait += p.Now() - c0
+		if len(pending) > 0 {
+			span(trace.KindCommWait, iterName, c0)
+		}
+
+		o0 := p.Now()
+		p.Sleep(w.plan.optimizer)
+		span(trace.KindOptimizer, iterName, o0)
+	}
+	w.finish = p.Now()
+}

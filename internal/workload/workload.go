@@ -1,0 +1,103 @@
+// Package workload describes training workloads: the datasets of Table II
+// and the job specifications (model, batch size, cluster shape) that the
+// characterization sweeps over.
+package workload
+
+import (
+	"fmt"
+
+	"stash/internal/dnn"
+)
+
+// Dataset describes the on-disk training data.
+type Dataset struct {
+	Name string
+
+	// Samples is the number of training samples per epoch.
+	Samples int
+
+	// DiskBytesPerSample is the average stored (encoded) size of one
+	// sample, what the fetch stage reads.
+	DiskBytesPerSample float64
+
+	// PrepCostFactor scales the per-sample CPU pre-processing cost
+	// relative to a standard ImageNet decode+augment (1.0).
+	PrepCostFactor float64
+}
+
+// TotalBytes returns the dataset size on disk.
+func (d Dataset) TotalBytes() float64 {
+	return float64(d.Samples) * d.DiskBytesPerSample
+}
+
+// Datasets from Table II.
+var (
+	// ImageNet1k is the ILSVRC-2012 training set: 1.28 M JPEGs, 133 GB.
+	ImageNet1k = Dataset{
+		Name:               "imagenet1k",
+		Samples:            1281167,
+		DiskBytesPerSample: 133e9 / 1281167,
+		PrepCostFactor:     1.0,
+	}
+
+	// SQuAD2 is the SQuAD 2.0 fine-tuning set: ~130 k features, 45 MB.
+	// Tokenized text needs almost no pre-processing.
+	SQuAD2 = Dataset{
+		Name:               "squad2",
+		Samples:            130319,
+		DiskBytesPerSample: 45e6 / 130319,
+		PrepCostFactor:     0.05,
+	}
+)
+
+// DatasetFor returns the Table II dataset for a model.
+func DatasetFor(m *dnn.Model) Dataset {
+	if m.Family == "bert" {
+		return SQuAD2
+	}
+	return ImageNet1k
+}
+
+// Job is one training configuration to simulate or profile.
+type Job struct {
+	Model   *dnn.Model
+	Dataset Dataset
+
+	// BatchPerGPU is the per-GPU mini-batch size; the effective batch is
+	// BatchPerGPU x world size, as in §V.
+	BatchPerGPU int
+}
+
+// NewJob pairs a model with its Table II dataset at the given per-GPU
+// batch size.
+func NewJob(m *dnn.Model, batchPerGPU int) (Job, error) {
+	if m == nil {
+		return Job{}, fmt.Errorf("workload: nil model")
+	}
+	if err := m.Validate(); err != nil {
+		return Job{}, err
+	}
+	if batchPerGPU < 1 {
+		return Job{}, fmt.Errorf("workload: batch %d < 1", batchPerGPU)
+	}
+	return Job{Model: m, Dataset: DatasetFor(m), BatchPerGPU: batchPerGPU}, nil
+}
+
+// IterationsPerEpoch returns the number of optimizer steps in one epoch
+// with the given total GPU count (drop_last semantics).
+func (j Job) IterationsPerEpoch(worldSize int) int {
+	eff := j.BatchPerGPU * worldSize
+	return j.Dataset.Samples / eff
+}
+
+// SamplesPerGPUPerEpoch returns how many samples each worker processes in
+// one epoch.
+func (j Job) SamplesPerGPUPerEpoch(worldSize int) int {
+	return j.IterationsPerEpoch(worldSize) * j.BatchPerGPU
+}
+
+// SmallBatchSizes is the paper's small-model batch sweep (§V).
+func SmallBatchSizes() []int { return []int{32, 64, 96, 128} }
+
+// LargeBatchSizes is the paper's large-vision-model batch sweep.
+func LargeBatchSizes() []int { return []int{32, 64} }

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"stash/internal/dnn"
+)
+
+func TestDatasetSizesMatchTableII(t *testing.T) {
+	if got := ImageNet1k.TotalBytes(); math.Abs(got-133e9) > 1e6 {
+		t.Errorf("ImageNet = %v bytes, want 133 GB", got)
+	}
+	if got := SQuAD2.TotalBytes(); math.Abs(got-45e6) > 1e3 {
+		t.Errorf("SQuAD = %v bytes, want 45 MB", got)
+	}
+	if ImageNet1k.Samples != 1281167 {
+		t.Errorf("ImageNet samples = %d", ImageNet1k.Samples)
+	}
+}
+
+func TestDatasetFor(t *testing.T) {
+	m, err := dnn.ResNet(18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DatasetFor(m).Name != "imagenet1k" {
+		t.Error("vision model should use ImageNet")
+	}
+	if DatasetFor(dnn.BERTLarge()).Name != "squad2" {
+		t.Error("BERT should use SQuAD")
+	}
+}
+
+func TestNewJobValidation(t *testing.T) {
+	m, err := dnn.ResNet(18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewJob(nil, 32); err == nil {
+		t.Error("nil model should fail")
+	}
+	if _, err := NewJob(m, 0); err == nil {
+		t.Error("zero batch should fail")
+	}
+	if _, err := NewJob(&dnn.Model{Name: "empty"}, 32); err == nil {
+		t.Error("invalid model should fail")
+	}
+	j, err := NewJob(m, 32)
+	if err != nil {
+		t.Fatalf("NewJob: %v", err)
+	}
+	if j.Dataset.Name != "imagenet1k" || j.BatchPerGPU != 32 {
+		t.Errorf("job = %+v", j)
+	}
+}
+
+func TestIterationsPerEpoch(t *testing.T) {
+	m, err := dnn.ResNet(18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := NewJob(m, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j.IterationsPerEpoch(8); got != 1281167/(32*8) {
+		t.Errorf("iterations = %d", got)
+	}
+	if got := j.SamplesPerGPUPerEpoch(8); got != (1281167/(32*8))*32 {
+		t.Errorf("samples per GPU = %d", got)
+	}
+}
+
+func TestBatchSweeps(t *testing.T) {
+	small := SmallBatchSizes()
+	if len(small) != 4 || small[0] != 32 || small[3] != 128 {
+		t.Errorf("small sweep = %v", small)
+	}
+	large := LargeBatchSizes()
+	if len(large) != 2 || large[0] != 32 {
+		t.Errorf("large sweep = %v", large)
+	}
+}
+
+// Property: per-GPU samples x world size never exceeds the dataset and
+// covers it up to one effective batch (drop_last).
+func TestQuickEpochCoverage(t *testing.T) {
+	m, err := dnn.ResNet(18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(batchRaw, worldRaw uint8) bool {
+		batch, world := int(batchRaw)+1, int(worldRaw)+1
+		j, err := NewJob(m, batch)
+		if err != nil {
+			return false
+		}
+		covered := j.SamplesPerGPUPerEpoch(world) * world
+		return covered <= j.Dataset.Samples && j.Dataset.Samples-covered < batch*world
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
