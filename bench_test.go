@@ -1,6 +1,7 @@
 package stash
 
 import (
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -19,14 +20,16 @@ func benchCfg(i int) experiments.Config {
 }
 
 // runExperiment executes a registered experiment b.N times and reports
-// the total number of regenerated table cells per run.
-func runExperiment(b *testing.B, id string) [][]*report.Table {
+// the total number of regenerated table cells per run. Only the last
+// iteration's tables are returned (and retained): keeping all b.N table
+// sets alive made the bench's memory footprint grow with N.
+func runExperiment(b *testing.B, id string) []*report.Table {
 	b.Helper()
 	e, err := experiments.ByID(id)
 	if err != nil {
 		b.Fatal(err)
 	}
-	out := make([][]*report.Table, 0, b.N)
+	var out []*report.Table
 	cells := 0
 	for i := 0; i < b.N; i++ {
 		tables, err := e.Run(benchCfg(i))
@@ -37,7 +40,7 @@ func runExperiment(b *testing.B, id string) [][]*report.Table {
 		for _, t := range tables {
 			cells += t.NumRows() * len(t.Columns)
 		}
-		out = append(out, tables)
+		out = tables
 	}
 	b.ReportMetric(float64(cells), "cells")
 	return out
@@ -67,12 +70,12 @@ func BenchmarkTableII(b *testing.B) { runExperiment(b, "table2") }
 
 func BenchmarkFig4(b *testing.B) {
 	out := runExperiment(b, "fig4")
-	b.ReportMetric(maxPct(out[len(out)-1]), "max-stall-%")
+	b.ReportMetric(maxPct(out), "max-stall-%")
 }
 
 func BenchmarkFig5(b *testing.B) {
 	out := runExperiment(b, "fig5")
-	b.ReportMetric(maxPct(out[len(out)-1]), "max-stall-%")
+	b.ReportMetric(maxPct(out), "max-stall-%")
 }
 
 func BenchmarkFig6(b *testing.B) { runExperiment(b, "fig6") }
@@ -81,19 +84,19 @@ func BenchmarkFig7(b *testing.B) { runExperiment(b, "fig7") }
 
 func BenchmarkFig8(b *testing.B) {
 	out := runExperiment(b, "fig8")
-	b.ReportMetric(maxPct(out[len(out)-1]), "max-stall-%")
+	b.ReportMetric(maxPct(out), "max-stall-%")
 }
 
 func BenchmarkFig9(b *testing.B) {
 	out := runExperiment(b, "fig9")
-	b.ReportMetric(maxPct(out[len(out)-1]), "max-stall-%")
+	b.ReportMetric(maxPct(out), "max-stall-%")
 }
 
 func BenchmarkFig10(b *testing.B) { runExperiment(b, "fig10") }
 
 func BenchmarkFig11(b *testing.B) {
 	out := runExperiment(b, "fig11")
-	b.ReportMetric(maxPct(out[len(out)-1]), "max-stall-%")
+	b.ReportMetric(maxPct(out), "max-stall-%")
 }
 
 func BenchmarkFig12(b *testing.B) { runExperiment(b, "fig12") }
@@ -101,31 +104,31 @@ func BenchmarkFig12(b *testing.B) { runExperiment(b, "fig12") }
 func BenchmarkFig13(b *testing.B) {
 	out := runExperiment(b, "fig13")
 	// The headline: network stalls reaching the paper's "up to 500%".
-	b.ReportMetric(maxPct(out[len(out)-1]), "max-nw-stall-%")
+	b.ReportMetric(maxPct(out), "max-nw-stall-%")
 }
 
 func BenchmarkFig14(b *testing.B) { runExperiment(b, "fig14") }
 
 func BenchmarkFig15(b *testing.B) {
 	out := runExperiment(b, "fig15")
-	b.ReportMetric(maxPct(out[len(out)-1]), "max-mem-util-%")
+	b.ReportMetric(maxPct(out), "max-mem-util-%")
 }
 
 func BenchmarkFig16(b *testing.B) {
 	out := runExperiment(b, "fig16")
-	b.ReportMetric(maxPct(out[len(out)-1]), "max-stall-%")
+	b.ReportMetric(maxPct(out), "max-stall-%")
 }
 
 func BenchmarkLargeModelOnP2(b *testing.B) {
 	out := runExperiment(b, "large-on-p2")
-	b.ReportMetric(maxPct(out[len(out)-1]), "max-ic-stall-%")
+	b.ReportMetric(maxPct(out), "max-ic-stall-%")
 }
 
 func BenchmarkBERT24xl(b *testing.B) { runExperiment(b, "bert-24xl") }
 
 func BenchmarkPSvsAllreduce(b *testing.B) {
 	out := runExperiment(b, "ps-vs-allreduce")
-	b.ReportMetric(maxPct(out[len(out)-1]), "max-ps-stall-%")
+	b.ReportMetric(maxPct(out), "max-ps-stall-%")
 }
 
 // Extension benches: the ablations and studies beyond the paper's
@@ -144,10 +147,48 @@ func BenchmarkNetworkVariance(b *testing.B)   { runExperiment(b, "network-varian
 func BenchmarkClaims(b *testing.B) {
 	out := runExperiment(b, "claims")
 	holds := 0
-	for _, row := range out[len(out)-1][0].Rows() {
+	for _, row := range out[0].Rows() {
 		if row[3] == "HOLDS" {
 			holds++
 		}
 	}
 	b.ReportMetric(float64(holds), "claims-hold")
 }
+
+// benchSuite runs the full registry through the parallel scheduler at a
+// fixed worker-pool size. Comparing BenchmarkSuiteSerial against
+// BenchmarkSuiteParallel measures the wall-clock win of the scenario
+// scheduler on the whole evaluation. Each variant gets its own seed
+// space: the shared profiler is keyed by {iterations, seed} and lives
+// for the whole process, so reusing seeds would hand the second bench a
+// warm scenario cache and fake the comparison.
+func benchSuite(b *testing.B, parallelism int, seedBase int64) {
+	b.Helper()
+	reg := experiments.Registry()
+	cells := 0
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg(i)
+		cfg.Seed = seedBase + int64(i)
+		cfg.Parallelism = parallelism
+		cells = 0
+		for _, r := range experiments.RunMany(cfg, reg) {
+			if r.Err != nil {
+				b.Fatalf("%s: %v", r.Experiment.ID, r.Err)
+			}
+			for _, t := range r.Tables {
+				cells += t.NumRows() * len(t.Columns)
+			}
+		}
+	}
+	b.ReportMetric(float64(cells), "cells")
+}
+
+// BenchmarkSuiteSerial is the full evaluation at Parallelism=1 — the
+// pre-scheduler serial path.
+func BenchmarkSuiteSerial(b *testing.B) { benchSuite(b, 1, 1<<20) }
+
+// BenchmarkSuiteParallel is the full evaluation at Parallelism=NumCPU.
+// At equal seeds its table output is byte-identical to the serial run
+// (TestParallelOutputByteIdentical); here the seed spaces are disjoint
+// so neither bench inherits the other's scenario cache.
+func BenchmarkSuiteParallel(b *testing.B) { benchSuite(b, runtime.NumCPU(), 2<<20) }

@@ -4,9 +4,12 @@
 //
 // Usage:
 //
-//	characterize [-run id[,id...]] [-iters N] [-seed S] [-csv] [-list]
+//	characterize [-run id[,id...]] [-iters N] [-seed S] [-parallel N] [-csv] [-list] [-v]
 //
-// Without -run it executes every experiment in paper order.
+// Without -run it executes every experiment in paper order. Experiments
+// run concurrently on a worker pool (bounded by -parallel, default
+// GOMAXPROCS) sharing one memoized profiler; output is printed in paper
+// order and is byte-identical to a -parallel 1 run.
 package main
 
 import (
@@ -31,8 +34,10 @@ func run(args []string) error {
 	ids := fs.String("run", "", "comma-separated experiment IDs (default: all)")
 	iters := fs.Int("iters", experiments.DefaultConfig().Iterations, "profiling iterations per scenario")
 	seed := fs.Int64("seed", 1, "provisioning seed")
+	parallel := fs.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
+	verbose := fs.Bool("v", false, "print scenario-scheduler stats after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,21 +62,24 @@ func run(args []string) error {
 		}
 	}
 
-	cfg := experiments.Config{Iterations: *iters, Seed: *seed}
-	for _, e := range selected {
-		start := time.Now()
-		tables, err := e.Run(cfg)
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+	cfg := experiments.Config{Iterations: *iters, Seed: *seed, Parallelism: *parallel}
+	start := time.Now()
+	for _, r := range experiments.RunMany(cfg, selected) {
+		if r.Err != nil {
+			return fmt.Errorf("%s: %w", r.Experiment.ID, r.Err)
 		}
-		fmt.Printf("# %s (%s, simulated in %v)\n\n", e.Title, e.ID, time.Since(start).Round(time.Millisecond))
-		for _, t := range tables {
+		fmt.Printf("# %s (%s, simulated in %v)\n\n", r.Experiment.Title, r.Experiment.ID, r.Elapsed.Round(time.Millisecond))
+		for _, t := range r.Tables {
 			if *csv {
 				fmt.Println(t.CSV())
 			} else {
 				fmt.Println(t.String())
 			}
 		}
+	}
+	if *verbose {
+		fmt.Printf("# scheduler: %v (wall %v)\n",
+			experiments.SchedulerStats(cfg), time.Since(start).Round(time.Millisecond))
 	}
 	return nil
 }

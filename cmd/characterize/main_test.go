@@ -20,6 +20,18 @@ func TestRunCSV(t *testing.T) {
 	}
 }
 
+func TestRunParallelVerbose(t *testing.T) {
+	if err := run([]string{"-run", "fig7,fig11", "-iters", "3", "-parallel", "4", "-v"}); err != nil {
+		t.Fatalf("run -parallel 4 -v: %v", err)
+	}
+}
+
+func TestRunSerialExplicit(t *testing.T) {
+	if err := run([]string{"-run", "fig7", "-iters", "3", "-parallel", "1"}); err != nil {
+		t.Fatalf("run -parallel 1: %v", err)
+	}
+}
+
 func TestUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-run", "fig99"}); err == nil {
 		t.Error("unknown experiment should fail")

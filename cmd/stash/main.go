@@ -45,6 +45,7 @@ func run(args []string) error {
 	recommend := fs.Bool("recommend", false, "rank every catalog configuration instead of profiling one")
 	deadline := fs.Duration("deadline", 0, "with -recommend: max epoch time")
 	budget := fs.Float64("budget", 0, "with -recommend: max epoch cost in USD")
+	parallel := fs.Int("parallel", 0, "with -recommend: candidate workers (0 = GOMAXPROCS, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,7 +63,7 @@ func run(args []string) error {
 		return err
 	}
 
-	opts := []core.Option{core.WithIterations(*iters)}
+	opts := []core.Option{core.WithIterations(*iters), core.WithParallelism(*parallel)}
 	if *clean {
 		opts = append(opts, core.WithSlicePolicy(cloud.SliceClean))
 	}

@@ -23,6 +23,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"stash/internal/cloud"
@@ -80,19 +81,72 @@ func WithCostEpochs(n int) Option {
 	return func(p *Profiler) { p.costEpochs = n }
 }
 
-// Profiler measures DDL stalls on simulated cloud instances.
+// WithParallelism bounds how many candidate configurations Recommend
+// measures concurrently (0 or negative = GOMAXPROCS, 1 = serial).
+func WithParallelism(n int) Option {
+	return func(p *Profiler) { p.parallelism = n }
+}
+
+// Profiler measures DDL stalls on simulated cloud instances. It is safe
+// for concurrent use: each scenario simulates on its own engine, and the
+// memoization cache is single-flight, so concurrent requests for the
+// same scenario run exactly one simulation and share its result.
 type Profiler struct {
 	iterations     int
 	slicePolicy    cloud.SlicePolicy
 	seed           int64
 	costEpochs     int
+	parallelism    int
 	collectiveOpts []collective.Option
 
 	// cache memoizes scenario results: simulations are deterministic, and
 	// sweeps re-measure the same cells (every instance size shares the
-	// same step-1 single-GPU run, for example).
+	// same step-1 single-GPU run, for example). Each entry is created
+	// before its simulation starts; latecomers wait on done instead of
+	// duplicating the work.
 	mu    sync.Mutex
-	cache map[scenarioKey]*train.Result
+	cache map[scenarioKey]*cacheEntry
+
+	// Scheduler counters behind Stats.
+	simulated atomic.Int64
+	hits      atomic.Int64
+	waits     atomic.Int64
+}
+
+// cacheEntry is one scenario's single-flight slot: res and err are
+// written once, before done is closed.
+type cacheEntry struct {
+	done chan struct{}
+	res  *train.Result
+	err  error
+}
+
+// Stats is a snapshot of the profiler's scenario-scheduler counters.
+type Stats struct {
+	// Simulated counts scenarios actually executed on an engine.
+	Simulated int64
+
+	// CacheHits counts scenario requests served from a completed result.
+	CacheHits int64
+
+	// Waits counts requests that found their scenario in flight and
+	// blocked on the single-flight entry instead of re-simulating.
+	Waits int64
+}
+
+// String renders the counters compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d scenarios simulated, %d cache hits, %d single-flight waits",
+		s.Simulated, s.CacheHits, s.Waits)
+}
+
+// Stats returns the profiler's scheduler counters.
+func (p *Profiler) Stats() Stats {
+	return Stats{
+		Simulated: p.simulated.Load(),
+		CacheHits: p.hits.Load(),
+		Waits:     p.waits.Load(),
+	}
 }
 
 // New returns a Stash profiler with the given options.
@@ -102,7 +156,7 @@ func New(opts ...Option) *Profiler {
 		slicePolicy: cloud.SliceDegraded,
 		seed:        1,
 		costEpochs:  DefaultCostEpochs,
-		cache:       make(map[scenarioKey]*train.Result),
+		cache:       make(map[scenarioKey]*cacheEntry),
 	}
 	for _, o := range opts {
 		o(p)
@@ -168,7 +222,8 @@ const (
 
 // run executes one scenario on a fresh engine and returns the result.
 // Results are memoized: with a fixed profiler configuration a scenario is
-// fully deterministic.
+// fully deterministic, so the first requester simulates and everyone
+// else — concurrent or later — shares its result (or its error).
 func (p *Profiler) run(job workload.Job, sc scenario) (*train.Result, error) {
 	if err := checkFit(job, sc.instance); err != nil {
 		return nil, err
@@ -182,11 +237,29 @@ func (p *Profiler) run(job workload.Job, sc scenario) (*train.Result, error) {
 		mode:     sc.mode,
 	}
 	p.mu.Lock()
-	res, ok := p.cache[key]
-	p.mu.Unlock()
-	if ok {
-		return res, nil
+	if e, ok := p.cache[key]; ok {
+		p.mu.Unlock()
+		select {
+		case <-e.done:
+			p.hits.Add(1)
+		default:
+			p.waits.Add(1)
+			<-e.done
+		}
+		return e.res, e.err
 	}
+	e := &cacheEntry{done: make(chan struct{})}
+	p.cache[key] = e
+	p.mu.Unlock()
+
+	e.res, e.err = p.simulate(job, sc)
+	p.simulated.Add(1)
+	close(e.done)
+	return e.res, e.err
+}
+
+// simulate runs one scenario on a fresh, private engine.
+func (p *Profiler) simulate(job workload.Job, sc scenario) (*train.Result, error) {
 	eng := sim.NewEngine()
 	net := simnet.New(eng)
 	prov := cloud.NewProvisioner(p.slicePolicy, p.seed)
@@ -237,14 +310,7 @@ func (p *Profiler) run(job workload.Job, sc scenario) (*train.Result, error) {
 			cfg.CacheMode = pipeline.CacheWarm
 		}
 	}
-	res, err = train.Run(eng, net, cfg)
-	if err != nil {
-		return nil, err
-	}
-	p.mu.Lock()
-	p.cache[key] = res
-	p.mu.Unlock()
-	return res, nil
+	return train.Run(eng, net, cfg)
 }
 
 // ICStall is the interconnect-stall measurement of §IV-B1.

@@ -112,25 +112,33 @@ func (p *Profiler) Recommend(job workload.Job, cons Constraints) (*Recommendatio
 		}
 	}
 
-	rec := &Recommendation{Rejected: make(map[string]string)}
-	for _, c := range configs {
+	// Every candidate is measured independently, so the ranking fans out
+	// on a worker pool; outcomes land in per-config slots and are
+	// assembled in catalog order, keeping the ranking deterministic.
+	type outcome struct {
+		cand   *Candidate
+		reject string
+	}
+	outs := make([]outcome, len(configs))
+	err := ForEach(p.parallelism, len(configs), func(i int) error {
+		c := configs[i]
 		lbl := label(c.it.Name, c.nodes)
 		est, err := p.Epoch(job, c.it, c.nodes)
 		if err != nil {
 			var oom *OOMError
 			if errors.As(err, &oom) {
-				rec.Rejected[lbl] = "does not fit GPU memory"
-				continue
+				outs[i].reject = "does not fit GPU memory"
+				return nil
 			}
-			return nil, fmt.Errorf("recommend %s: %w", lbl, err)
+			return fmt.Errorf("recommend %s: %w", lbl, err)
 		}
 		if cons.MaxEpochTime > 0 && est.Time > cons.MaxEpochTime {
-			rec.Rejected[lbl] = fmt.Sprintf("epoch %v over deadline %v", est.Time.Round(time.Second), cons.MaxEpochTime)
-			continue
+			outs[i].reject = fmt.Sprintf("epoch %v over deadline %v", est.Time.Round(time.Second), cons.MaxEpochTime)
+			return nil
 		}
 		if cons.MaxCostPerEpoch > 0 && est.Cost > cons.MaxCostPerEpoch {
-			rec.Rejected[lbl] = fmt.Sprintf("epoch $%.2f over budget $%.2f", est.Cost, cons.MaxCostPerEpoch)
-			continue
+			outs[i].reject = fmt.Sprintf("epoch $%.2f over budget $%.2f", est.Cost, cons.MaxCostPerEpoch)
+			return nil
 		}
 		cand := Candidate{
 			Instance: c.it.Name,
@@ -140,7 +148,7 @@ func (p *Profiler) Recommend(job workload.Job, cons Constraints) (*Recommendatio
 		if c.it.NGPUs*c.nodes > 1 {
 			stall, err := p.ClusterCommStall(job, c.it, c.nodes)
 			if err != nil {
-				return nil, fmt.Errorf("recommend %s: %w", lbl, err)
+				return fmt.Errorf("recommend %s: %w", lbl, err)
 			}
 			cand.ICStallPct = stall.Pct
 			switch {
@@ -153,13 +161,27 @@ func (p *Profiler) Recommend(job workload.Job, cons Constraints) (*Recommendatio
 		if frac := est.ColdIteration.Seconds() / est.WarmIteration.Seconds(); frac > 1.3 {
 			cand.Notes = append(cand.Notes, "first epoch disk-bound; DRAM caching absorbs later epochs")
 		}
-		rec.Candidates = append(rec.Candidates, cand)
+		outs[i].cand = &cand
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rec := &Recommendation{Rejected: make(map[string]string)}
+	for i, o := range outs {
+		switch {
+		case o.reject != "":
+			rec.Rejected[label(configs[i].it.Name, configs[i].nodes)] = o.reject
+		case o.cand != nil:
+			rec.Candidates = append(rec.Candidates, *o.cand)
+		}
 	}
 	if len(rec.Candidates) == 0 {
 		return nil, ErrNoFeasibleConfig
 	}
 
-	sort.Slice(rec.Candidates, func(i, j int) bool {
+	sort.SliceStable(rec.Candidates, func(i, j int) bool {
 		a, b := rec.Candidates[i], rec.Candidates[j]
 		if a.Estimate.Cost != b.Estimate.Cost {
 			return a.Estimate.Cost < b.Estimate.Cost

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach invokes fn(0) .. fn(n-1) on a worker pool of the given size
+// (0 or negative = GOMAXPROCS) and returns the lowest-index error, so a
+// failing sweep reports the same error regardless of completion order.
+// workers == 1 preserves the serial path exactly, including its
+// short-circuit on first error.
+//
+// This is the scheduling primitive behind every parallel sweep in the
+// repo: callers write results into index i of a pre-sized slice and
+// assemble output in index order afterwards, which keeps rendered
+// tables byte-identical at any parallelism.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

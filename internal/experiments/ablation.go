@@ -50,29 +50,32 @@ func rawRun(cfg Config, instance string, count int, job workload.Job, policy clo
 func AblateOverlap(cfg Config) ([]*report.Table, error) {
 	t := report.NewTable("EXT ablation: communication/computation overlap (p3.16xlarge, batch 32)",
 		"model", "overlapped iter", "serialized iter", "overlap saves")
-	for _, name := range []string{"resnet50", "vgg11"} {
-		m, err := dnn.ByName(name)
+	names := []string{"resnet50", "vgg11"}
+	// One cell per (model, overlap setting); rawRun builds a private
+	// engine per cell, so all four simulate concurrently.
+	results := make([]*train.Result, 2*len(names))
+	err := cfg.forEach(len(results), func(i int) error {
+		m, err := dnn.ByName(names[i/2])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		job, err := newJob(m, 32)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		over, err := rawRun(cfg, "p3.16xlarge", 1, job, cloud.SliceDegraded, func(tc *train.Config) {
-			tc.DisableOverlap = false
+		disable := i%2 == 1
+		results[i], err = rawRun(cfg, "p3.16xlarge", 1, job, cloud.SliceDegraded, func(tc *train.Config) {
+			tc.DisableOverlap = disable
 		})
-		if err != nil {
-			return nil, err
-		}
-		serial, err := rawRun(cfg, "p3.16xlarge", 1, job, cloud.SliceDegraded, func(tc *train.Config) {
-			tc.DisableOverlap = true
-		})
-		if err != nil {
-			return nil, err
-		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni, name := range names {
+		over, serial := results[2*ni], results[2*ni+1]
 		saving := 100 * (serial.PerIteration - over.PerIteration).Seconds() / serial.PerIteration.Seconds()
-		t.AddRow(m.Name, report.Dur(over.PerIteration), report.Dur(serial.PerIteration),
+		t.AddRow(name, report.Dur(over.PerIteration), report.Dur(serial.PerIteration),
 			report.Pct(saving))
 	}
 	return []*report.Table{t}, nil
@@ -95,32 +98,43 @@ func AblateBucketSize(cfg Config) ([]*report.Table, error) {
 		label string
 		bytes float64 // 0 = per-layer
 	}
-	for _, bk := range []bucketing{
+	bucketings := []bucketing{
 		{"per-layer", 0},
 		{"5 MB", 5e6},
 		{"25 MB (DDP default)", 25e6},
 		{"100 MB", 100e6},
-	} {
+	}
+	type row struct {
+		buckets      int
+		intra, inter *train.Result
+	}
+	rows := make([]row, len(bucketings))
+	err = cfg.forEach(len(bucketings), func(i int) error {
+		bk := bucketings[i]
 		var buckets []collective.Bucket
+		var err error
 		if bk.bytes == 0 {
 			buckets = collective.PerLayerBuckets(m)
 		} else {
 			buckets, err = collective.SizedBuckets(m, bk.bytes)
 			if err != nil {
-				return nil, err
+				return err
 			}
 		}
 		mutate := func(tc *train.Config) { tc.Buckets = buckets }
-		intra, err := rawRun(cfg, "p3.16xlarge", 1, job, cloud.SliceDegraded, mutate)
-		if err != nil {
-			return nil, err
+		rows[i].buckets = len(buckets)
+		if rows[i].intra, err = rawRun(cfg, "p3.16xlarge", 1, job, cloud.SliceDegraded, mutate); err != nil {
+			return err
 		}
-		inter, err := rawRun(cfg, "p3.8xlarge", 2, job, cloud.SliceDegraded, mutate)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(bk.label, fmt.Sprintf("%d", len(buckets)),
-			report.Dur(intra.PerIteration), report.Dur(inter.PerIteration))
+		rows[i].inter, err = rawRun(cfg, "p3.8xlarge", 2, job, cloud.SliceDegraded, mutate)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, bk := range bucketings {
+		t.AddRow(bk.label, fmt.Sprintf("%d", rows[i].buckets),
+			report.Dur(rows[i].intra.PerIteration), report.Dur(rows[i].inter.PerIteration))
 	}
 	return []*report.Table{t}, nil
 }
@@ -139,17 +153,21 @@ func AblateCompression(cfg Config) ([]*report.Table, error) {
 	}
 	t := report.NewTable("EXT ablation: gradient compression (vgg11, 2x p3.8xlarge, batch 32)",
 		"compression", "iter time", "comm wait", "vs uncompressed")
-	var base time.Duration
-	for _, ratio := range []float64{1, 0.5, 0.25, 0.1} {
-		res, err := rawRun(cfg, "p3.8xlarge", 2, job, cloud.SliceDegraded, func(tc *train.Config) {
-			tc.CompressionRatio = ratio
+	ratios := []float64{1, 0.5, 0.25, 0.1}
+	results := make([]*train.Result, len(ratios))
+	err = cfg.forEach(len(ratios), func(i int) error {
+		var err error
+		results[i], err = rawRun(cfg, "p3.8xlarge", 2, job, cloud.SliceDegraded, func(tc *train.Config) {
+			tc.CompressionRatio = ratios[i]
 		})
-		if err != nil {
-			return nil, err
-		}
-		if ratio == 1 {
-			base = res.PerIteration
-		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := results[0].PerIteration // ratio 1 = uncompressed baseline
+	for i, ratio := range ratios {
+		res := results[i]
 		t.AddRow(fmt.Sprintf("%.0fx", 1/ratio), report.Dur(res.PerIteration),
 			report.Dur(res.CommWaitMax/time.Duration(res.Iterations)),
 			fmt.Sprintf("%.2fx", base.Seconds()/res.PerIteration.Seconds()))
@@ -174,8 +192,8 @@ func SliceLottery(cfg Config) ([]*report.Table, error) {
 		return nil, err
 	}
 	const draws = 12
-	minPct, maxPct, sumPct := 1e9, 0.0, 0.0
-	for d := 0; d < draws; d++ {
+	pcts := make([]float64, draws)
+	err = cfg.forEach(draws, func(d int) error {
 		p := core.New(
 			core.WithIterations(cfg.normalize().Iterations),
 			core.WithSlicePolicy(cloud.SliceLottery),
@@ -183,14 +201,22 @@ func SliceLottery(cfg Config) ([]*report.Table, error) {
 		)
 		s, err := p.InterconnectStall(job, it)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		sumPct += s.Pct
-		if s.Pct < minPct {
-			minPct = s.Pct
+		pcts[d] = s.Pct
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	minPct, maxPct, sumPct := 1e9, 0.0, 0.0
+	for _, pct := range pcts {
+		sumPct += pct
+		if pct < minPct {
+			minPct = pct
 		}
-		if s.Pct > maxPct {
-			maxPct = s.Pct
+		if pct > maxPct {
+			maxPct = pct
 		}
 	}
 	t := report.NewTable("EXT: p3.8xlarge NVLink slice lottery (resnet18, batch 32)",
@@ -218,12 +244,19 @@ func MultiEpoch(cfg Config) ([]*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	est, err := p.Epoch(job, it, 1)
-	if err != nil {
-		return nil, err
-	}
-	ic, err := p.InterconnectStall(job, it)
-	if err != nil {
+	// The two measurements overlap on the shared scenario cache, so run
+	// them as a two-cell sweep.
+	var est core.EpochEstimate
+	var ic core.ICStall
+	if err := cfg.forEach(2, func(i int) error {
+		var err error
+		if i == 0 {
+			est, err = p.Epoch(job, it, 1)
+		} else {
+			ic, err = p.InterconnectStall(job, it)
+		}
+		return err
+	}); err != nil {
 		return nil, err
 	}
 	t := report.NewTable("EXT: stalls across epochs (resnet18, p3.16xlarge, batch 32)",
@@ -251,10 +284,14 @@ func P4Preview(cfg Config) ([]*report.Table, error) {
 	p := cfg.profiler()
 	t := report.NewTable("EXT: P4 (A100/NVSwitch) vs P3 preview",
 		"model", "instance", "I/C stall %", "epoch time", "epoch cost")
-	for _, name := range []string{"resnet50", "bert-large"} {
+	names := []string{"resnet50", "bert-large"}
+	instances := []string{"p3.16xlarge", "p4d.24xlarge"}
+	rows := make([][]string, len(names)*len(instances))
+	err := cfg.forEach(len(rows), func(i int) error {
+		name, instance := names[i/len(instances)], instances[i%len(instances)]
 		m, err := dnn.ByName(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		batch := 32
 		if name == "bert-large" {
@@ -262,23 +299,28 @@ func P4Preview(cfg Config) ([]*report.Table, error) {
 		}
 		job, err := newJob(m, batch)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, instance := range []string{"p3.16xlarge", "p4d.24xlarge"} {
-			it, err := cloud.ByName(instance)
-			if err != nil {
-				return nil, err
-			}
-			ic, err := p.InterconnectStall(job, it)
-			if err != nil {
-				return nil, err
-			}
-			est, err := p.Epoch(job, it, 1)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(m.Name, instance, report.Pct(ic.Pct), report.Dur(est.Time), report.Money(est.Cost))
+		it, err := cloud.ByName(instance)
+		if err != nil {
+			return err
 		}
+		ic, err := p.InterconnectStall(job, it)
+		if err != nil {
+			return err
+		}
+		est, err := p.Epoch(job, it, 1)
+		if err != nil {
+			return err
+		}
+		rows[i] = []string{m.Name, instance, report.Pct(ic.Pct), report.Dur(est.Time), report.Money(est.Cost)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return []*report.Table{t}, nil
 }

@@ -12,7 +12,9 @@ import (
 
 // Claims re-verifies the paper's concluding observations (§VIII and the
 // per-section recommendations) against live measurements and prints a
-// verdict per claim — the reproduction, checking itself.
+// verdict per claim — the reproduction, checking itself. Claims are
+// mutually independent, so they fan out on the worker pool; rows are
+// emitted in claim order.
 func Claims(cfg Config) ([]*report.Table, error) {
 	p := cfg.profiler()
 	t := report.NewTable("Paper claims, re-verified on the simulated substrate",
@@ -43,320 +45,336 @@ func Claims(cfg Config) ([]*report.Table, error) {
 	}
 	instance := func(name string) (cloud.InstanceType, error) { return cloud.ByName(name) }
 
-	// C1 (§V-A1 / Fig 7): p2.16xlarge per-GPU PCIe bandwidth collapses
-	// below every other P2 type and below its own network rating.
-	{
-		p16, err := instance("p2.16xlarge")
-		if err != nil {
-			return nil, err
-		}
-		p8, err := instance("p2.8xlarge")
-		if err != nil {
-			return nil, err
-		}
-		b16, err := p.PCIeBandwidthProbe(p16)
-		if err != nil {
-			return nil, err
-		}
-		b8, err := p.PCIeBandwidthProbe(p8)
-		if err != nil {
-			return nil, err
-		}
-		ok := b16.MinPerGPU() < b8.MinPerGPU() && b16.MinPerGPU() < p16.NetworkGbps*hw.GbpsBytes
-		t.AddRow("C1 PCIe collapse on p2.16xlarge",
-			"per-GPU bw below all P2 types and below network",
-			fmt.Sprintf("%s vs %s (8xl), network %.1f GB/s",
-				report.GBps(b16.MinPerGPU()), report.GBps(b8.MinPerGPU()), p16.NetworkGbps/8),
-			verdict(ok))
-	}
-
-	// C2 (§VIII): interconnect overhead reaches a large share of total
-	// training time on P2.
-	{
-		alex, err := newJob(dnn.AlexNet(), 32)
-		if err != nil {
-			return nil, err
-		}
-		it, err := instance("p2.16xlarge")
-		if err != nil {
-			return nil, err
-		}
-		s, err := p.InterconnectStall(alex, it)
-		if err != nil {
-			return nil, err
-		}
-		frac := 100 * s.Stall.Seconds() / s.AllGPU.Seconds()
-		t.AddRow("C2 I/C stall dominates P2 training",
-			"up to ~90% of training time",
-			fmt.Sprintf("%.0f%% of total (alexnet/bs32)", frac),
-			verdict(frac > 50))
-	}
-
-	// C3 (§VIII / Fig 13): network stalls reach hundreds of percent.
-	{
-		it, err := instance("p3.8xlarge")
-		if err != nil {
-			return nil, err
-		}
-		clean := cfg.profiler(core.WithSlicePolicy(cloud.SliceClean))
-		s, err := clean.NetworkStall(jobVGG, it, 2)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow("C3 network stall up to 500%",
-			"as high as 500% of single-instance time",
-			fmt.Sprintf("%.0f%% (vgg11, whole-crossbar baseline)", s.Pct),
-			verdict(s.Pct > 300))
-	}
-
-	// C4 (§V-A2): two 8xlarges beat one 16xlarge on P2, on both time and
-	// cost.
-	{
-		p8, err := instance("p2.8xlarge")
-		if err != nil {
-			return nil, err
-		}
-		p16, err := instance("p2.16xlarge")
-		if err != nil {
-			return nil, err
-		}
-		two, err := p.Epoch(jobR18, p8, 2)
-		if err != nil {
-			return nil, err
-		}
-		one, err := p.Epoch(jobR18, p16, 1)
-		if err != nil {
-			return nil, err
-		}
-		ok := two.Time < one.Time && two.Cost < one.Cost
-		t.AddRow("C4 2x p2.8xlarge beats p2.16xlarge",
-			"lower time and cost",
-			fmt.Sprintf("%v/$%.2f vs %v/$%.2f", report.Dur(two.Time), two.Cost, report.Dur(one.Time), one.Cost),
-			verdict(ok))
-	}
-
-	// C5 (§V-B1): the sliced p3.8xlarge has higher I/C stall than the
-	// p3.16xlarge.
-	{
-		p8, err := instance("p3.8xlarge")
-		if err != nil {
-			return nil, err
-		}
-		p16, err := instance("p3.16xlarge")
-		if err != nil {
-			return nil, err
-		}
-		s8, err := p.InterconnectStall(jobR18, p8)
-		if err != nil {
-			return nil, err
-		}
-		s16, err := p.InterconnectStall(jobR18, p16)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow("C5 p3.8xlarge slicing anomaly",
-			"8xlarge stalls more than 16xlarge",
-			fmt.Sprintf("%.1f%% vs %.1f%%", s8.Pct, s16.Pct),
-			verdict(s8.Pct > s16.Pct))
-	}
-
-	// C6 (§V-B1): p3.24xlarge is not faster than p3.16xlarge (same
-	// NVLink fabric).
-	{
-		p16, err := instance("p3.16xlarge")
-		if err != nil {
-			return nil, err
-		}
-		p24, err := instance("p3.24xlarge")
-		if err != nil {
-			return nil, err
-		}
-		bert, err := newJob(dnn.BERTLarge(), 4)
-		if err != nil {
-			return nil, err
-		}
-		e16, err := p.Epoch(bert, p16, 1)
-		if err != nil {
-			return nil, err
-		}
-		e24, err := p.Epoch(bert, p24, 1)
-		if err != nil {
-			return nil, err
-		}
-		ratio := e24.Time.Seconds() / e16.Time.Seconds()
-		t.AddRow("C6 24xlarge not faster than 16xlarge",
-			"same NVLink, same stalls",
-			fmt.Sprintf("epoch ratio %.2f (bert-large/bs4)", ratio),
-			verdict(ratio > 0.95))
-	}
-
-	// C7 (§V-A1): CPU stalls are negligible on AWS.
-	{
-		it, err := instance("p3.16xlarge")
-		if err != nil {
-			return nil, err
-		}
-		worst := 0.0
-		for _, m := range dnn.SmallModels() {
-			job, err := newJob(m, 32)
+	claims := []func() ([]string, error){
+		// C1 (§V-A1 / Fig 7): p2.16xlarge per-GPU PCIe bandwidth collapses
+		// below every other P2 type and below its own network rating.
+		func() ([]string, error) {
+			p16, err := instance("p2.16xlarge")
 			if err != nil {
 				return nil, err
 			}
-			ds, err := p.DataStallAnalysis(job, it)
+			p8, err := instance("p2.8xlarge")
 			if err != nil {
 				return nil, err
 			}
-			if ds.PrepPct > worst {
-				worst = ds.PrepPct
+			b16, err := p.PCIeBandwidthProbe(p16)
+			if err != nil {
+				return nil, err
 			}
-		}
-		t.AddRow("C7 CPU stalls negligible",
-			"vCPUs at AWS are sufficient",
-			fmt.Sprintf("worst prep stall %.1f%% across small models", worst),
-			verdict(worst < 5))
+			b8, err := p.PCIeBandwidthProbe(p8)
+			if err != nil {
+				return nil, err
+			}
+			ok := b16.MinPerGPU() < b8.MinPerGPU() && b16.MinPerGPU() < p16.NetworkGbps*hw.GbpsBytes
+			return []string{"C1 PCIe collapse on p2.16xlarge",
+				"per-GPU bw below all P2 types and below network",
+				fmt.Sprintf("%s vs %s (8xl), network %.1f GB/s",
+					report.GBps(b16.MinPerGPU()), report.GBps(b8.MinPerGPU()), p16.NetworkGbps/8),
+				verdict(ok)}, nil
+		},
+
+		// C2 (§VIII): interconnect overhead reaches a large share of total
+		// training time on P2.
+		func() ([]string, error) {
+			alex, err := newJob(dnn.AlexNet(), 32)
+			if err != nil {
+				return nil, err
+			}
+			it, err := instance("p2.16xlarge")
+			if err != nil {
+				return nil, err
+			}
+			s, err := p.InterconnectStall(alex, it)
+			if err != nil {
+				return nil, err
+			}
+			frac := 100 * s.Stall.Seconds() / s.AllGPU.Seconds()
+			return []string{"C2 I/C stall dominates P2 training",
+				"up to ~90% of training time",
+				fmt.Sprintf("%.0f%% of total (alexnet/bs32)", frac),
+				verdict(frac > 50)}, nil
+		},
+
+		// C3 (§VIII / Fig 13): network stalls reach hundreds of percent.
+		func() ([]string, error) {
+			it, err := instance("p3.8xlarge")
+			if err != nil {
+				return nil, err
+			}
+			clean := cfg.profiler(core.WithSlicePolicy(cloud.SliceClean))
+			s, err := clean.NetworkStall(jobVGG, it, 2)
+			if err != nil {
+				return nil, err
+			}
+			return []string{"C3 network stall up to 500%",
+				"as high as 500% of single-instance time",
+				fmt.Sprintf("%.0f%% (vgg11, whole-crossbar baseline)", s.Pct),
+				verdict(s.Pct > 300)}, nil
+		},
+
+		// C4 (§V-A2): two 8xlarges beat one 16xlarge on P2, on both time
+		// and cost.
+		func() ([]string, error) {
+			p8, err := instance("p2.8xlarge")
+			if err != nil {
+				return nil, err
+			}
+			p16, err := instance("p2.16xlarge")
+			if err != nil {
+				return nil, err
+			}
+			two, err := p.Epoch(jobR18, p8, 2)
+			if err != nil {
+				return nil, err
+			}
+			one, err := p.Epoch(jobR18, p16, 1)
+			if err != nil {
+				return nil, err
+			}
+			ok := two.Time < one.Time && two.Cost < one.Cost
+			return []string{"C4 2x p2.8xlarge beats p2.16xlarge",
+				"lower time and cost",
+				fmt.Sprintf("%v/$%.2f vs %v/$%.2f", report.Dur(two.Time), two.Cost, report.Dur(one.Time), one.Cost),
+				verdict(ok)}, nil
+		},
+
+		// C5 (§V-B1): the sliced p3.8xlarge has higher I/C stall than the
+		// p3.16xlarge.
+		func() ([]string, error) {
+			p8, err := instance("p3.8xlarge")
+			if err != nil {
+				return nil, err
+			}
+			p16, err := instance("p3.16xlarge")
+			if err != nil {
+				return nil, err
+			}
+			s8, err := p.InterconnectStall(jobR18, p8)
+			if err != nil {
+				return nil, err
+			}
+			s16, err := p.InterconnectStall(jobR18, p16)
+			if err != nil {
+				return nil, err
+			}
+			return []string{"C5 p3.8xlarge slicing anomaly",
+				"8xlarge stalls more than 16xlarge",
+				fmt.Sprintf("%.1f%% vs %.1f%%", s8.Pct, s16.Pct),
+				verdict(s8.Pct > s16.Pct)}, nil
+		},
+
+		// C6 (§V-B1): p3.24xlarge is not faster than p3.16xlarge (same
+		// NVLink fabric).
+		func() ([]string, error) {
+			p16, err := instance("p3.16xlarge")
+			if err != nil {
+				return nil, err
+			}
+			p24, err := instance("p3.24xlarge")
+			if err != nil {
+				return nil, err
+			}
+			bert, err := newJob(dnn.BERTLarge(), 4)
+			if err != nil {
+				return nil, err
+			}
+			e16, err := p.Epoch(bert, p16, 1)
+			if err != nil {
+				return nil, err
+			}
+			e24, err := p.Epoch(bert, p24, 1)
+			if err != nil {
+				return nil, err
+			}
+			ratio := e24.Time.Seconds() / e16.Time.Seconds()
+			return []string{"C6 24xlarge not faster than 16xlarge",
+				"same NVLink, same stalls",
+				fmt.Sprintf("epoch ratio %.2f (bert-large/bs4)", ratio),
+				verdict(ratio > 0.95)}, nil
+		},
+
+		// C7 (§V-A1): CPU stalls are negligible on AWS.
+		func() ([]string, error) {
+			it, err := instance("p3.16xlarge")
+			if err != nil {
+				return nil, err
+			}
+			worst := 0.0
+			for _, m := range dnn.SmallModels() {
+				job, err := newJob(m, 32)
+				if err != nil {
+					return nil, err
+				}
+				ds, err := p.DataStallAnalysis(job, it)
+				if err != nil {
+					return nil, err
+				}
+				if ds.PrepPct > worst {
+					worst = ds.PrepPct
+				}
+			}
+			return []string{"C7 CPU stalls negligible",
+				"vCPUs at AWS are sufficient",
+				fmt.Sprintf("worst prep stall %.1f%% across small models", worst),
+				verdict(worst < 5)}, nil
+		},
+
+		// C8 (§V-B2): disk stalls scale with GPUs per volume.
+		func() ([]string, error) {
+			p8, err := instance("p3.8xlarge")
+			if err != nil {
+				return nil, err
+			}
+			p16, err := instance("p3.16xlarge")
+			if err != nil {
+				return nil, err
+			}
+			d8, err := p.DataStallAnalysis(jobR18, p8)
+			if err != nil {
+				return nil, err
+			}
+			d16, err := p.DataStallAnalysis(jobR18, p16)
+			if err != nil {
+				return nil, err
+			}
+			return []string{"C8 disk stall grows with GPU count",
+				"16xlarge highest",
+				fmt.Sprintf("%.1f%% (8xl) vs %.1f%% (16xl)", d8.FetchPct, d16.FetchPct),
+				verdict(d16.FetchPct > d8.FetchPct)}, nil
+		},
+
+		// C9 (§VI-A2): VGG has lower I/C stall time but higher N/W stall
+		// time than ResNet.
+		func() ([]string, error) {
+			it, err := instance("p3.16xlarge")
+			if err != nil {
+				return nil, err
+			}
+			icR, err := p.InterconnectStall(jobR18, it)
+			if err != nil {
+				return nil, err
+			}
+			icV, err := p.InterconnectStall(jobVGG, it)
+			if err != nil {
+				return nil, err
+			}
+			nwR, err := p.NetworkStall(jobR18, it, 2)
+			if err != nil {
+				return nil, err
+			}
+			nwV, err := p.NetworkStall(jobVGG, it, 2)
+			if err != nil {
+				return nil, err
+			}
+			ok := icV.Stall < icR.Stall && nwV.Stall > nwR.Stall
+			return []string{"C9 latency vs bandwidth regimes",
+				"VGG: low I/C, high N/W; ResNet: opposite",
+				fmt.Sprintf("I/C %v vs %v; N/W %v vs %v",
+					report.Dur(icV.Stall), report.Dur(icR.Stall),
+					report.Dur(nwV.Stall), report.Dur(nwR.Stall)),
+				verdict(ok)}, nil
+		},
+
+		// C10 (§VI-A3): removing batch norm lowers communication stalls;
+		// removing residual connections has minimal impact.
+		func() ([]string, error) {
+			it, err := instance("p3.16xlarge")
+			if err != nil {
+				return nil, err
+			}
+			full, err := p.InterconnectStall(jobR18, it)
+			if err != nil {
+				return nil, err
+			}
+			noBNModel, err := dnn.ResNet(18, dnn.ResNetWithoutBatchNorm())
+			if err != nil {
+				return nil, err
+			}
+			noBNJob, err := newJob(noBNModel, 32)
+			if err != nil {
+				return nil, err
+			}
+			noBN, err := p.InterconnectStall(noBNJob, it)
+			if err != nil {
+				return nil, err
+			}
+			noResModel, err := dnn.ResNet(18, dnn.ResNetWithoutResidual())
+			if err != nil {
+				return nil, err
+			}
+			noResJob, err := newJob(noResModel, 32)
+			if err != nil {
+				return nil, err
+			}
+			noRes, err := p.InterconnectStall(noResJob, it)
+			if err != nil {
+				return nil, err
+			}
+			resDelta := (noRes.Stall - full.Stall).Abs().Seconds() / full.Stall.Seconds()
+			ok := noBN.Stall < full.Stall*8/10 && resDelta < 0.05
+			return []string{"C10 BN drives sync points, residuals free",
+				"no-BN lowers stalls; no-skip changes nothing",
+				fmt.Sprintf("no-BN %v vs %v; no-skip within %.1f%%",
+					report.Dur(noBN.Stall), report.Dur(full.Stall), 100*resDelta),
+				verdict(ok)}, nil
+		},
+
+		// C11 (§V-C): small models are cheapest on P2, big ones on P3.
+		func() ([]string, error) {
+			p2, err := instance("p2.xlarge")
+			if err != nil {
+				return nil, err
+			}
+			p3, err := instance("p3.2xlarge")
+			if err != nil {
+				return nil, err
+			}
+			shuffle, err := newJob(dnn.ShuffleNetV2(), 64)
+			if err != nil {
+				return nil, err
+			}
+			r18b64, err := newJob(resnet18, 64)
+			if err != nil {
+				return nil, err
+			}
+			sP2, err := p.Epoch(shuffle, p2, 1)
+			if err != nil {
+				return nil, err
+			}
+			sP3, err := p.Epoch(shuffle, p3, 1)
+			if err != nil {
+				return nil, err
+			}
+			rP2, err := p.Epoch(r18b64, p2, 1)
+			if err != nil {
+				return nil, err
+			}
+			rP3, err := p.Epoch(r18b64, p3, 1)
+			if err != nil {
+				return nil, err
+			}
+			ok := sP2.Cost < sP3.Cost && rP3.Cost < rP2.Cost
+			return []string{"C11 P2/P3 cost crossover",
+				"ShuffleNet cheapest on P2, ResNet18 on P3",
+				fmt.Sprintf("shufflenet $%.2f vs $%.2f; resnet18 $%.2f vs $%.2f",
+					sP2.Cost, sP3.Cost, rP2.Cost, rP3.Cost),
+				verdict(ok)}, nil
+		},
 	}
 
-	// C8 (§V-B2): disk stalls scale with GPUs per volume.
-	{
-		p8, err := instance("p3.8xlarge")
+	rows := make([][]string, len(claims))
+	if err := cfg.forEach(len(claims), func(i int) error {
+		row, err := claims[i]()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		p16, err := instance("p3.16xlarge")
-		if err != nil {
-			return nil, err
-		}
-		d8, err := p.DataStallAnalysis(jobR18, p8)
-		if err != nil {
-			return nil, err
-		}
-		d16, err := p.DataStallAnalysis(jobR18, p16)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow("C8 disk stall grows with GPU count",
-			"16xlarge highest",
-			fmt.Sprintf("%.1f%% (8xl) vs %.1f%% (16xl)", d8.FetchPct, d16.FetchPct),
-			verdict(d16.FetchPct > d8.FetchPct))
+		rows[i] = row
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-
-	// C9 (§VI-A2): VGG has lower I/C stall time but higher N/W stall
-	// time than ResNet.
-	{
-		it, err := instance("p3.16xlarge")
-		if err != nil {
-			return nil, err
-		}
-		icR, err := p.InterconnectStall(jobR18, it)
-		if err != nil {
-			return nil, err
-		}
-		icV, err := p.InterconnectStall(jobVGG, it)
-		if err != nil {
-			return nil, err
-		}
-		nwR, err := p.NetworkStall(jobR18, it, 2)
-		if err != nil {
-			return nil, err
-		}
-		nwV, err := p.NetworkStall(jobVGG, it, 2)
-		if err != nil {
-			return nil, err
-		}
-		ok := icV.Stall < icR.Stall && nwV.Stall > nwR.Stall
-		t.AddRow("C9 latency vs bandwidth regimes",
-			"VGG: low I/C, high N/W; ResNet: opposite",
-			fmt.Sprintf("I/C %v vs %v; N/W %v vs %v",
-				report.Dur(icV.Stall), report.Dur(icR.Stall),
-				report.Dur(nwV.Stall), report.Dur(nwR.Stall)),
-			verdict(ok))
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
-
-	// C10 (§VI-A3): removing batch norm lowers communication stalls;
-	// removing residual connections has minimal impact.
-	{
-		it, err := instance("p3.16xlarge")
-		if err != nil {
-			return nil, err
-		}
-		full, err := p.InterconnectStall(jobR18, it)
-		if err != nil {
-			return nil, err
-		}
-		noBNModel, err := dnn.ResNet(18, dnn.ResNetWithoutBatchNorm())
-		if err != nil {
-			return nil, err
-		}
-		noBNJob, err := newJob(noBNModel, 32)
-		if err != nil {
-			return nil, err
-		}
-		noBN, err := p.InterconnectStall(noBNJob, it)
-		if err != nil {
-			return nil, err
-		}
-		noResModel, err := dnn.ResNet(18, dnn.ResNetWithoutResidual())
-		if err != nil {
-			return nil, err
-		}
-		noResJob, err := newJob(noResModel, 32)
-		if err != nil {
-			return nil, err
-		}
-		noRes, err := p.InterconnectStall(noResJob, it)
-		if err != nil {
-			return nil, err
-		}
-		resDelta := (noRes.Stall - full.Stall).Abs().Seconds() / full.Stall.Seconds()
-		ok := noBN.Stall < full.Stall*8/10 && resDelta < 0.05
-		t.AddRow("C10 BN drives sync points, residuals free",
-			"no-BN lowers stalls; no-skip changes nothing",
-			fmt.Sprintf("no-BN %v vs %v; no-skip within %.1f%%",
-				report.Dur(noBN.Stall), report.Dur(full.Stall), 100*resDelta),
-			verdict(ok))
-	}
-
-	// C11 (§V-C): small models are cheapest on P2, big ones on P3.
-	{
-		p2, err := instance("p2.xlarge")
-		if err != nil {
-			return nil, err
-		}
-		p3, err := instance("p3.2xlarge")
-		if err != nil {
-			return nil, err
-		}
-		shuffle, err := newJob(dnn.ShuffleNetV2(), 64)
-		if err != nil {
-			return nil, err
-		}
-		r18b64, err := newJob(resnet18, 64)
-		if err != nil {
-			return nil, err
-		}
-		sP2, err := p.Epoch(shuffle, p2, 1)
-		if err != nil {
-			return nil, err
-		}
-		sP3, err := p.Epoch(shuffle, p3, 1)
-		if err != nil {
-			return nil, err
-		}
-		rP2, err := p.Epoch(r18b64, p2, 1)
-		if err != nil {
-			return nil, err
-		}
-		rP3, err := p.Epoch(r18b64, p3, 1)
-		if err != nil {
-			return nil, err
-		}
-		ok := sP2.Cost < sP3.Cost && rP3.Cost < rP2.Cost
-		t.AddRow("C11 P2/P3 cost crossover",
-			"ShuffleNet cheapest on P2, ResNet18 on P3",
-			fmt.Sprintf("shufflenet $%.2f vs $%.2f; resnet18 $%.2f vs $%.2f",
-				sP2.Cost, sP3.Cost, rP2.Cost, rP3.Cost),
-			verdict(ok))
-	}
-
 	return []*report.Table{t}, nil
 }

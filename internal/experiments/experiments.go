@@ -25,6 +25,12 @@ type Config struct {
 
 	// Seed feeds the provisioner (matters only under lottery slicing).
 	Seed int64
+
+	// Parallelism bounds how many scenario cells (and, under RunMany,
+	// experiments) run concurrently: 0 = GOMAXPROCS, 1 = serial. Output
+	// is byte-identical at every setting — cells land in index-ordered
+	// slots and rows are assembled in paper order.
+	Parallelism int
 }
 
 // DefaultConfig returns the configuration the benches and CLIs use.
@@ -39,33 +45,82 @@ func (c Config) normalize() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Parallelism < 0 {
+		c.Parallelism = 1
+	}
 	return c
 }
 
+// profilerKey identifies the profiler a configuration shares. It
+// excludes Parallelism: the scenario results are the same at any worker
+// count, so serial and parallel sweeps share one cache.
+type profilerKey struct {
+	iterations int
+	seed       int64
+}
+
+// maxSharedProfilers bounds the shared-profiler LRU. Each profiler owns
+// a full scenario cache, so an unbounded map leaks one cache per
+// distinct bench seed; sweeps only ever interleave a handful of
+// configurations at a time.
+const maxSharedProfilers = 8
+
 // sharedProfilers memoizes plain profilers per configuration so that
 // experiments reuse each other's deterministic scenario results (the
-// profiler itself caches runs).
+// profiler itself caches runs). Least-recently-used entries are evicted
+// beyond maxSharedProfilers.
 var sharedProfilers = struct {
 	sync.Mutex
-	m map[Config]*core.Profiler
-}{m: make(map[Config]*core.Profiler)}
+	m     map[profilerKey]*core.Profiler
+	order []profilerKey // LRU order, oldest first
+}{m: make(map[profilerKey]*core.Profiler)}
 
 // profiler builds (or reuses) a Stash profiler for this configuration.
 // Passing extra options always builds a fresh, unshared profiler.
 func (c Config) profiler(opts ...core.Option) *core.Profiler {
 	c = c.normalize()
-	base := []core.Option{core.WithIterations(c.Iterations), core.WithSeed(c.Seed)}
+	base := []core.Option{
+		core.WithIterations(c.Iterations),
+		core.WithSeed(c.Seed),
+		core.WithParallelism(c.Parallelism),
+	}
 	if len(opts) > 0 {
 		return core.New(append(base, opts...)...)
 	}
+	key := profilerKey{iterations: c.Iterations, seed: c.Seed}
 	sharedProfilers.Lock()
 	defer sharedProfilers.Unlock()
-	if p, ok := sharedProfilers.m[c]; ok {
+	if p, ok := sharedProfilers.m[key]; ok {
+		touchProfiler(key)
 		return p
 	}
+	if len(sharedProfilers.order) >= maxSharedProfilers {
+		oldest := sharedProfilers.order[0]
+		sharedProfilers.order = sharedProfilers.order[1:]
+		delete(sharedProfilers.m, oldest)
+	}
 	p := core.New(base...)
-	sharedProfilers.m[c] = p
+	sharedProfilers.m[key] = p
+	sharedProfilers.order = append(sharedProfilers.order, key)
 	return p
+}
+
+// touchProfiler moves key to the most-recently-used end. Callers hold
+// the sharedProfilers lock.
+func touchProfiler(key profilerKey) {
+	for i, k := range sharedProfilers.order {
+		if k == key {
+			sharedProfilers.order = append(append(sharedProfilers.order[:i:i], sharedProfilers.order[i+1:]...), key)
+			return
+		}
+	}
+}
+
+// SchedulerStats reports the shared profiler's scenario-scheduler
+// counters for this configuration (simulations, cache hits,
+// single-flight waits).
+func SchedulerStats(cfg Config) core.Stats {
+	return cfg.profiler().Stats()
 }
 
 // Experiment is a runnable reproduction of one paper artifact.

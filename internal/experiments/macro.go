@@ -31,99 +31,81 @@ func configLabels(cfgs []clusterConfig) []string {
 	return labels
 }
 
+// assembleRows fills tables (one cell string per table per grid entry)
+// from the concurrently computed grid, in fixed job-then-config order.
+func assembleRows(grid [][]string, jobs []workload.Job, nConfigs int, tables ...*report.Table) {
+	for ji, job := range jobs {
+		rows := make([][]string, len(tables))
+		for ti := range rows {
+			rows[ti] = []string{jobLabel(job)}
+		}
+		for ci := 0; ci < nConfigs; ci++ {
+			cell := grid[ji*nConfigs+ci]
+			for ti := range tables {
+				rows[ti] = append(rows[ti], cell[ti])
+			}
+		}
+		for ti, t := range tables {
+			t.AddRow(rows[ti]...)
+		}
+	}
+}
+
 // dataStallPair produces the CPU-stall and disk-stall tables of a Fig
 // 4/8/9-style panel.
 func dataStallPair(cfg Config, title string, jobs []workload.Job, configs []clusterConfig) ([]*report.Table, error) {
-	p := cfg.profiler()
 	cols := append([]string{"model"}, configLabels(configs)...)
 	cpu := report.NewTable(title+" - CPU stall % of training time", cols...)
 	disk := report.NewTable(title+" - disk stall % of training time", cols...)
-	for _, job := range jobs {
-		cpuRow := []string{jobLabel(job)}
-		diskRow := []string{jobLabel(job)}
-		for _, cc := range configs {
-			it, err := instanceOf(cc)
-			if err != nil {
-				return nil, err
-			}
-			ds, err := p.ClusterDataStalls(job, it, cc.count)
-			if err != nil {
-				cell, cerr := cellErr(err)
-				if cerr != nil {
-					return nil, fmt.Errorf("%s on %s: %w", jobLabel(job), cc.label, cerr)
-				}
-				cpuRow = append(cpuRow, cell)
-				diskRow = append(diskRow, cell)
-				continue
-			}
-			cpuRow = append(cpuRow, report.Pct(ds.PrepPct))
-			diskRow = append(diskRow, report.Pct(ds.FetchPct))
+	grid, err := gridCells(cfg, jobs, configs, 2, func(p *core.Profiler, job workload.Job, it cloud.InstanceType, cc clusterConfig) ([]string, error) {
+		ds, err := p.ClusterDataStalls(job, it, cc.count)
+		if err != nil {
+			return nil, err
 		}
-		cpu.AddRow(cpuRow...)
-		disk.AddRow(diskRow...)
+		return []string{report.Pct(ds.PrepPct), report.Pct(ds.FetchPct)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	assembleRows(grid, jobs, len(configs), cpu, disk)
 	return []*report.Table{cpu, disk}, nil
 }
 
 // icStallTable produces a Fig 5/11-style interconnect-stall table.
 func icStallTable(cfg Config, title string, jobs []workload.Job, configs []clusterConfig) (*report.Table, error) {
-	p := cfg.profiler()
 	cols := append([]string{"model"}, configLabels(configs)...)
 	t := report.NewTable(title, cols...)
-	for _, job := range jobs {
-		row := []string{jobLabel(job)}
-		for _, cc := range configs {
-			it, err := instanceOf(cc)
-			if err != nil {
-				return nil, err
-			}
-			s, err := p.ClusterCommStall(job, it, cc.count)
-			if err != nil {
-				cell, cerr := cellErr(err)
-				if cerr != nil {
-					return nil, fmt.Errorf("%s on %s: %w", jobLabel(job), cc.label, cerr)
-				}
-				row = append(row, cell)
-				continue
-			}
-			row = append(row, report.Pct(s.Pct))
+	grid, err := gridCells(cfg, jobs, configs, 1, func(p *core.Profiler, job workload.Job, it cloud.InstanceType, cc clusterConfig) ([]string, error) {
+		s, err := p.ClusterCommStall(job, it, cc.count)
+		if err != nil {
+			return nil, err
 		}
-		t.AddRow(row...)
+		return []string{report.Pct(s.Pct)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	assembleRows(grid, jobs, len(configs), t)
 	return t, nil
 }
 
 // timeCostPair produces the epoch-time and epoch-cost tables of a Fig
 // 6/10/12/14-style panel.
 func timeCostPair(cfg Config, title string, jobs []workload.Job, configs []clusterConfig) ([]*report.Table, error) {
-	p := cfg.profiler()
 	cols := append([]string{"model"}, configLabels(configs)...)
 	times := report.NewTable(title+" - training time per epoch", cols...)
 	costs := report.NewTable(title+" - training cost per epoch", cols...)
-	for _, job := range jobs {
-		timeRow := []string{jobLabel(job)}
-		costRow := []string{jobLabel(job)}
-		for _, cc := range configs {
-			it, err := instanceOf(cc)
-			if err != nil {
-				return nil, err
-			}
-			est, err := p.Epoch(job, it, cc.count)
-			if err != nil {
-				cell, cerr := cellErr(err)
-				if cerr != nil {
-					return nil, fmt.Errorf("%s on %s: %w", jobLabel(job), cc.label, cerr)
-				}
-				timeRow = append(timeRow, cell)
-				costRow = append(costRow, cell)
-				continue
-			}
-			timeRow = append(timeRow, report.Dur(est.Time))
-			costRow = append(costRow, report.Money(est.Cost))
+	grid, err := gridCells(cfg, jobs, configs, 2, func(p *core.Profiler, job workload.Job, it cloud.InstanceType, cc clusterConfig) ([]string, error) {
+		est, err := p.Epoch(job, it, cc.count)
+		if err != nil {
+			return nil, err
 		}
-		times.AddRow(timeRow...)
-		costs.AddRow(costRow...)
+		return []string{report.Dur(est.Time), report.Money(est.Cost)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	assembleRows(grid, jobs, len(configs), times, costs)
 	return []*report.Table{times, costs}, nil
 }
 
@@ -192,21 +174,30 @@ func Fig7(cfg Config) ([]*report.Table, error) {
 	p := cfg.profiler()
 	t := report.NewTable("Fig 7: per-GPU PCIe bandwidth measured in P2 (all GPUs concurrent)",
 		"instance", "GPUs", "per-GPU bandwidth", "vs network rating")
-	for _, name := range []string{"p2.xlarge", "p2.8xlarge", "p2.16xlarge"} {
-		it, err := cloud.ByName(name)
+	names := []string{"p2.xlarge", "p2.8xlarge", "p2.16xlarge"}
+	rows := make([][]string, len(names))
+	err := cfg.forEach(len(names), func(i int) error {
+		it, err := cloud.ByName(names[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		probe, err := p.PCIeBandwidthProbe(it)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		verdict := "above"
 		if probe.MinPerGPU() < it.NetworkGbps*1e9/8 {
 			verdict = "below"
 		}
-		t.AddRow(name, fmt.Sprintf("%d", it.NGPUs), report.GBps(probe.MinPerGPU()),
-			fmt.Sprintf("%s %s Gbps", verdict, it.NetworkDesc))
+		rows[i] = []string{names[i], fmt.Sprintf("%d", it.NGPUs), report.GBps(probe.MinPerGPU()),
+			fmt.Sprintf("%s %s Gbps", verdict, it.NetworkDesc)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return []*report.Table{t}, nil
 }
@@ -312,26 +303,38 @@ func Fig13(cfg Config) ([]*report.Table, error) {
 		"batch size",
 		resnet.Name+" (sliced)", vgg.Name+" (sliced)",
 		resnet.Name+" (whole)", vgg.Name+" (whole)")
-	for _, bs := range workload.SmallBatchSizes() {
-		row := []string{fmt.Sprintf("%d", bs)}
-		for _, p := range []*core.Profiler{degraded, clean} {
-			for _, m := range []*dnn.Model{resnet, vgg} {
-				job, err := newJob(m, bs)
-				if err != nil {
-					return nil, err
-				}
-				s, err := p.NetworkStall(job, it, 2)
-				if err != nil {
-					cell, cerr := cellErr(err)
-					if cerr != nil {
-						return nil, cerr
-					}
-					row = append(row, cell)
-					continue
-				}
-				row = append(row, report.Pct(s.Pct))
-			}
+	// One cell per (batch size, slice outcome, model); the two slice
+	// outcomes use distinct profilers, so all cells are independent.
+	batches := workload.SmallBatchSizes()
+	profilers := []*core.Profiler{degraded, clean}
+	models := []*dnn.Model{resnet, vgg}
+	perRow := len(profilers) * len(models)
+	cells := make([]string, len(batches)*perRow)
+	err = cfg.forEach(len(cells), func(i int) error {
+		bs := batches[i/perRow]
+		p := profilers[(i%perRow)/len(models)]
+		m := models[i%len(models)]
+		job, err := newJob(m, bs)
+		if err != nil {
+			return err
 		}
+		s, err := p.NetworkStall(job, it, 2)
+		if err != nil {
+			cell, cerr := cellErr(err)
+			if cerr != nil {
+				return cerr
+			}
+			cells[i] = cell
+			return nil
+		}
+		cells[i] = report.Pct(s.Pct)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bi, bs := range batches {
+		row := append([]string{fmt.Sprintf("%d", bs)}, cells[bi*perRow:(bi+1)*perRow]...)
 		t.AddRow(row...)
 	}
 	return []*report.Table{t}, nil

@@ -64,27 +64,37 @@ func Fig16(cfg Config) ([]*report.Table, error) {
 		"series", "model", "param layers", "gradient MB", "I/C stall %", "I/C stall time")
 	nw := report.NewTable("Fig 16b: N/W stall % vs number of layers (2 nodes, batch 32)",
 		"series", "model", "param layers", "gradient MB", "N/W stall %", "N/W stall time")
-	for _, v := range variants {
+	type stalls struct {
+		ic core.ICStall
+		nw core.NWStall
+	}
+	cells := make([]stalls, len(variants))
+	err = cfg.forEach(len(variants), func(i int) error {
+		v := variants[i]
 		job, err := newJob(v.model, 32)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		ics, err := p.InterconnectStall(job, it)
-		if err != nil {
-			return nil, fmt.Errorf("fig16 I/C %s: %w", v.model.Name, err)
+		if cells[i].ic, err = p.InterconnectStall(job, it); err != nil {
+			return fmt.Errorf("fig16 I/C %s: %w", v.model.Name, err)
 		}
-		nws, err := p.NetworkStall(job, it, 2)
-		if err != nil {
-			return nil, fmt.Errorf("fig16 N/W %s: %w", v.model.Name, err)
+		if cells[i].nw, err = p.NetworkStall(job, it, 2); err != nil {
+			return fmt.Errorf("fig16 N/W %s: %w", v.model.Name, err)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
 		ic.AddRow(v.series, v.model.Name,
 			fmt.Sprintf("%d", v.model.NumParamLayers()),
 			fmt.Sprintf("%.1f", v.model.GradientBytes()/1e6),
-			report.Pct(ics.Pct), report.Dur(ics.Stall))
+			report.Pct(cells[i].ic.Pct), report.Dur(cells[i].ic.Stall))
 		nw.AddRow(v.series, v.model.Name,
 			fmt.Sprintf("%d", v.model.NumParamLayers()),
 			fmt.Sprintf("%.1f", v.model.GradientBytes()/1e6),
-			report.Pct(nws.Pct), report.Dur(nws.Stall))
+			report.Pct(cells[i].nw.Pct), report.Dur(cells[i].nw.Stall))
 	}
 	return []*report.Table{ic, nw}, nil
 }
@@ -110,32 +120,41 @@ func LargeModelOnP2(cfg Config) ([]*report.Table, error) {
 		{"p2.16xlarge", 32},
 		{"p2.16xlarge", 8},
 	}
-	for _, c := range cells {
-		it, err := cloud.ByName(c.instance)
+	// Measure all cells concurrently; the cost-relative column depends
+	// on the p3 baseline, so rows are derived serially afterwards.
+	type measured struct {
+		ic  core.ICStall
+		est core.EpochEstimate
+	}
+	ms := make([]measured, len(cells))
+	err = cfg.forEach(len(cells), func(i int) error {
+		it, err := cloud.ByName(cells[i].instance)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		job, err := newJob(resnet50, c.batch)
+		job, err := newJob(resnet50, cells[i].batch)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		ic, err := p.InterconnectStall(job, it)
-		if err != nil {
-			return nil, err
+		if ms[i].ic, err = p.InterconnectStall(job, it); err != nil {
+			return err
 		}
-		est, err := p.Epoch(job, it, 1)
-		if err != nil {
-			return nil, err
-		}
+		ms[i].est, err = p.Epoch(job, it, 1)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
 		if c.instance == "p3.16xlarge" {
-			p3Cost = est.Cost
+			p3Cost = ms[i].est.Cost
 		}
 		rel := "1.0x"
 		if p3Cost > 0 {
-			rel = fmt.Sprintf("%.1fx", est.Cost/p3Cost)
+			rel = fmt.Sprintf("%.1fx", ms[i].est.Cost/p3Cost)
 		}
-		t.AddRow(c.instance, fmt.Sprintf("%d", c.batch), report.Pct(ic.Pct),
-			report.Dur(est.Time), report.Money(est.Cost), rel)
+		t.AddRow(c.instance, fmt.Sprintf("%d", c.batch), report.Pct(ms[i].ic.Pct),
+			report.Dur(ms[i].est.Time), report.Money(ms[i].est.Cost), rel)
 	}
 	return []*report.Table{t}, nil
 }
@@ -148,33 +167,35 @@ func BERT24xl(cfg Config) ([]*report.Table, error) {
 	bert := dnn.BERTLarge()
 	t := report.NewTable("SV-B: BERT-large, p3.16xlarge vs p3.24xlarge",
 		"instance", "batch", "epoch time", "epoch cost", "time vs 16xlarge bs4")
-	var base float64
-	for _, c := range []struct {
+	cells := []struct {
 		instance string
 		batch    int
 	}{
 		{"p3.16xlarge", 4},
 		{"p3.24xlarge", 4},
 		{"p3.24xlarge", 8},
-	} {
-		it, err := cloud.ByName(c.instance)
+	}
+	ests := make([]core.EpochEstimate, len(cells))
+	err := cfg.forEach(len(cells), func(i int) error {
+		it, err := cloud.ByName(cells[i].instance)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		job, err := newJob(bert, c.batch)
+		job, err := newJob(bert, cells[i].batch)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		est, err := p.Epoch(job, it, 1)
-		if err != nil {
-			return nil, err
-		}
-		if base == 0 {
-			base = est.Time.Seconds()
-		}
-		t.AddRow(c.instance, fmt.Sprintf("%d", c.batch), report.Dur(est.Time),
-			report.Money(est.Cost),
-			fmt.Sprintf("%+.1f%%", 100*(est.Time.Seconds()-base)/base))
+		ests[i], err = p.Epoch(job, it, 1)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := ests[0].Time.Seconds()
+	for i, c := range cells {
+		t.AddRow(c.instance, fmt.Sprintf("%d", c.batch), report.Dur(ests[i].Time),
+			report.Money(ests[i].Cost),
+			fmt.Sprintf("%+.1f%%", 100*(ests[i].Time.Seconds()-base)/base))
 	}
 	return []*report.Table{t}, nil
 }
@@ -198,19 +219,24 @@ func PSvsAllReduce(cfg Config) ([]*report.Table, error) {
 	}
 	t := report.NewTable("SIII: ring all-reduce vs parameter server (p3.16xlarge, batch 32)",
 		"model", "ring I/C stall %", "PS I/C stall %", "PS/ring stall-time ratio")
-	for _, m := range []*dnn.Model{resnet, vgg} {
-		job, err := newJob(m, 32)
+	// One cell per (model, algorithm): the two algorithms live on
+	// separate profilers, so all four measurements are independent.
+	models := []*dnn.Model{resnet, vgg}
+	profilers := []*core.Profiler{ring, ps}
+	cells := make([]core.ICStall, len(models)*len(profilers))
+	err = cfg.forEach(len(cells), func(i int) error {
+		job, err := newJob(models[i/len(profilers)], 32)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		r, err := ring.InterconnectStall(job, it)
-		if err != nil {
-			return nil, err
-		}
-		s, err := ps.InterconnectStall(job, it)
-		if err != nil {
-			return nil, err
-		}
+		cells[i], err = profilers[i%len(profilers)].InterconnectStall(job, it)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, m := range models {
+		r, s := cells[mi*len(profilers)], cells[mi*len(profilers)+1]
 		ratio := "inf"
 		if r.Stall > 0 {
 			ratio = fmt.Sprintf("%.1fx", s.Stall.Seconds()/r.Stall.Seconds())

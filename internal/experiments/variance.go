@@ -60,15 +60,22 @@ func NetworkVariance(cfg Config) ([]*report.Table, error) {
 
 	t := report.NewTable("EXT: VPC network QoS variance (vgg11, 2x p3.8xlarge, batch 32)",
 		"jitter", "draws", "min iter", "mean iter", "max iter", "spread")
-	for _, jitter := range []float64{0, 0.2, 0.4} {
-		const draws = 10
+	jitters := []float64{0, 0.2, 0.4}
+	const draws = 10
+	// Every (jitter, draw) pair provisions its own engine, so the whole
+	// grid sweeps concurrently; aggregates are folded in order afterwards.
+	iters := make([]time.Duration, len(jitters)*draws)
+	if err := cfg.forEach(len(iters), func(i int) error {
+		var err error
+		iters[i], err = run(c.Seed+int64(i%draws), jitters[i/draws])
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for ji, jitter := range jitters {
 		minT, maxT := time.Duration(math.MaxInt64), time.Duration(0)
 		var sum time.Duration
-		for d := 0; d < draws; d++ {
-			iter, err := run(c.Seed+int64(d), jitter)
-			if err != nil {
-				return nil, err
-			}
+		for _, iter := range iters[ji*draws : (ji+1)*draws] {
 			sum += iter
 			if iter < minT {
 				minT = iter

@@ -1,0 +1,25 @@
+#!/bin/sh
+# ci.sh — the repository's full verification gate.
+#
+# Tier-1 (ROADMAP.md) is `go build ./... && go test ./...`; this script
+# adds vet and a race-detector pass, which is the real guard for the
+# parallel scenario scheduler (single-flight profiler cache + worker
+# pools). Run from the repository root:
+#
+#   ./scripts/ci.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> ci.sh: all checks passed"
