@@ -17,7 +17,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
@@ -129,35 +128,8 @@ func runRecommend(p *core.Profiler, job workload.Job, cons core.Constraints) err
 	return nil
 }
 
-// lookupModel resolves zoo names plus parametric resnet<N>/vgg<N>.
+// lookupModel resolves zoo names plus parametric resnet<N>/vgg<N>;
+// the shared resolver also backs stashd's /v1 endpoints.
 func lookupModel(name string) (*dnn.Model, error) {
-	if m, err := dnn.ByName(name); err == nil {
-		return m, nil
-	}
-	if depth, ok := strings.CutPrefix(name, "resnet"); ok {
-		if d, err := strconv.Atoi(depth); err == nil {
-			return dnn.ResNet(d)
-		}
-	}
-	if depth, ok := strings.CutPrefix(name, "vgg"); ok {
-		if d, err := strconv.Atoi(depth); err == nil {
-			return dnn.VGG(d)
-		}
-	}
-	if depth, ok := strings.CutPrefix(name, "densenet"); ok {
-		if d, err := strconv.Atoi(depth); err == nil {
-			return dnn.DenseNet(d)
-		}
-	}
-	switch name {
-	case "bert-base":
-		return dnn.BERTBase(), nil
-	case "gpt2-small":
-		return dnn.GPT2Small(), nil
-	case "resnext50":
-		return dnn.ResNeXt50()
-	case "wide_resnet50":
-		return dnn.WideResNet50()
-	}
-	return nil, fmt.Errorf("unknown model %q", name)
+	return dnn.Resolve(name)
 }

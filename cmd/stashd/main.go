@@ -1,0 +1,112 @@
+// Command stashd is the long-running Stash profiling service: the
+// profiler, the recommendation engine and all 25 paper artifacts served
+// over a versioned JSON API (see docs/API.md for the full contract).
+//
+// Usage:
+//
+//	stashd [-addr :8321] [-iters N] [-exp-iters N] [-seed S]
+//	       [-parallel N] [-max-concurrent N]
+//	       [-request-timeout D] [-drain-timeout D]
+//
+// Endpoints:
+//
+//	POST /v1/profile              four stalls + epoch cost for one workload
+//	POST /v1/recommend            ranked configurations under constraints
+//	GET  /v1/experiments          the paper-artifact registry
+//	GET  /v1/experiments/{id}     run one artifact, tables as JSON
+//	GET  /healthz                 liveness probe
+//	GET  /metrics                 Prometheus text counters
+//
+// All requests share one single-flight memoized profiler, so repeated
+// and concurrent requests for overlapping scenarios simulate each
+// distinct scenario exactly once. On SIGTERM/SIGINT the server stops
+// accepting connections and drains in-flight profiles for up to
+// -drain-timeout before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"stash/internal/api"
+	"stash/internal/core"
+	"stash/internal/experiments"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "stashd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the service and blocks until the listener fails or ctx is
+// cancelled (the signal context in main); it then drains in-flight
+// requests before returning.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("stashd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8321", "listen address")
+	iters := fs.Int("iters", core.DefaultIterations, "profiling iterations per scenario (profile/recommend)")
+	expIters := fs.Int("exp-iters", experiments.DefaultConfig().Iterations, "profiling iterations per scenario (experiments)")
+	seed := fs.Int64("seed", 1, "provisioning seed")
+	parallel := fs.Int("parallel", 0, "per-request worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	maxConc := fs.Int("max-concurrent", runtime.GOMAXPROCS(0), "concurrent heavy requests (profile/recommend/experiment)")
+	reqTimeout := fs.Duration("request-timeout", api.DefaultRequestTimeout, "per-request deadline")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain window")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := api.New(
+		api.WithIterations(*iters),
+		api.WithExperimentIterations(*expIters),
+		api.WithSeed(*seed),
+		api.WithParallelism(*parallel),
+		api.WithMaxConcurrent(*maxConc),
+		api.WithRequestTimeout(*reqTimeout),
+	)
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Fprintf(out, "stashd: listening on %s\n", ln.Addr())
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(out, "stashd: shutting down, draining in-flight requests")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(out, "stashd: drained, exiting")
+	return nil
+}

@@ -1,0 +1,72 @@
+package stash
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// userDocs are the documents the repository owns and ships; ci.sh runs
+// this checker so a renamed package, deleted example or moved file
+// can't leave dangling references behind.
+var userDocs = []string{
+	"README.md",
+	"DESIGN.md",
+	"EXPERIMENTS.md",
+	"docs/API.md",
+}
+
+var (
+	mdLink    = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	goRunPath = regexp.MustCompile(`go (?:run|test)[^\n]*?(\./[\w./-]+)`)
+)
+
+// TestDocsRelativeLinksResolve verifies that every relative markdown
+// link in the user-facing docs points at a file or directory that
+// exists.
+func TestDocsRelativeLinksResolve(t *testing.T) {
+	for _, doc := range userDocs {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("read %s: %v", doc, err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external
+			}
+			// Drop any #fragment; a bare fragment links within the file.
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue
+			}
+			p := filepath.Join(filepath.Dir(doc), target)
+			if _, err := os.Stat(p); err != nil {
+				t.Errorf("%s: broken link %q (%v)", doc, m[1], err)
+			}
+		}
+	}
+}
+
+// TestDocsGoCommandsResolve verifies that every `go run` / `go test`
+// package path quoted in the user-facing docs exists, so documented
+// commands can't silently rot when a directory moves.
+func TestDocsGoCommandsResolve(t *testing.T) {
+	for _, doc := range userDocs {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("read %s: %v", doc, err)
+		}
+		for _, m := range goRunPath.FindAllStringSubmatch(string(data), -1) {
+			path := m[1]
+			if strings.Contains(path, "...") {
+				continue // wildcard patterns like ./... always resolve
+			}
+			if _, err := os.Stat(path); err != nil {
+				t.Errorf("%s: documented command references %q which does not exist", doc, path)
+			}
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Package api implements stashd's versioned HTTP surface: the Stash
+// profiler, the recommendation engine and all 25 paper artifacts served
+// as a JSON request/response API (see docs/API.md for the full
+// contract).
+//
+// The server holds one shared single-flight profiler — the same
+// memoized scenario cache the parallel experiment suite uses — so every
+// request that needs a scenario another request already simulated gets
+// it for free, and concurrent requests for the same scenario run
+// exactly one simulation. Because the substrate is a deterministic
+// simulator, every /v1 response is byte-stable for a given server
+// configuration: two servers with the same flags return identical
+// bytes for identical requests, which is what lets docs/API.md embed
+// verified example responses.
+//
+// Operational behavior:
+//
+//   - every request runs under a per-request timeout (WithRequestTimeout)
+//     whose context is threaded through core and experiments, so an
+//     expired request stops at the next scenario boundary;
+//   - heavy endpoints (/v1/profile, /v1/recommend, /v1/experiments/{id})
+//     pass through a bounded-concurrency gate (WithMaxConcurrent);
+//     within a request, sweeps fan out on core.ForEach's worker pool
+//     (WithParallelism);
+//   - graceful shutdown is the caller's http.Server.Shutdown, which
+//     drains in-flight profiles before returning (cmd/stashd wires it
+//     to SIGTERM/SIGINT).
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"stash/internal/core"
+	"stash/internal/experiments"
+)
+
+// DefaultRequestTimeout bounds one request's simulation work unless
+// WithRequestTimeout overrides it.
+const DefaultRequestTimeout = 60 * time.Second
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithIterations sets the profiling window used by /v1/profile and
+// /v1/recommend (default core.DefaultIterations, matching cmd/stash, so
+// API numbers equal CLI numbers).
+func WithIterations(n int) Option {
+	return func(s *Server) { s.iterations = n }
+}
+
+// WithSeed sets the provisioning seed for the server's profiler and
+// experiment runs.
+func WithSeed(seed int64) Option {
+	return func(s *Server) { s.seed = seed }
+}
+
+// WithParallelism bounds the per-request worker pools (recommendation
+// candidates, experiment grid cells): 0 = GOMAXPROCS, 1 = serial.
+func WithParallelism(n int) Option {
+	return func(s *Server) { s.parallelism = n }
+}
+
+// WithRequestTimeout sets the per-request deadline; the context is
+// threaded through core/experiments, so the request stops at the next
+// scenario boundary and returns 504.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) { s.timeout = d }
+}
+
+// WithMaxConcurrent bounds how many heavy requests (profile, recommend,
+// experiment runs) execute simultaneously; excess requests queue until
+// a slot frees or their deadline expires (503). Default GOMAXPROCS.
+func WithMaxConcurrent(n int) Option {
+	return func(s *Server) { s.maxConcurrent = n }
+}
+
+// WithExperimentIterations sets the profiling window for
+// /v1/experiments/{id} (default experiments.DefaultConfig().Iterations,
+// matching cmd/characterize, so API tables equal CLI tables).
+func WithExperimentIterations(n int) Option {
+	return func(s *Server) { s.expIterations = n }
+}
+
+// Server is the stashd HTTP service. Create with New, mount with
+// Handler; it is safe for concurrent use.
+type Server struct {
+	iterations    int
+	expIterations int
+	seed          int64
+	parallelism   int
+	timeout       time.Duration
+	maxConcurrent int
+
+	profiler *core.Profiler
+	expCfg   experiments.Config
+	sem      chan struct{}
+	metrics  *metrics
+	mux      *http.ServeMux
+}
+
+// New builds a stashd server with the given options.
+func New(opts ...Option) *Server {
+	s := &Server{
+		iterations:    core.DefaultIterations,
+		expIterations: experiments.DefaultConfig().Iterations,
+		seed:          1,
+		timeout:       DefaultRequestTimeout,
+		maxConcurrent: runtime.GOMAXPROCS(0),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.timeout <= 0 {
+		s.timeout = DefaultRequestTimeout
+	}
+	if s.maxConcurrent < 1 {
+		s.maxConcurrent = 1
+	}
+	s.profiler = core.New(
+		core.WithIterations(s.iterations),
+		core.WithSeed(s.seed),
+		core.WithParallelism(s.parallelism),
+	)
+	s.expCfg = experiments.Config{
+		Iterations:  s.expIterations,
+		Seed:        s.seed,
+		Parallelism: s.parallelism,
+	}
+	s.sem = make(chan struct{}, s.maxConcurrent)
+	s.metrics = newMetrics(s.profiler, s.expCfg)
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.route("healthz", false, s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.route("metrics", false, s.handleMetrics))
+	s.mux.HandleFunc("POST /v1/profile", s.route("profile", true, s.handleProfile))
+	s.mux.HandleFunc("POST /v1/recommend", s.route("recommend", true, s.handleRecommend))
+	s.mux.HandleFunc("GET /v1/experiments", s.route("experiments", false, s.handleExperimentList))
+	s.mux.HandleFunc("GET /v1/experiments/{id}", s.route("experiment", true, s.handleExperimentRun))
+	return s
+}
+
+// Handler returns the server's root handler: the /v1 API plus /healthz
+// and /metrics, with method mismatches answered 405 and unknown paths
+// 404 (both as JSON errors).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, pattern := s.mux.Handler(r); pattern == "" {
+			// ServeMux would render its own text/plain 404/405; keep the
+			// error contract JSON instead.
+			code, ec := http.StatusNotFound, errNotFound
+			if s.pathExists(r) {
+				code, ec = http.StatusMethodNotAllowed, errMethodNotAllowed
+			}
+			s.metrics.observe("other", code, 0)
+			writeError(w, code, ec, fmt.Sprintf("no handler for %s %s", r.Method, r.URL.Path))
+			return
+		}
+		// Dispatch through the mux itself so pattern wildcards
+		// (PathValue) are populated.
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// pathExists reports whether the request path is served under some
+// other method (drives 405 vs 404).
+func (s *Server) pathExists(r *http.Request) bool {
+	for _, m := range []string{http.MethodGet, http.MethodPost} {
+		if m == r.Method {
+			continue
+		}
+		probe := r.Clone(r.Context())
+		probe.Method = m
+		if _, pattern := s.mux.Handler(probe); pattern != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// statusWriter records the response code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// route wraps a handler with the server's cross-cutting behavior:
+// per-request timeout, the bounded-concurrency gate for heavy
+// endpoints, and request/latency metrics.
+func (s *Server) route(endpoint string, heavy bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		s.metrics.inflight.Add(1)
+		defer s.metrics.inflight.Add(-1)
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+
+		if heavy {
+			// Prefer a free slot over an expired deadline so a request
+			// that could run immediately is never bounced with 503; a
+			// dead context then surfaces as 504 from the handler itself.
+			acquired := false
+			select {
+			case s.sem <- struct{}{}:
+				acquired = true
+			default:
+			}
+			if !acquired {
+				select {
+				case s.sem <- struct{}{}:
+				case <-ctx.Done():
+					writeError(sw, http.StatusServiceUnavailable, errOverloaded,
+						"server at max concurrent requests; deadline expired while queued")
+					s.metrics.observe(endpoint, sw.status(), time.Since(start))
+					return
+				}
+			}
+			defer func() { <-s.sem }()
+		}
+		h(sw, r)
+		s.metrics.observe(endpoint, sw.status(), time.Since(start))
+	}
+}
+
+// handleHealthz answers liveness/readiness probes. The body is static
+// so it is byte-stable for the docs verifier.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+}
+
+// handleMetrics renders the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, s.metrics.render())
+}
+
+// decode parses a JSON request body into dst, rejecting unknown fields
+// so client typos surface as 400s instead of silently ignored options.
+func decode(r *http.Request, dst any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("invalid JSON body: %w", err)
+	}
+	return nil
+}
+
+// fail maps an error from the profiling stack to the API error
+// contract: expired deadlines are 504, OOM and infeasible constraints
+// are 422 (the request was well-formed but cannot be satisfied),
+// everything else is a 500.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	var oom *core.OOMError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		writeError(w, http.StatusGatewayTimeout, errTimeout,
+			"request deadline expired during simulation: "+err.Error())
+	case errors.As(err, &oom):
+		writeError(w, http.StatusUnprocessableEntity, errOOM, err.Error())
+	case errors.Is(err, core.ErrNoFeasibleConfig):
+		writeError(w, http.StatusUnprocessableEntity, errInfeasible, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, errInternal, err.Error())
+	}
+}

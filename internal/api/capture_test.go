@@ -1,0 +1,66 @@
+package api
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCaptureDocExamples regenerates the verified example bodies that
+// docs/API.md embeds. It is skipped unless STASHD_CAPTURE is set to a
+// directory; then it writes one pretty-printed JSON file per example:
+//
+//	STASHD_CAPTURE=/tmp/captures go test ./internal/api -run CaptureDocExamples
+//
+// Paste the refreshed bodies into docs/API.md whenever the simulator's
+// calibration changes; docs_test.go fails until docs and server agree.
+func TestCaptureDocExamples(t *testing.T) {
+	dir := os.Getenv("STASHD_CAPTURE")
+	if dir == "" {
+		t.Skip("set STASHD_CAPTURE=<dir> to regenerate docs/API.md example bodies")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, ex := range docExamples {
+		var (
+			resp *http.Response
+			err  error
+		)
+		if ex.method == http.MethodGet {
+			resp, err = http.Get(ts.URL + ex.path)
+		} else {
+			resp, err = http.Post(ts.URL+ex.path, "application/json", strings.NewReader(ex.request))
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", ex.name, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", ex.name, err)
+		}
+		if resp.StatusCode != ex.wantStatus {
+			t.Fatalf("%s: status %d, want %d", ex.name, resp.StatusCode, ex.wantStatus)
+		}
+		var v any
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatalf("%s: %v", ex.name, err)
+		}
+		pretty, _ := json.MarshalIndent(v, "", "  ")
+		out := filepath.Join(dir, ex.name+"-response.json")
+		if err := os.WriteFile(out, append(pretty, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", out)
+	}
+}

@@ -1,0 +1,154 @@
+package api
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docExample is one request docs/API.md documents with a verified
+// example. The request string here is the source of truth the doc's
+// `<name>-request` block must match; the live response must match the
+// doc's `<name>-response` block.
+type docExample struct {
+	name       string
+	method     string
+	path       string
+	request    string // empty for GET
+	wantStatus int
+}
+
+// docExamples drives both docs_test.go (verification) and
+// capture_test.go (regeneration). One entry per verified example in
+// docs/API.md.
+var docExamples = []docExample{
+	{"healthz", http.MethodGet, "/healthz", "", http.StatusOK},
+	{"profile", http.MethodPost, "/v1/profile", `{"model":"resnet18","instance":"p3.16xlarge","batch":32}`, http.StatusOK},
+	{"profile-error", http.MethodPost, "/v1/profile", `{"model":"resnet9000","instance":"p3.16xlarge"}`, http.StatusBadRequest},
+	{"recommend", http.MethodPost, "/v1/recommend", `{"model":"vgg11","batch":32,"families":["P3"],"max_epoch_seconds":2400}`, http.StatusOK},
+	{"experiments", http.MethodGet, "/v1/experiments", "", http.StatusOK},
+	{"table2", http.MethodGet, "/v1/experiments/table2", "", http.StatusOK},
+}
+
+var verifyMarker = regexp.MustCompile(`<!--\s*verify:([a-z0-9-]+)\s*-->`)
+
+// parseVerifiedBlocks extracts every `<!-- verify:name -->` marker and
+// the fenced code block that follows it from a markdown file.
+func parseVerifiedBlocks(t *testing.T, path string) map[string]string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	blocks := make(map[string]string)
+	lines := strings.Split(string(data), "\n")
+	for i := 0; i < len(lines); i++ {
+		m := verifyMarker.FindStringSubmatch(lines[i])
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		// Find the fence opening on one of the next few lines.
+		j := i + 1
+		for j < len(lines) && !strings.HasPrefix(strings.TrimSpace(lines[j]), "```") {
+			j++
+		}
+		if j == len(lines) {
+			t.Fatalf("%s: verify:%s has no fenced block", path, name)
+		}
+		var body []string
+		for j++; j < len(lines) && !strings.HasPrefix(strings.TrimSpace(lines[j]), "```"); j++ {
+			body = append(body, lines[j])
+		}
+		if _, dup := blocks[name]; dup {
+			t.Fatalf("%s: duplicate verify:%s", path, name)
+		}
+		blocks[name] = strings.Join(body, "\n")
+		i = j
+	}
+	return blocks
+}
+
+// canonicalJSON reduces a JSON document to a byte-comparable form
+// (sorted object keys, no whitespace), so pretty-printing in the docs
+// never causes spurious mismatches while any value drift still does.
+func canonicalJSON(t *testing.T, s string) string {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal([]byte(s), &v); err != nil {
+		t.Fatalf("invalid JSON %q: %v", s, err)
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestAPIDocExamplesVerified replays every example docs/API.md marks
+// with a verify comment against a default server and fails on any
+// drift, in either direction: an undocumented example entry, a stale
+// documented body, or a verify marker no example exercises. This is
+// the "docs can't rot" gate — if the simulator's calibration or the
+// wire format changes, regenerate with capture_test.go.
+func TestAPIDocExamplesVerified(t *testing.T) {
+	blocks := parseVerifiedBlocks(t, "../../docs/API.md")
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	used := make(map[string]bool)
+	for _, ex := range docExamples {
+		t.Run(ex.name, func(t *testing.T) {
+			if ex.request != "" {
+				reqBlock, ok := blocks[ex.name+"-request"]
+				if !ok {
+					t.Fatalf("docs/API.md missing verify:%s-request", ex.name)
+				}
+				used[ex.name+"-request"] = true
+				if canonicalJSON(t, reqBlock) != canonicalJSON(t, ex.request) {
+					t.Errorf("documented request drifted:\ndoc:  %s\ntest: %s", reqBlock, ex.request)
+				}
+			}
+			respBlock, ok := blocks[ex.name+"-response"]
+			if !ok {
+				t.Fatalf("docs/API.md missing verify:%s-response", ex.name)
+			}
+			used[ex.name+"-response"] = true
+
+			var (
+				resp *http.Response
+				err  error
+			)
+			if ex.method == http.MethodGet {
+				resp, err = http.Get(ts.URL + ex.path)
+			} else {
+				resp, err = http.Post(ts.URL+ex.path, "application/json", strings.NewReader(ex.request))
+			}
+			if err != nil {
+				t.Fatalf("%s %s: %v", ex.method, ex.path, err)
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != ex.wantStatus {
+				t.Fatalf("status = %d, want %d (body %s)", resp.StatusCode, ex.wantStatus, body)
+			}
+			if got, want := canonicalJSON(t, string(body)), canonicalJSON(t, respBlock); got != want {
+				t.Errorf("documented response drifted from the live server:\nlive: %s\ndoc:  %s", got, want)
+			}
+		})
+	}
+	for name := range blocks {
+		if !used[name] {
+			t.Errorf("docs/API.md block verify:%s is not exercised by any docExample", name)
+		}
+	}
+}

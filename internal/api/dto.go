@@ -1,0 +1,256 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"stash/internal/core"
+	"stash/internal/report"
+)
+
+// Error codes of the API contract (docs/API.md). They are stable
+// strings clients can switch on; HTTP status codes carry the coarse
+// class, the code the precise reason.
+const (
+	errInvalidRequest   = "invalid_request"
+	errNotFound         = "not_found"
+	errMethodNotAllowed = "method_not_allowed"
+	errOOM              = "oom"
+	errInfeasible       = "infeasible"
+	errTimeout          = "timeout"
+	errOverloaded       = "overloaded"
+	errInternal         = "internal"
+)
+
+// ErrorBody is the error envelope every non-2xx response carries.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorResponse wraps ErrorBody under the "error" key.
+type ErrorResponse struct {
+	Error ErrorBody `json:"error"`
+}
+
+// HealthResponse is GET /healthz's body.
+type HealthResponse struct {
+	Status string `json:"status"`
+}
+
+// ProfileRequest is POST /v1/profile's body: one (model, instance,
+// batch) workload to characterize.
+type ProfileRequest struct {
+	// Model is any name dnn.Resolve accepts (zoo names plus resnet<N>,
+	// vgg<N>, densenet<N>, resnext50, wide_resnet50, bert-base,
+	// gpt2-small). Required.
+	Model string `json:"model"`
+
+	// Instance is a Table I catalog name (cloud.ByName). Required.
+	Instance string `json:"instance"`
+
+	// Batch is the per-GPU batch size; 0 defaults to 32 (the CLI
+	// default).
+	Batch int `json:"batch,omitempty"`
+
+	// Nodes optionally re-measures the network stall at a different
+	// split than the default 2 (must divide the instance's GPU count).
+	Nodes int `json:"nodes,omitempty"`
+}
+
+// ICStallJSON mirrors core.ICStall with durations in seconds.
+type ICStallJSON struct {
+	SingleGPUSeconds float64 `json:"single_gpu_seconds"`
+	AllGPUSeconds    float64 `json:"all_gpu_seconds"`
+	StallSeconds     float64 `json:"stall_seconds"`
+	StallPct         float64 `json:"stall_pct"`
+}
+
+// DataStallsJSON mirrors core.DataStalls with durations in seconds.
+type DataStallsJSON struct {
+	SyntheticSeconds  float64 `json:"synthetic_seconds"`
+	ColdCacheSeconds  float64 `json:"cold_cache_seconds"`
+	WarmCacheSeconds  float64 `json:"warm_cache_seconds"`
+	PrepStallSeconds  float64 `json:"prep_stall_seconds"`
+	FetchStallSeconds float64 `json:"fetch_stall_seconds"`
+	PrepPct           float64 `json:"prep_pct"`
+	FetchPct          float64 `json:"fetch_pct"`
+}
+
+// NWStallJSON mirrors core.NWStall with durations in seconds.
+type NWStallJSON struct {
+	Nodes                 int     `json:"nodes"`
+	SingleInstanceSeconds float64 `json:"single_instance_seconds"`
+	MultiInstanceSeconds  float64 `json:"multi_instance_seconds"`
+	StallSeconds          float64 `json:"stall_seconds"`
+	StallPct              float64 `json:"stall_pct"`
+}
+
+// EpochJSON mirrors core.EpochEstimate with durations in seconds.
+type EpochJSON struct {
+	Instance            string  `json:"instance"`
+	Nodes               int     `json:"nodes"`
+	WorldSize           int     `json:"world_size"`
+	PerIterationSeconds float64 `json:"per_iteration_seconds"`
+	WarmIterationSecs   float64 `json:"warm_iteration_seconds"`
+	ColdIterationSecs   float64 `json:"cold_iteration_seconds"`
+	IterationsPerEpoch  int     `json:"iterations_per_epoch"`
+	TimeSeconds         float64 `json:"time_seconds"`
+	CostUSD             float64 `json:"cost_usd"`
+}
+
+// ProfileResponse is POST /v1/profile's body: the four stalls, the
+// epoch estimate, and the same rendered text the cmd/stash CLI prints
+// (the golden tests pin them equal).
+type ProfileResponse struct {
+	Model    string `json:"model"`
+	Instance string `json:"instance"`
+	Batch    int    `json:"batch"`
+
+	Interconnect ICStallJSON    `json:"interconnect"`
+	Data         DataStallsJSON `json:"data"`
+
+	// Network is omitted for single-GPU and odd-GPU instances, where
+	// step 5's two-way split does not exist.
+	Network *NWStallJSON `json:"network,omitempty"`
+
+	Epoch EpochJSON `json:"epoch"`
+
+	GPUMemoryUtilizationPct float64 `json:"gpu_memory_utilization_pct"`
+
+	// Rendered is core.Report's plain-text rendering, byte-identical to
+	// the cmd/stash CLI output for the same workload.
+	Rendered string `json:"rendered"`
+}
+
+// RecommendRequest is POST /v1/recommend's body: a workload plus the
+// constraints of core.Constraints, durations expressed in seconds.
+type RecommendRequest struct {
+	// Model and Batch define the workload (Batch 0 defaults to 32).
+	Model string `json:"model"`
+	Batch int    `json:"batch,omitempty"`
+
+	// MaxEpochSeconds is the per-epoch deadline; 0 means none.
+	MaxEpochSeconds float64 `json:"max_epoch_seconds,omitempty"`
+
+	// MaxCostPerEpoch is the per-epoch budget in USD; 0 means none.
+	MaxCostPerEpoch float64 `json:"max_cost_per_epoch,omitempty"`
+
+	// Families restricts instance families; empty allows P2 and P3.
+	Families []string `json:"families,omitempty"`
+
+	// MaxNodes caps network-connected instances; 0 means 2.
+	MaxNodes int `json:"max_nodes,omitempty"`
+}
+
+// CandidateJSON is one feasible configuration in a recommendation.
+type CandidateJSON struct {
+	Instance   string    `json:"instance"`
+	Nodes      int       `json:"nodes"`
+	Epoch      EpochJSON `json:"epoch"`
+	ICStallPct float64   `json:"ic_stall_pct"`
+	Notes      []string  `json:"notes,omitempty"`
+}
+
+// RecommendResponse is POST /v1/recommend's body. Candidates are
+// cheapest-first; Cheapest and Fastest index into them.
+type RecommendResponse struct {
+	Model      string          `json:"model"`
+	Batch      int             `json:"batch"`
+	Candidates []CandidateJSON `json:"candidates"`
+	Cheapest   int             `json:"cheapest"`
+	Fastest    int             `json:"fastest"`
+
+	// Rejected maps configuration labels to why they were excluded
+	// (OOM, over deadline, over budget). JSON object keys render
+	// sorted, so the response stays byte-stable.
+	Rejected map[string]string `json:"rejected,omitempty"`
+
+	ModelAdvice string `json:"model_advice"`
+}
+
+// ExperimentInfo is one registry entry in GET /v1/experiments.
+type ExperimentInfo struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+}
+
+// ExperimentListResponse is GET /v1/experiments's body, in paper order.
+type ExperimentListResponse struct {
+	Experiments []ExperimentInfo `json:"experiments"`
+}
+
+// ExperimentResponse is GET /v1/experiments/{id}'s body: the artifact's
+// tables as structured data (report.Table's JSON encoding).
+type ExperimentResponse struct {
+	ID     string          `json:"id"`
+	Title  string          `json:"title"`
+	Tables []*report.Table `json:"tables"`
+}
+
+// secs converts a duration to float seconds for the wire format.
+func secs(d time.Duration) float64 { return d.Seconds() }
+
+// toICStallJSON converts the core measurement to wire format.
+func toICStallJSON(s core.ICStall) ICStallJSON {
+	return ICStallJSON{
+		SingleGPUSeconds: secs(s.SingleGPU),
+		AllGPUSeconds:    secs(s.AllGPU),
+		StallSeconds:     secs(s.Stall),
+		StallPct:         s.Pct,
+	}
+}
+
+// toDataStallsJSON converts the core measurement to wire format.
+func toDataStallsJSON(s core.DataStalls) DataStallsJSON {
+	return DataStallsJSON{
+		SyntheticSeconds:  secs(s.Synthetic),
+		ColdCacheSeconds:  secs(s.ColdCache),
+		WarmCacheSeconds:  secs(s.WarmCache),
+		PrepStallSeconds:  secs(s.PrepStall),
+		FetchStallSeconds: secs(s.FetchStall),
+		PrepPct:           s.PrepPct,
+		FetchPct:          s.FetchPct,
+	}
+}
+
+// toNWStallJSON converts the core measurement to wire format.
+func toNWStallJSON(s core.NWStall) NWStallJSON {
+	return NWStallJSON{
+		Nodes:                 s.Nodes,
+		SingleInstanceSeconds: secs(s.SingleInstance),
+		MultiInstanceSeconds:  secs(s.MultiInstance),
+		StallSeconds:          secs(s.Stall),
+		StallPct:              s.Pct,
+	}
+}
+
+// toEpochJSON converts the core estimate to wire format.
+func toEpochJSON(e core.EpochEstimate) EpochJSON {
+	return EpochJSON{
+		Instance:            e.Instance,
+		Nodes:               e.Nodes,
+		WorldSize:           e.WorldSize,
+		PerIterationSeconds: secs(e.PerIteration),
+		WarmIterationSecs:   secs(e.WarmIteration),
+		ColdIterationSecs:   secs(e.ColdIteration),
+		IterationsPerEpoch:  e.Iterations,
+		TimeSeconds:         secs(e.Time),
+		CostUSD:             e.Cost,
+	}
+}
+
+// writeJSON writes v as a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError writes the API's JSON error envelope.
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	writeJSON(w, status, ErrorResponse{Error: ErrorBody{Code: code, Message: message}})
+}

@@ -1,0 +1,123 @@
+package api
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"stash/internal/cloud"
+	"stash/internal/core"
+	"stash/internal/dnn"
+	"stash/internal/workload"
+)
+
+// TestProfileGoldenMatchesCLI pins POST /v1/profile to the cmd/stash
+// CLI for the README's Quickstart example (resnet18 on p3.16xlarge at
+// batch 32): a default server must report exactly the numbers a default
+// CLI profiler computes, and the rendered text must be the same bytes
+// the CLI prints. The README example block quotes this output; the
+// readme_test.go checker keeps the three in sync.
+func TestProfileGoldenMatchesCLI(t *testing.T) {
+	s := New() // default server: core.DefaultIterations, matching the CLI
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/profile", "application/json",
+		strings.NewReader(`{"model":"resnet18","instance":"p3.16xlarge","batch":32}`))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var got ProfileResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+
+	// The CLI path: a fresh default profiler over the same workload.
+	model, err := dnn.Resolve("resnet18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := cloud.ByName("p3.16xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := workload.NewJob(model, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.New().Profile(job, it)
+	if err != nil {
+		t.Fatalf("CLI-path profile: %v", err)
+	}
+
+	if got.Rendered != rep.String() {
+		t.Errorf("rendered drifted from CLI output:\nAPI: %q\nCLI: %q", got.Rendered, rep.String())
+	}
+	eq := func(name string, api, cli float64) {
+		t.Helper()
+		if math.Abs(api-cli) > 1e-12 {
+			t.Errorf("%s: API %v != CLI %v", name, api, cli)
+		}
+	}
+	eq("ic stall pct", got.Interconnect.StallPct, rep.IC.Pct)
+	eq("single-gpu seconds", got.Interconnect.SingleGPUSeconds, rep.IC.SingleGPU.Seconds())
+	eq("prep pct", got.Data.PrepPct, rep.Data.PrepPct)
+	eq("fetch pct", got.Data.FetchPct, rep.Data.FetchPct)
+	if got.Network == nil || rep.NW == nil {
+		t.Fatalf("missing network stall: API %v, CLI %v", got.Network, rep.NW)
+	}
+	eq("nw stall pct", got.Network.StallPct, rep.NW.Pct)
+	eq("epoch seconds", got.Epoch.TimeSeconds, rep.Epoch.Time.Seconds())
+	eq("epoch cost", got.Epoch.CostUSD, rep.Epoch.Cost)
+	eq("memory utilization", got.GPUMemoryUtilizationPct, core.MemoryUtilization(job, it))
+
+	// Pin the README Quickstart block's lines; if the simulator's
+	// calibration changes these, README.md must be re-captured.
+	for _, line := range []string{
+		"I/C stall 16.8% (1-GPU 59.58ms, all-GPU 69.61ms)",
+		"prep stall 0.0%, fetch stall 56.5% of training time",
+		"N/W stall 63.4% over 2 nodes (1-node 69.61ms, 2-node 113.76ms)",
+		"epoch on 1x p3.16xlarge: 6m33.5583s ($2.68)",
+	} {
+		if !strings.Contains(got.Rendered, line) {
+			t.Errorf("README pin missing %q in:\n%s", line, got.Rendered)
+		}
+	}
+	if got.GPUMemoryUtilizationPct < 12.5 || got.GPUMemoryUtilizationPct > 12.7 {
+		t.Errorf("README pin: GPU memory utilization = %.1f%%, want ~12.6%%", got.GPUMemoryUtilizationPct)
+	}
+}
+
+// TestProfileResponseByteStable pins the determinism guarantee
+// docs/API.md documents: two identical requests against two separately
+// constructed servers return identical bytes.
+func TestProfileResponseByteStable(t *testing.T) {
+	const body = `{"model":"alexnet","instance":"p2.8xlarge","batch":16}`
+	var outs []string
+	for i := 0; i < 2; i++ {
+		s := New(WithIterations(4))
+		ts := httptest.NewServer(s.Handler())
+		resp, err := http.Post(ts.URL+"/v1/profile", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, string(b))
+		ts.Close()
+	}
+	if outs[0] != outs[1] {
+		t.Errorf("responses differ across servers:\n%s\nvs\n%s", outs[0], outs[1])
+	}
+}

@@ -1,0 +1,177 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"stash/internal/cloud"
+	"stash/internal/core"
+	"stash/internal/dnn"
+	"stash/internal/experiments"
+	"stash/internal/workload"
+)
+
+// defaultBatch is the per-GPU batch size when a request omits it,
+// matching the cmd/stash CLI default.
+const defaultBatch = 32
+
+// handleProfile serves POST /v1/profile: the full Stash pipeline
+// (steps 1-5) for one workload on one instance type.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	var req ProfileRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, errInvalidRequest, err.Error())
+		return
+	}
+	if req.Model == "" || req.Instance == "" {
+		writeError(w, http.StatusBadRequest, errInvalidRequest, `"model" and "instance" are required`)
+		return
+	}
+	if req.Batch == 0 {
+		req.Batch = defaultBatch
+	}
+	model, err := dnn.Resolve(req.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errInvalidRequest, err.Error())
+		return
+	}
+	it, err := cloud.ByName(req.Instance)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errInvalidRequest, err.Error())
+		return
+	}
+	job, err := workload.NewJob(model, req.Batch)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errInvalidRequest, err.Error())
+		return
+	}
+	if req.Nodes != 0 && (req.Nodes < 2 || it.NGPUs%req.Nodes != 0) {
+		writeError(w, http.StatusBadRequest, errInvalidRequest,
+			fmt.Sprintf(`"nodes" must be >= 2 and divide %s's %d GPUs, got %d`, it.Name, it.NGPUs, req.Nodes))
+		return
+	}
+
+	rep, err := s.profiler.ProfileContext(r.Context(), job, it)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	resp := ProfileResponse{
+		Model:                   rep.Model,
+		Instance:                rep.Instance,
+		Batch:                   rep.Batch,
+		Interconnect:            toICStallJSON(rep.IC),
+		Data:                    toDataStallsJSON(rep.Data),
+		Epoch:                   toEpochJSON(rep.Epoch),
+		GPUMemoryUtilizationPct: core.MemoryUtilization(job, it),
+		Rendered:                rep.String(),
+	}
+	if rep.NW != nil {
+		nw := toNWStallJSON(*rep.NW)
+		resp.Network = &nw
+	}
+	// A non-default split re-measures step 5 at the requested node
+	// count, exactly like cmd/stash -nodes.
+	if req.Nodes > 2 {
+		nw, err := s.profiler.NetworkStallContext(r.Context(), job, it, req.Nodes)
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		j := toNWStallJSON(nw)
+		resp.Network = &j
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRecommend serves POST /v1/recommend: rank every allowed catalog
+// configuration for a workload under deadline/budget constraints.
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	var req RecommendRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, errInvalidRequest, err.Error())
+		return
+	}
+	if req.Model == "" {
+		writeError(w, http.StatusBadRequest, errInvalidRequest, `"model" is required`)
+		return
+	}
+	if req.Batch == 0 {
+		req.Batch = defaultBatch
+	}
+	if req.MaxEpochSeconds < 0 || req.MaxCostPerEpoch < 0 || req.MaxNodes < 0 {
+		writeError(w, http.StatusBadRequest, errInvalidRequest, "constraints must be non-negative")
+		return
+	}
+	model, err := dnn.Resolve(req.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errInvalidRequest, err.Error())
+		return
+	}
+	job, err := workload.NewJob(model, req.Batch)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errInvalidRequest, err.Error())
+		return
+	}
+
+	rec, err := s.profiler.RecommendContext(r.Context(), job, core.Constraints{
+		MaxEpochTime:    time.Duration(req.MaxEpochSeconds * float64(time.Second)),
+		MaxCostPerEpoch: req.MaxCostPerEpoch,
+		Families:        req.Families,
+		MaxNodes:        req.MaxNodes,
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	resp := RecommendResponse{
+		Model:       job.Model.Name,
+		Batch:       job.BatchPerGPU,
+		Candidates:  make([]CandidateJSON, len(rec.Candidates)),
+		Cheapest:    rec.Cheapest,
+		Fastest:     rec.Fastest,
+		Rejected:    rec.Rejected,
+		ModelAdvice: rec.ModelAdvice,
+	}
+	for i, c := range rec.Candidates {
+		resp.Candidates[i] = CandidateJSON{
+			Instance:   c.Instance,
+			Nodes:      c.Nodes,
+			Epoch:      toEpochJSON(c.Estimate),
+			ICStallPct: c.ICStallPct,
+			Notes:      c.Notes,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleExperimentList serves GET /v1/experiments: the registry of the
+// 25 paper artifacts, in paper order.
+func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
+	reg := experiments.Registry()
+	resp := ExperimentListResponse{Experiments: make([]ExperimentInfo, len(reg))}
+	for i, e := range reg {
+		resp.Experiments[i] = ExperimentInfo{ID: e.ID, Title: e.Title}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleExperimentRun serves GET /v1/experiments/{id}: run one paper
+// artifact on demand and return its tables as structured data. The
+// simulator is deterministic, so a given server configuration always
+// returns identical bytes for the same id.
+func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	exp, err := experiments.ByID(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, errNotFound, err.Error())
+		return
+	}
+	tables, err := exp.Run(s.expCfg.WithContext(r.Context()))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ExperimentResponse{ID: exp.ID, Title: exp.Title, Tables: tables})
+}

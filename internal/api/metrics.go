@@ -1,0 +1,120 @@
+package api
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stash/internal/core"
+	"stash/internal/experiments"
+)
+
+// reqKey labels one request counter: endpoint name and response code.
+type reqKey struct {
+	endpoint string
+	code     int
+}
+
+// metrics aggregates the server's counters for /metrics: request
+// counts and latency per endpoint, the in-flight gauge, and the
+// scenario-scheduler counters of both profiler pools (the server's own
+// profile/recommend profiler and the shared experiments profiler).
+type metrics struct {
+	profiler *core.Profiler
+	expCfg   experiments.Config
+
+	inflight atomic.Int64
+
+	mu       sync.Mutex
+	requests map[reqKey]int64
+	latSum   map[string]float64
+	latCount map[string]int64
+}
+
+func newMetrics(p *core.Profiler, expCfg experiments.Config) *metrics {
+	return &metrics{
+		profiler: p,
+		expCfg:   expCfg,
+		requests: make(map[reqKey]int64),
+		latSum:   make(map[string]float64),
+		latCount: make(map[string]int64),
+	}
+}
+
+// observe records one finished request.
+func (m *metrics) observe(endpoint string, code int, elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[reqKey{endpoint, code}]++
+	m.latSum[endpoint] += elapsed.Seconds()
+	m.latCount[endpoint]++
+}
+
+// render emits the Prometheus text exposition format (version 0.0.4).
+// Series are sorted by label so scrapes are stable.
+func (m *metrics) render() string {
+	m.mu.Lock()
+	reqKeys := make([]reqKey, 0, len(m.requests))
+	for k := range m.requests {
+		reqKeys = append(reqKeys, k)
+	}
+	sort.Slice(reqKeys, func(i, j int) bool {
+		if reqKeys[i].endpoint != reqKeys[j].endpoint {
+			return reqKeys[i].endpoint < reqKeys[j].endpoint
+		}
+		return reqKeys[i].code < reqKeys[j].code
+	})
+	endpoints := make([]string, 0, len(m.latCount))
+	for e := range m.latCount {
+		endpoints = append(endpoints, e)
+	}
+	sort.Strings(endpoints)
+
+	var b strings.Builder
+	b.WriteString("# HELP stashd_requests_total Requests served, by endpoint and HTTP status.\n")
+	b.WriteString("# TYPE stashd_requests_total counter\n")
+	for _, k := range reqKeys {
+		fmt.Fprintf(&b, "stashd_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, m.requests[k])
+	}
+	b.WriteString("# HELP stashd_request_duration_seconds Wall-clock request latency.\n")
+	b.WriteString("# TYPE stashd_request_duration_seconds summary\n")
+	for _, e := range endpoints {
+		fmt.Fprintf(&b, "stashd_request_duration_seconds_sum{endpoint=%q} %g\n", e, m.latSum[e])
+		fmt.Fprintf(&b, "stashd_request_duration_seconds_count{endpoint=%q} %d\n", e, m.latCount[e])
+	}
+	m.mu.Unlock()
+
+	b.WriteString("# HELP stashd_inflight_requests Requests currently being served.\n")
+	b.WriteString("# TYPE stashd_inflight_requests gauge\n")
+	fmt.Fprintf(&b, "stashd_inflight_requests %d\n", m.inflight.Load())
+
+	// Scenario-scheduler counters (core.Profiler.Stats) for both pools:
+	// "profile" backs /v1/profile + /v1/recommend, "experiments" is the
+	// suite's shared single-flight profiler.
+	pools := []struct {
+		name  string
+		stats core.Stats
+	}{
+		{"profile", m.profiler.Stats()},
+		{"experiments", experiments.SchedulerStats(m.expCfg)},
+	}
+	b.WriteString("# HELP stashd_scenarios_simulated_total Scenarios executed on a simulation engine.\n")
+	b.WriteString("# TYPE stashd_scenarios_simulated_total counter\n")
+	for _, p := range pools {
+		fmt.Fprintf(&b, "stashd_scenarios_simulated_total{pool=%q} %d\n", p.name, p.stats.Simulated)
+	}
+	b.WriteString("# HELP stashd_scenario_cache_hits_total Scenario requests served from the memoized result cache.\n")
+	b.WriteString("# TYPE stashd_scenario_cache_hits_total counter\n")
+	for _, p := range pools {
+		fmt.Fprintf(&b, "stashd_scenario_cache_hits_total{pool=%q} %d\n", p.name, p.stats.CacheHits)
+	}
+	b.WriteString("# HELP stashd_scenario_singleflight_waits_total Scenario requests that blocked on another request's in-flight simulation.\n")
+	b.WriteString("# TYPE stashd_scenario_singleflight_waits_total counter\n")
+	for _, p := range pools {
+		fmt.Fprintf(&b, "stashd_scenario_singleflight_waits_total{pool=%q} %d\n", p.name, p.stats.Waits)
+	}
+	return b.String()
+}

@@ -21,6 +21,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -224,7 +225,18 @@ const (
 // Results are memoized: with a fixed profiler configuration a scenario is
 // fully deterministic, so the first requester simulates and everyone
 // else — concurrent or later — shares its result (or its error).
-func (p *Profiler) run(job workload.Job, sc scenario) (*train.Result, error) {
+//
+// Cancellation is checked at scenario granularity: a request that
+// arrives with an expired context never starts a simulation, and a
+// request blocked on another goroutine's in-flight scenario stops
+// waiting when its own context is cancelled. A simulation that has
+// already started always runs to completion (they take milliseconds),
+// so a cancelled requester never poisons the single-flight entry for
+// the goroutines still waiting on it.
+func (p *Profiler) run(ctx context.Context, job workload.Job, sc scenario) (*train.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := checkFit(job, sc.instance); err != nil {
 		return nil, err
 	}
@@ -242,11 +254,16 @@ func (p *Profiler) run(job workload.Job, sc scenario) (*train.Result, error) {
 		select {
 		case <-e.done:
 			p.hits.Add(1)
+			return e.res, e.err
 		default:
-			p.waits.Add(1)
-			<-e.done
 		}
-		return e.res, e.err
+		p.waits.Add(1)
+		select {
+		case <-e.done:
+			return e.res, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	e := &cacheEntry{done: make(chan struct{})}
 	p.cache[key] = e
@@ -333,7 +350,7 @@ type ICStall struct {
 // InterconnectStall measures the intra-machine communication stall of a
 // job on one instance (steps 1 and 2).
 func (p *Profiler) InterconnectStall(job workload.Job, it cloud.InstanceType) (ICStall, error) {
-	return p.ClusterCommStall(job, it, 1)
+	return p.clusterCommStall(context.Background(), job, it, 1)
 }
 
 // ClusterCommStall generalizes the interconnect measurement to a cluster
@@ -341,11 +358,15 @@ func (p *Profiler) InterconnectStall(job workload.Job, it cloud.InstanceType) (I
 // the total communication stall (interconnect plus network) of the
 // cluster relative to a single GPU's time.
 func (p *Profiler) ClusterCommStall(job workload.Job, it cloud.InstanceType, count int) (ICStall, error) {
-	t1, err := p.run(job, scenario{instance: it, count: 1, gpusPer: 1, mode: modeSynthetic})
+	return p.clusterCommStall(context.Background(), job, it, count)
+}
+
+func (p *Profiler) clusterCommStall(ctx context.Context, job workload.Job, it cloud.InstanceType, count int) (ICStall, error) {
+	t1, err := p.run(ctx, job, scenario{instance: it, count: 1, gpusPer: 1, mode: modeSynthetic})
 	if err != nil {
 		return ICStall{}, fmt.Errorf("step 1: %w", err)
 	}
-	t2, err := p.run(job, scenario{instance: it, count: count, mode: modeSynthetic})
+	t2, err := p.run(ctx, job, scenario{instance: it, count: count, mode: modeSynthetic})
 	if err != nil {
 		return ICStall{}, fmt.Errorf("step 2: %w", err)
 	}
@@ -384,17 +405,23 @@ type NWStall struct {
 // one instance versus step 5 on nodes instances holding the same total
 // GPU count. The instance's GPU count must be divisible by nodes.
 func (p *Profiler) NetworkStall(job workload.Job, it cloud.InstanceType, nodes int) (NWStall, error) {
+	return p.NetworkStallContext(context.Background(), job, it, nodes)
+}
+
+// NetworkStallContext is NetworkStall honoring ctx: cancellation is
+// observed between the two underlying scenarios (see run).
+func (p *Profiler) NetworkStallContext(ctx context.Context, job workload.Job, it cloud.InstanceType, nodes int) (NWStall, error) {
 	if nodes < 2 {
 		return NWStall{}, fmt.Errorf("stash: network stall needs >= 2 nodes, got %d", nodes)
 	}
 	if it.NGPUs%nodes != 0 {
 		return NWStall{}, fmt.Errorf("stash: %s has %d GPUs, not divisible across %d nodes", it.Name, it.NGPUs, nodes)
 	}
-	t2, err := p.run(job, scenario{instance: it, count: 1, mode: modeSynthetic})
+	t2, err := p.run(ctx, job, scenario{instance: it, count: 1, mode: modeSynthetic})
 	if err != nil {
 		return NWStall{}, fmt.Errorf("step 2: %w", err)
 	}
-	t5, err := p.run(job, scenario{instance: it, count: nodes, gpusPer: it.NGPUs / nodes, mode: modeSynthetic})
+	t5, err := p.run(ctx, job, scenario{instance: it, count: nodes, gpusPer: it.NGPUs / nodes, mode: modeSynthetic})
 	if err != nil {
 		return NWStall{}, fmt.Errorf("step 5: %w", err)
 	}
@@ -438,21 +465,25 @@ type DataStalls struct {
 // DataStallAnalysis measures fetch and prep stalls on one instance
 // (steps 2, 3 and 4).
 func (p *Profiler) DataStallAnalysis(job workload.Job, it cloud.InstanceType) (DataStalls, error) {
-	return p.ClusterDataStalls(job, it, 1)
+	return p.clusterDataStalls(context.Background(), job, it, 1)
 }
 
 // ClusterDataStalls generalizes the fetch/prep measurement to count
 // network-connected instances, each reading from its own volume.
 func (p *Profiler) ClusterDataStalls(job workload.Job, it cloud.InstanceType, count int) (DataStalls, error) {
-	t2, err := p.run(job, scenario{instance: it, count: count, mode: modeSynthetic})
+	return p.clusterDataStalls(context.Background(), job, it, count)
+}
+
+func (p *Profiler) clusterDataStalls(ctx context.Context, job workload.Job, it cloud.InstanceType, count int) (DataStalls, error) {
+	t2, err := p.run(ctx, job, scenario{instance: it, count: count, mode: modeSynthetic})
 	if err != nil {
 		return DataStalls{}, fmt.Errorf("step 2: %w", err)
 	}
-	t3, err := p.run(job, scenario{instance: it, count: count, mode: modeRealCold})
+	t3, err := p.run(ctx, job, scenario{instance: it, count: count, mode: modeRealCold})
 	if err != nil {
 		return DataStalls{}, fmt.Errorf("step 3: %w", err)
 	}
-	t4, err := p.run(job, scenario{instance: it, count: count, mode: modeRealWarm})
+	t4, err := p.run(ctx, job, scenario{instance: it, count: count, mode: modeRealWarm})
 	if err != nil {
 		return DataStalls{}, fmt.Errorf("step 4: %w", err)
 	}
@@ -506,11 +537,17 @@ type EpochEstimate struct {
 // what makes the 16xlarge's disk stalls erode its interconnect advantage
 // over the 8xlarge (SV-B2).
 func (p *Profiler) Epoch(job workload.Job, it cloud.InstanceType, count int) (EpochEstimate, error) {
-	warm, err := p.run(job, scenario{instance: it, count: count, mode: modeRealWarm})
+	return p.EpochContext(context.Background(), job, it, count)
+}
+
+// EpochContext is Epoch honoring ctx: cancellation is observed between
+// the warm and cold scenarios (see run).
+func (p *Profiler) EpochContext(ctx context.Context, job workload.Job, it cloud.InstanceType, count int) (EpochEstimate, error) {
+	warm, err := p.run(ctx, job, scenario{instance: it, count: count, mode: modeRealWarm})
 	if err != nil {
 		return EpochEstimate{}, err
 	}
-	cold, err := p.run(job, scenario{instance: it, count: count, mode: modeRealCold})
+	cold, err := p.run(ctx, job, scenario{instance: it, count: count, mode: modeRealCold})
 	if err != nil {
 		return EpochEstimate{}, err
 	}
@@ -549,22 +586,31 @@ type Report struct {
 // Profile runs the complete Stash pipeline (steps 1-5) for a job on an
 // instance type.
 func (p *Profiler) Profile(job workload.Job, it cloud.InstanceType) (*Report, error) {
+	return p.ProfileContext(context.Background(), job, it)
+}
+
+// ProfileContext is Profile honoring ctx. Cancellation is observed at
+// scenario granularity: when ctx expires the pipeline stops before its
+// next scenario (or stops waiting on another goroutine's in-flight
+// scenario) and returns ctx.Err(). This is what bounds a stashd
+// request's time on the server.
+func (p *Profiler) ProfileContext(ctx context.Context, job workload.Job, it cloud.InstanceType) (*Report, error) {
 	r := &Report{Instance: it.Name, Model: job.Model.Name, Batch: job.BatchPerGPU}
 	var err error
-	if r.IC, err = p.InterconnectStall(job, it); err != nil {
+	if r.IC, err = p.clusterCommStall(ctx, job, it, 1); err != nil {
 		return nil, err
 	}
-	if r.Data, err = p.DataStallAnalysis(job, it); err != nil {
+	if r.Data, err = p.clusterDataStalls(ctx, job, it, 1); err != nil {
 		return nil, err
 	}
 	if it.NGPUs >= 2 && it.NGPUs%2 == 0 {
-		nw, err := p.NetworkStall(job, it, 2)
+		nw, err := p.NetworkStallContext(ctx, job, it, 2)
 		if err != nil {
 			return nil, err
 		}
 		r.NW = &nw
 	}
-	if r.Epoch, err = p.Epoch(job, it, 1); err != nil {
+	if r.Epoch, err = p.EpochContext(ctx, job, it, 1); err != nil {
 		return nil, err
 	}
 	return r, nil

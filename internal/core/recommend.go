@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -87,6 +88,15 @@ func label(instance string, nodes int) string {
 // feasible ones by epoch cost, reproducing the paper's recommendation
 // methodology (§V-A2, §V-B3, §V-C1, §VI-A4) as a library call.
 func (p *Profiler) Recommend(job workload.Job, cons Constraints) (*Recommendation, error) {
+	return p.RecommendContext(context.Background(), job, cons)
+}
+
+// RecommendContext is Recommend honoring ctx: the candidate sweep stops
+// dispatching new configurations once ctx is done (ForEachCtx) and the
+// call returns ctx.Err(). Candidates already being measured run to
+// completion, so a timed-out recommendation never leaves a partially
+// simulated scenario in the profiler's cache.
+func (p *Profiler) RecommendContext(ctx context.Context, job workload.Job, cons Constraints) (*Recommendation, error) {
 	if cons.MaxNodes == 0 {
 		cons.MaxNodes = 2
 	}
@@ -120,10 +130,10 @@ func (p *Profiler) Recommend(job workload.Job, cons Constraints) (*Recommendatio
 		reject string
 	}
 	outs := make([]outcome, len(configs))
-	err := ForEach(p.parallelism, len(configs), func(i int) error {
+	err := ForEachCtx(ctx, p.parallelism, len(configs), func(i int) error {
 		c := configs[i]
 		lbl := label(c.it.Name, c.nodes)
-		est, err := p.Epoch(job, c.it, c.nodes)
+		est, err := p.EpochContext(ctx, job, c.it, c.nodes)
 		if err != nil {
 			var oom *OOMError
 			if errors.As(err, &oom) {
@@ -146,7 +156,7 @@ func (p *Profiler) Recommend(job workload.Job, cons Constraints) (*Recommendatio
 			Estimate: est,
 		}
 		if c.it.NGPUs*c.nodes > 1 {
-			stall, err := p.ClusterCommStall(job, c.it, c.nodes)
+			stall, err := p.clusterCommStall(ctx, job, c.it, c.nodes)
 			if err != nil {
 				return fmt.Errorf("recommend %s: %w", lbl, err)
 			}

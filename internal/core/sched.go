@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -14,8 +15,21 @@ import (
 // This is the scheduling primitive behind every parallel sweep in the
 // repo: callers write results into index i of a pre-sized slice and
 // assemble output in index order afterwards, which keeps rendered
-// tables byte-identical at any parallelism.
+// tables byte-identical at any parallelism. It is equivalent to
+// ForEachCtx with a background context.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx is ForEach with cancellation: once ctx is done, no further
+// fn calls are dispatched and every undispatched index is charged
+// ctx.Err(). Calls already in flight are never interrupted — fn bodies
+// in this repository are short deterministic simulations — so the
+// cancelled sweep still returns the lowest-index error, which is either
+// a real fn failure that happened before the cut or ctx.Err() itself.
+// This is what threads a server request's deadline through the
+// experiment and recommendation sweeps.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -27,6 +41,9 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -41,12 +58,26 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				// Re-check per item: the feeder may have handed out this
+				// index just before cancellation landed.
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
 				errs[i] = fn(i)
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			for j := i; j < n; j++ {
+				errs[j] = ctx.Err()
+			}
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()

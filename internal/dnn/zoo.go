@@ -1,6 +1,10 @@
 package dnn
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // ZooEntry pairs a model with its Table II metadata.
 type ZooEntry struct {
@@ -76,4 +80,40 @@ func ByName(name string) (*Model, error) {
 		}
 	}
 	return nil, fmt.Errorf("dnn: no zoo model %q", name)
+}
+
+// Resolve maps a user-supplied model name to a model: any Table II zoo
+// entry (ByName) plus the parametric families the CLI and stashd
+// accept — resnet<N>, vgg<N> and densenet<N> at their standard depths,
+// resnext50, wide_resnet50, bert-base and gpt2-small.
+func Resolve(name string) (*Model, error) {
+	if m, err := ByName(name); err == nil {
+		return m, nil
+	}
+	if depth, ok := strings.CutPrefix(name, "resnet"); ok {
+		if d, err := strconv.Atoi(depth); err == nil {
+			return ResNet(d)
+		}
+	}
+	if depth, ok := strings.CutPrefix(name, "vgg"); ok {
+		if d, err := strconv.Atoi(depth); err == nil {
+			return VGG(d)
+		}
+	}
+	if depth, ok := strings.CutPrefix(name, "densenet"); ok {
+		if d, err := strconv.Atoi(depth); err == nil {
+			return DenseNet(d)
+		}
+	}
+	switch name {
+	case "bert-base":
+		return BERTBase(), nil
+	case "gpt2-small":
+		return GPT2Small(), nil
+	case "resnext50":
+		return ResNeXt50()
+	case "wide_resnet50":
+		return WideResNet50()
+	}
+	return nil, fmt.Errorf("dnn: unknown model %q", name)
 }

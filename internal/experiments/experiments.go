@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -29,8 +30,35 @@ type Config struct {
 	// Parallelism bounds how many scenario cells (and, under RunMany,
 	// experiments) run concurrently: 0 = GOMAXPROCS, 1 = serial. Output
 	// is byte-identical at every setting — cells land in index-ordered
-	// slots and rows are assembled in paper order.
+	// slots and rows are assembled in paper order. Parallelism is not
+	// part of the shared-profiler identity (profilerKey), so serial and
+	// parallel runs of the same configuration share one scenario cache.
 	Parallelism int
+
+	// ctx, when set via WithContext, cancels the configuration's sweeps:
+	// forEach stops dispatching new cells once ctx is done and the
+	// experiment returns ctx.Err(). It deliberately stays out of
+	// profilerKey — cancellation never changes what a scenario computes,
+	// only whether it starts.
+	ctx context.Context
+}
+
+// WithContext returns a copy of the configuration whose sweeps observe
+// ctx: cancellation (a server request timeout, SIGTERM drain) is
+// checked between grid cells and between experiments, so an abandoned
+// run stops within one cell's simulation time. The zero Config uses
+// context.Background.
+func (c Config) WithContext(ctx context.Context) Config {
+	c.ctx = ctx
+	return c
+}
+
+// context returns the configured context, defaulting to Background.
+func (c Config) context() context.Context {
+	if c.ctx != nil {
+		return c.ctx
+	}
+	return context.Background()
 }
 
 // DefaultConfig returns the configuration the benches and CLIs use.

@@ -12,9 +12,10 @@ import (
 
 // forEach runs fn(0..n-1) on a worker pool bounded by the config's
 // Parallelism (0 = GOMAXPROCS, 1 = serial). Failures are deterministic:
-// the lowest-index error wins regardless of completion order.
+// the lowest-index error wins regardless of completion order. The
+// config's context (WithContext) cancels the sweep between cells.
 func (c Config) forEach(n int, fn func(i int) error) error {
-	return core.ForEach(c.normalize().Parallelism, n, fn)
+	return core.ForEachCtx(c.context(), c.normalize().Parallelism, n, fn)
 }
 
 // gridCells computes the jobs x configs cell grid of a figure panel

@@ -1,8 +1,12 @@
-// Package report renders experiment results as aligned plain-text tables
-// and CSV, the textual equivalents of the paper's figures.
+// Package report renders experiment results as aligned plain-text
+// tables, CSV, and JSON — the textual and machine-readable equivalents
+// of the paper's figures. Every encoder works from the same Table, so
+// the aligned dump a human reads, the CSV a spreadsheet ingests, and
+// the JSON stashd serves all carry identical cell values.
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"time"
@@ -111,6 +115,50 @@ func escapeCSV(s string) string {
 		return s
 	}
 	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// MarshalJSON encodes the table as
+//
+//	{"title": ..., "columns": [...], "rows": [[...], ...]}
+//
+// Rows are padded (or truncated) to the column count so every row array
+// has the same length as "columns"; cell values stay the rendered
+// strings of the text table, so JSON consumers see exactly the numbers
+// a human reads (including "OOM" cells). Rows always encodes as an
+// array, never null, and the field order is fixed, so the output is
+// byte-stable — stashd's /v1/experiments responses golden-test against
+// it.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	columns := t.Columns
+	if columns == nil {
+		columns = []string{}
+	}
+	rows := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		row := make([]string, len(t.Columns))
+		copy(row, r)
+		rows[i] = row
+	}
+	return json.Marshal(struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}{Title: t.Title, Columns: columns, Rows: rows})
+}
+
+// UnmarshalJSON is MarshalJSON's inverse, letting API clients (and the
+// server's own tests) round-trip tables through the wire format.
+func (t *Table) UnmarshalJSON(b []byte) error {
+	var dec struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(b, &dec); err != nil {
+		return err
+	}
+	t.Title, t.Columns, t.rows = dec.Title, dec.Columns, dec.Rows
+	return nil
 }
 
 // Pct formats a percentage with one decimal.

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -92,6 +93,50 @@ func TestFormatters(t *testing.T) {
 	for d, want := range cases {
 		if got := Dur(d); got != want {
 			t.Errorf("Dur(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestTableMarshalJSON(t *testing.T) {
+	tb := NewTable("Demo", "model", "stall")
+	tb.AddRow("resnet18", "12.5%")
+	tb.AddRow("vgg11") // short row pads to column count
+	got, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	want := `{"title":"Demo","columns":["model","stall"],"rows":[["resnet18","12.5%"],["vgg11",""]]}`
+	if string(got) != want {
+		t.Errorf("JSON = %s, want %s", got, want)
+	}
+}
+
+func TestTableMarshalJSONEmpty(t *testing.T) {
+	got, err := json.Marshal(&Table{})
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	want := `{"title":"","columns":[],"rows":[]}`
+	if string(got) != want {
+		t.Errorf("empty table JSON = %s, want %s", got, want)
+	}
+}
+
+func TestTableJSONMatchesTextCells(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.AddRow("v1", "v2")
+	var dec struct {
+		Rows [][]string `json:"rows"`
+	}
+	b, _ := json.Marshal(tb)
+	if err := json.Unmarshal(b, &dec); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	for i, row := range tb.Rows() {
+		for j, cell := range row {
+			if dec.Rows[i][j] != cell {
+				t.Errorf("cell (%d,%d): JSON %q != table %q", i, j, dec.Rows[i][j], cell)
+			}
 		}
 	}
 }

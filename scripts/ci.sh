@@ -2,9 +2,12 @@
 # ci.sh — the repository's full verification gate.
 #
 # Tier-1 (ROADMAP.md) is `go build ./... && go test ./...`; this script
-# adds vet and a race-detector pass, which is the real guard for the
-# parallel scenario scheduler (single-flight profiler cache + worker
-# pools). Run from the repository root:
+# adds vet, an explicit build of every runnable (CLIs, stashd, each
+# example), the documentation checks (docs/API.md examples replayed
+# against a live server, markdown cross-references resolved), and a
+# race-detector pass — the real guard for the parallel scenario
+# scheduler and the stashd concurrency gate. Run from the repository
+# root:
 #
 #   ./scripts/ci.sh
 set -eu
@@ -15,6 +18,17 @@ go vet ./...
 
 echo "==> go build ./..."
 go build ./...
+
+echo "==> build all commands and examples"
+for d in ./cmd/* ./examples/*; do
+  [ -d "$d" ] || continue
+  echo "    go build $d"
+  go build -o /dev/null "$d"
+done
+
+echo "==> documentation checks (API examples + markdown links)"
+go test ./internal/api -run 'TestAPIDocExamplesVerified'
+go test . -run 'TestDocs'
 
 echo "==> go test ./..."
 go test ./...
