@@ -10,15 +10,22 @@
 // run concurrently on a worker pool (bounded by -parallel, default
 // GOMAXPROCS) sharing one memoized profiler; output is printed in paper
 // order and is byte-identical to a -parallel 1 run.
+//
+// -audit runs the cross-layer invariant auditor over the selected
+// experiments (determinism family) at the run's iterations, seed and
+// parallelism, instead of printing tables; it exits non-zero on any
+// violation.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"stash/internal/audit"
 	"stash/internal/experiments"
 )
 
@@ -34,9 +41,10 @@ func run(args []string) error {
 	ids := fs.String("run", "", "comma-separated experiment IDs (default: all)")
 	iters := fs.Int("iters", experiments.DefaultConfig().Iterations, "profiling iterations per scenario")
 	seed := fs.Int64("seed", 1, "provisioning seed")
-	parallel := fs.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	parallel := fs.Int("parallel", 0, "worker pool size (0 or negative = GOMAXPROCS, 1 = serial)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
+	doAudit := fs.Bool("audit", false, "audit invariants over the selected experiments instead of printing tables")
 	verbose := fs.Bool("v", false, "print scenario-scheduler stats after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,6 +68,27 @@ func run(args []string) error {
 			}
 			selected = append(selected, e)
 		}
+	}
+
+	if *doAudit {
+		sel := make([]string, len(selected))
+		for i, e := range selected {
+			sel[i] = e.ID
+		}
+		res, err := audit.Run(context.Background(), audit.Options{
+			Iterations:  *iters,
+			Seed:        *seed,
+			Parallelism: *parallel,
+			Experiments: sel,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		if !res.Ok() {
+			return fmt.Errorf("audit: %d invariant violations", len(res.Violations))
+		}
+		return nil
 	}
 
 	cfg := experiments.Config{Iterations: *iters, Seed: *seed, Parallelism: *parallel}

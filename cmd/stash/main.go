@@ -6,6 +6,12 @@
 // Usage:
 //
 //	stash -model resnet18 -instance p3.16xlarge [-batch 32] [-nodes 2] [-iters N]
+//	stash -selfcheck [-seed N] [-parallel N]
+//
+// -selfcheck runs the cross-layer invariant auditor (internal/audit)
+// instead of profiling: physical time orderings, scheduler-counter
+// conservation and registry determinism, exiting non-zero on any
+// violation. scripts/ci.sh runs it as a gate.
 //
 // Models: the Table II zoo (alexnet, mobilenet_v2, squeezenet1_1,
 // shufflenet_v2, resnet18, resnet50, vgg11, bert-large) plus resnet<N>,
@@ -14,12 +20,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"stash/internal/audit"
 	"stash/internal/cloud"
 	"stash/internal/core"
 	"stash/internal/dnn"
@@ -44,9 +52,24 @@ func run(args []string) error {
 	recommend := fs.Bool("recommend", false, "rank every catalog configuration instead of profiling one")
 	deadline := fs.Duration("deadline", 0, "with -recommend: max epoch time")
 	budget := fs.Float64("budget", 0, "with -recommend: max epoch cost in USD")
-	parallel := fs.Int("parallel", 0, "with -recommend: candidate workers (0 = GOMAXPROCS, 1 = serial)")
+	parallel := fs.Int("parallel", 0, "worker-pool size for -recommend and -selfcheck (0 or negative = GOMAXPROCS, 1 = serial)")
+	selfcheck := fs.Bool("selfcheck", false, "run the cross-layer invariant audit and exit (non-zero on violations)")
+	seed := fs.Int64("seed", 1, "with -selfcheck: provisioning seed the audit runs at")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *selfcheck {
+		// -iters keeps its own profiling default; the audit only adopts
+		// it when set explicitly (invariants hold at any window, so the
+		// audit's smaller default is just speed).
+		auditIters := 0
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "iters" {
+				auditIters = *iters
+			}
+		})
+		return runSelfcheck(auditIters, *seed, *parallel)
 	}
 
 	model, err := lookupModel(*modelName)
@@ -95,6 +118,24 @@ func run(args []string) error {
 		fmt.Printf("  %v\n", nw)
 	}
 	fmt.Printf("  GPU memory utilization: %.1f%%\n", core.MemoryUtilization(job, it))
+	return nil
+}
+
+// runSelfcheck runs the full invariant audit and reports the outcome;
+// any violation is an error, which main turns into a non-zero exit.
+func runSelfcheck(iters int, seed int64, parallel int) error {
+	res, err := audit.Run(context.Background(), audit.Options{
+		Iterations:  iters,
+		Seed:        seed,
+		Parallelism: parallel,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	if !res.Ok() {
+		return fmt.Errorf("selfcheck: %d invariant violations", len(res.Violations))
+	}
 	return nil
 }
 

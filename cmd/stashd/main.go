@@ -15,6 +15,7 @@
 //	GET  /v1/experiments          the paper-artifact registry
 //	GET  /v1/experiments/{id}     run one artifact, tables as JSON
 //	GET  /healthz                 liveness probe
+//	GET  /healthz?deep=1          bounded invariant audit + live pool checks
 //	GET  /metrics                 Prometheus text counters
 //
 // All requests share one single-flight memoized profiler, so repeated
@@ -59,7 +60,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	iters := fs.Int("iters", core.DefaultIterations, "profiling iterations per scenario (profile/recommend)")
 	expIters := fs.Int("exp-iters", experiments.DefaultConfig().Iterations, "profiling iterations per scenario (experiments)")
 	seed := fs.Int64("seed", 1, "provisioning seed")
-	parallel := fs.Int("parallel", 0, "per-request worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	parallel := fs.Int("parallel", 0, "per-request worker pool size (0 or negative = GOMAXPROCS, 1 = serial)")
 	maxConc := fs.Int("max-concurrent", runtime.GOMAXPROCS(0), "concurrent heavy requests (profile/recommend/experiment)")
 	reqTimeout := fs.Duration("request-timeout", api.DefaultRequestTimeout, "per-request deadline")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain window")

@@ -34,8 +34,10 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strings"
 	"time"
 
+	"stash/internal/audit"
 	"stash/internal/core"
 	"stash/internal/experiments"
 )
@@ -61,7 +63,8 @@ func WithSeed(seed int64) Option {
 }
 
 // WithParallelism bounds the per-request worker pools (recommendation
-// candidates, experiment grid cells): 0 = GOMAXPROCS, 1 = serial.
+// candidates, experiment grid cells): 0 or negative = GOMAXPROCS,
+// 1 = serial (the core.WithParallelism convention).
 func WithParallelism(n int) Option {
 	return func(s *Server) { s.parallelism = n }
 }
@@ -244,10 +247,45 @@ func (s *Server) route(endpoint string, heavy bool, h http.HandlerFunc) http.Han
 	}
 }
 
-// handleHealthz answers liveness/readiness probes. The body is static
-// so it is byte-stable for the docs verifier.
+// handleHealthz answers liveness/readiness probes. The plain probe's
+// body is static; ?deep=1 additionally runs the bounded invariant audit
+// (audit.Quick) under the request's timeout plus a live conservation
+// check of both scenario pools, so an orchestrator can distinguish "the
+// process accepts connections" from "the profiling stack still computes
+// consistent numbers". Both bodies are byte-stable for the docs
+// verifier: the audit result carries no timings and the bounded slice
+// evaluates a fixed set of checks.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+	if r.URL.Query().Get("deep") != "1" {
+		writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+		return
+	}
+	res, err := audit.Quick(r.Context(), audit.Options{
+		Seed:        s.seed,
+		Parallelism: s.parallelism,
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	// The bounded slice audits a private profiler; the live pools get
+	// the mid-flight conservation check (other requests may be running).
+	for _, st := range []core.Stats{s.profiler.Stats(), experiments.SchedulerStats(s.expCfg)} {
+		live := audit.CheckStatsLive(st)
+		res.Checks += live.Checks
+		res.Violations = append(res.Violations, live.Violations...)
+	}
+	s.metrics.auditChecks.Add(int64(res.Checks))
+	s.metrics.auditViolations.Add(int64(len(res.Violations)))
+	if !res.Ok() {
+		writeError(w, http.StatusInternalServerError, errAuditFailed,
+			"invariant audit failed: "+strings.Join(res.Strings(), "; "))
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status: "ok",
+		Audit:  &AuditSummary{Checks: res.Checks, Violations: []string{}},
+	})
 }
 
 // handleMetrics renders the Prometheus text exposition.

@@ -28,6 +28,7 @@ type docExample struct {
 // docs/API.md.
 var docExamples = []docExample{
 	{"healthz", http.MethodGet, "/healthz", "", http.StatusOK},
+	{"healthz-deep", http.MethodGet, "/healthz?deep=1", "", http.StatusOK},
 	{"profile", http.MethodPost, "/v1/profile", `{"model":"resnet18","instance":"p3.16xlarge","batch":32}`, http.StatusOK},
 	{"profile-error", http.MethodPost, "/v1/profile", `{"model":"resnet9000","instance":"p3.16xlarge"}`, http.StatusBadRequest},
 	{"recommend", http.MethodPost, "/v1/recommend", `{"model":"vgg11","batch":32,"families":["P3"],"max_epoch_seconds":2400}`, http.StatusOK},

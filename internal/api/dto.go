@@ -20,6 +20,7 @@ const (
 	errInfeasible       = "infeasible"
 	errTimeout          = "timeout"
 	errOverloaded       = "overloaded"
+	errAuditFailed      = "audit_failed"
 	errInternal         = "internal"
 )
 
@@ -34,9 +35,21 @@ type ErrorResponse struct {
 	Error ErrorBody `json:"error"`
 }
 
-// HealthResponse is GET /healthz's body.
+// HealthResponse is GET /healthz's body. Audit is only present on the
+// deep probe (?deep=1).
 type HealthResponse struct {
 	Status string `json:"status"`
+
+	// Audit summarizes the deep probe's invariant run: how many checks
+	// the bounded audit slice evaluated and which (if any) failed. A
+	// passing deep probe always reports "violations": [].
+	Audit *AuditSummary `json:"audit,omitempty"`
+}
+
+// AuditSummary is the deep health probe's audit outcome.
+type AuditSummary struct {
+	Checks     int      `json:"checks"`
+	Violations []string `json:"violations"`
 }
 
 // ProfileRequest is POST /v1/profile's body: one (model, instance,

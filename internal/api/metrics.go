@@ -28,6 +28,11 @@ type metrics struct {
 
 	inflight atomic.Int64
 
+	// auditChecks/auditViolations accumulate the deep health probe's
+	// invariant-audit outcomes (GET /healthz?deep=1).
+	auditChecks     atomic.Int64
+	auditViolations atomic.Int64
+
 	mu       sync.Mutex
 	requests map[reqKey]int64
 	latSum   map[string]float64
@@ -101,6 +106,11 @@ func (m *metrics) render() string {
 		{"profile", m.profiler.Stats()},
 		{"experiments", experiments.SchedulerStats(m.expCfg)},
 	}
+	b.WriteString("# HELP stashd_scenario_requests_total Scenario requests admitted to the scheduler.\n")
+	b.WriteString("# TYPE stashd_scenario_requests_total counter\n")
+	for _, p := range pools {
+		fmt.Fprintf(&b, "stashd_scenario_requests_total{pool=%q} %d\n", p.name, p.stats.Requests)
+	}
 	b.WriteString("# HELP stashd_scenarios_simulated_total Scenarios executed on a simulation engine.\n")
 	b.WriteString("# TYPE stashd_scenarios_simulated_total counter\n")
 	for _, p := range pools {
@@ -116,5 +126,16 @@ func (m *metrics) render() string {
 	for _, p := range pools {
 		fmt.Fprintf(&b, "stashd_scenario_singleflight_waits_total{pool=%q} %d\n", p.name, p.stats.Waits)
 	}
+	b.WriteString("# HELP stashd_scenario_cancelled_total Scenario requests whose context expired before a result.\n")
+	b.WriteString("# TYPE stashd_scenario_cancelled_total counter\n")
+	for _, p := range pools {
+		fmt.Fprintf(&b, "stashd_scenario_cancelled_total{pool=%q} %d\n", p.name, p.stats.Cancelled)
+	}
+	b.WriteString("# HELP stashd_audit_checks_total Invariant checks evaluated by deep health probes.\n")
+	b.WriteString("# TYPE stashd_audit_checks_total counter\n")
+	fmt.Fprintf(&b, "stashd_audit_checks_total %d\n", m.auditChecks.Load())
+	b.WriteString("# HELP stashd_audit_violations_total Invariant violations reported by deep health probes.\n")
+	b.WriteString("# TYPE stashd_audit_violations_total counter\n")
+	fmt.Fprintf(&b, "stashd_audit_violations_total %d\n", m.auditViolations.Load())
 	return b.String()
 }

@@ -1,0 +1,250 @@
+// Package audit is the cross-layer invariant auditor: it re-derives
+// and machine-checks the consistency properties the paper's methodology
+// implies, over live runs of the profiler and the experiment registry.
+//
+// Stash's entire contribution is arithmetic over elapsed times — the
+// I/C stall is t② − t①, the N/W stall t⑤ − t②, prep/fetch come from
+// DS-Analyzer's t③/t④ (§IV-B) — so a single accounting bug anywhere in
+// the profiler, the scenario scheduler, or the API silently corrupts
+// every downstream figure. Golden files catch value drift but cannot
+// say *why* a number is trustworthy; this package re-derives the
+// relations the numbers must satisfy and fails loudly when one does
+// not.
+//
+// Three invariant families:
+//
+//   - physical: per-scenario time orderings (t① ≤ t② ≤ t⑤, warm ≤ cold
+//     iteration), pre-clamp non-negativity of the prep/fetch stalls,
+//     stall-percentage bounds, epoch time/cost positivity, cross-
+//     measurement agreement on shared scenarios, and OOM outcomes
+//     consistent with the dnn memory model;
+//   - conservation: the scenario scheduler's counters balance — every
+//     admitted request ends in exactly one of simulated / cache hit /
+//     single-flight wait / cancelled (core.Stats.Balance);
+//   - determinism: byte-identical tables serial-vs-parallel and
+//     run-vs-rerun at a fixed seed, and profiler cache-key completeness
+//     (a result simulated from a cold cache equals one from a warmed
+//     cache).
+//
+// Entry points: Run executes the full suite (cmd/stash -selfcheck,
+// cmd/characterize -audit, the scripts/ci.sh gate); Quick executes a
+// bounded slice cheap enough for a liveness probe (stashd's
+// GET /healthz?deep=1, under the per-request timeout). Invariant
+// failures are reported as Violations in the Result; only context
+// cancellation and infrastructure failures surface as errors.
+package audit
+
+import (
+	"context"
+	"fmt"
+	"strings"
+)
+
+// Invariant families.
+const (
+	FamilyPhysical     = "physical"
+	FamilyConservation = "conservation"
+	FamilyDeterminism  = "determinism"
+)
+
+// Violation is one failed invariant check.
+type Violation struct {
+	// Family is the invariant family (FamilyPhysical,
+	// FamilyConservation, FamilyDeterminism).
+	Family string
+
+	// Check is the short, stable identifier of the invariant.
+	Check string
+
+	// Detail explains the failure with the observed values.
+	Detail string
+}
+
+// String renders the violation as "family/check: detail".
+func (v Violation) String() string {
+	return fmt.Sprintf("%s/%s: %s", v.Family, v.Check, v.Detail)
+}
+
+// Result accumulates an audit's outcome: how many individual checks
+// ran and which of them failed.
+type Result struct {
+	// Checks counts every invariant assertion evaluated.
+	Checks int
+
+	// Violations holds the failed assertions, in execution order.
+	Violations []Violation
+}
+
+// Ok reports whether every check passed.
+func (r *Result) Ok() bool { return len(r.Violations) == 0 }
+
+// Strings renders the violations, one line each, in execution order.
+func (r *Result) Strings() []string {
+	out := make([]string, len(r.Violations))
+	for i, v := range r.Violations {
+		out[i] = v.String()
+	}
+	return out
+}
+
+// String renders a one-line human summary, with violations listed on
+// following lines when present.
+func (r *Result) String() string {
+	if r.Ok() {
+		return fmt.Sprintf("audit: %d checks, all invariants hold", r.Checks)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "audit: %d checks, %d violated:", r.Checks, len(r.Violations))
+	for _, v := range r.Violations {
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+// check records one assertion: ok counts as a pass, !ok appends a
+// violation built from the format arguments.
+func (r *Result) check(family, name string, ok bool, format string, args ...any) {
+	r.Checks++
+	if !ok {
+		r.Violations = append(r.Violations, Violation{Family: family, Check: name, Detail: fmt.Sprintf(format, args...)})
+	}
+}
+
+// merge folds another result into r.
+func (r *Result) merge(o *Result) {
+	r.Checks += o.Checks
+	r.Violations = append(r.Violations, o.Violations...)
+}
+
+// ProfileCell is one (model, batch, instance) workload the physical
+// audit profiles end to end.
+type ProfileCell struct {
+	Model    string
+	Batch    int
+	Instance string
+}
+
+// Options tunes an audit run. The zero value uses the defaults below.
+type Options struct {
+	// Iterations is the profiling window per scenario (default
+	// DefaultIterations). The invariants hold at any window, so the
+	// audit uses a small one for speed.
+	Iterations int
+
+	// Seed feeds the provisioner (default 1). Determinism checks rerun
+	// at this fixed seed.
+	Seed int64
+
+	// Parallelism bounds the audit's own worker pools (0 or negative =
+	// GOMAXPROCS, 1 = serial), matching core.WithParallelism.
+	Parallelism int
+
+	// Profiles is the physical audit's workload matrix; nil uses
+	// DefaultProfileCells (Quick: QuickProfileCells).
+	Profiles []ProfileCell
+
+	// Experiments lists registry IDs for the determinism audit; nil
+	// uses the full registry (Quick: QuickExperiments).
+	Experiments []string
+}
+
+// DefaultIterations is the audit's profiling window: small, because
+// every invariant is window-independent.
+const DefaultIterations = 6
+
+// quickIterations is the bounded slice's window (GET /healthz?deep=1).
+const quickIterations = 4
+
+// DefaultProfileCells is the full physical matrix: multi-GPU NVLink
+// and PCIe machines, a network split, a single-GPU instance (no step
+// 5), and an OOM-expected cell that exercises the memory-model
+// consistency check.
+func DefaultProfileCells() []ProfileCell {
+	return []ProfileCell{
+		{Model: "resnet18", Batch: 32, Instance: "p3.16xlarge"},
+		{Model: "vgg11", Batch: 32, Instance: "p3.8xlarge"},
+		{Model: "resnet50", Batch: 32, Instance: "p2.8xlarge"},
+		{Model: "shufflenet_v2", Batch: 32, Instance: "p2.xlarge"},
+		{Model: "bert-large", Batch: 64, Instance: "p3.2xlarge"}, // expected OOM
+	}
+}
+
+// QuickProfileCells is the bounded slice's matrix: one multi-GPU cell
+// (all four stalls populated) plus the OOM-consistency cell.
+func QuickProfileCells() []ProfileCell {
+	return []ProfileCell{
+		{Model: "resnet18", Batch: 32, Instance: "p3.8xlarge"},
+		{Model: "bert-large", Batch: 64, Instance: "p3.2xlarge"}, // expected OOM
+	}
+}
+
+// QuickExperiments is the bounded slice's registry sample: one
+// simulation-free table and one cheap forEach-swept figure, so the
+// byte-stability checks cover both rendering paths without the cost of
+// a full profiler-backed grid (the full Run covers those).
+func QuickExperiments() []string {
+	return []string{"table2", "fig7"}
+}
+
+func (o Options) normalize(quick bool) Options {
+	if o.Iterations < 1 {
+		o.Iterations = DefaultIterations
+		if quick {
+			o.Iterations = quickIterations
+		}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Parallelism < 0 {
+		o.Parallelism = 0
+	}
+	if o.Profiles == nil {
+		o.Profiles = DefaultProfileCells()
+		if quick {
+			o.Profiles = QuickProfileCells()
+		}
+	}
+	if o.Experiments == nil {
+		if quick {
+			o.Experiments = QuickExperiments()
+		} else {
+			o.Experiments = registryIDs()
+		}
+	}
+	return o
+}
+
+// Run executes the full invariant suite: the physical profile matrix,
+// scheduler-counter conservation (including a concurrent exercise with
+// cancelled contexts), and registry determinism. Violations land in
+// the Result; the returned error is non-nil only for context
+// cancellation or an infrastructure failure that prevented auditing.
+func Run(ctx context.Context, opts Options) (*Result, error) {
+	return run(ctx, opts.normalize(false))
+}
+
+// Quick executes the bounded audit slice: a two-cell physical matrix,
+// the conservation checks, and a two-artifact determinism pass. It is
+// sized for stashd's GET /healthz?deep=1 probe, which runs it under
+// the per-request timeout on every call.
+func Quick(ctx context.Context, opts Options) (*Result, error) {
+	return run(ctx, opts.normalize(true))
+}
+
+func run(ctx context.Context, opts Options) (*Result, error) {
+	res := &Result{}
+
+	phys, err := auditPhysical(ctx, opts, res)
+	if err != nil {
+		return nil, err
+	}
+	if err := auditConservation(ctx, opts, phys, res); err != nil {
+		return nil, err
+	}
+	if err := auditDeterminism(ctx, opts, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,227 @@
+package audit
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"stash/internal/cloud"
+	"stash/internal/core"
+	"stash/internal/dnn"
+	"stash/internal/workload"
+)
+
+// hasViolation reports whether res contains a violation of the named
+// check.
+func hasViolation(res *Result, check string) bool {
+	for _, v := range res.Violations {
+		if v.Check == check {
+			return true
+		}
+	}
+	return false
+}
+
+// TestQuickClean: the bounded audit slice (the healthz?deep=1 payload)
+// must pass on the repository as shipped, and must be cheap enough to
+// live under a request timeout.
+func TestQuickClean(t *testing.T) {
+	res, err := Quick(context.Background(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok() {
+		t.Fatalf("quick audit found violations:\n%s", strings.Join(res.Strings(), "\n"))
+	}
+	if res.Checks == 0 {
+		t.Fatal("quick audit evaluated no checks")
+	}
+}
+
+// TestQuickCancelled: a context that is already expired aborts the
+// audit with its error instead of reporting fake violations.
+func TestQuickCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Quick(ctx, Options{})
+	if err == nil {
+		t.Fatalf("cancelled audit returned result %v, want error", res)
+	}
+}
+
+// report profiles one known-good cell so the broken-fake tests start
+// from an internally consistent report.
+func testReport(t *testing.T) *core.Report {
+	t.Helper()
+	model, err := dnn.Resolve("resnet18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := cloud.ByName("p3.8xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := workload.NewJob(model, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.New(core.WithIterations(4)).Profile(job, it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestCheckReportClean: a genuine profile satisfies every physical
+// invariant.
+func TestCheckReportClean(t *testing.T) {
+	res := CheckReport(testReport(t))
+	if !res.Ok() {
+		t.Fatalf("clean report violates invariants:\n%s", strings.Join(res.Strings(), "\n"))
+	}
+}
+
+// TestCheckReportBrokenFakes: each physical invariant fires on a report
+// with that specific field deliberately corrupted.
+func TestCheckReportBrokenFakes(t *testing.T) {
+	cases := []struct {
+		name  string
+		check string
+		mutil func(*core.Report)
+	}{
+		{"ordering t1>t2", "t1<=t2", func(r *core.Report) {
+			r.IC.SingleGPU, r.IC.AllGPU = r.IC.AllGPU+time.Millisecond, r.IC.SingleGPU
+		}},
+		{"negative pre-clamp prep", "prep-preclamp", func(r *core.Report) {
+			r.Data.WarmCache = r.Data.Synthetic - time.Nanosecond
+		}},
+		{"negative pre-clamp fetch", "fetch-preclamp", func(r *core.Report) {
+			r.Data.ColdCache = r.Data.WarmCache - time.Nanosecond
+		}},
+		{"stall pct over 100", "stall-pct-bounds", func(r *core.Report) {
+			r.Data.PrepPct, r.Data.FetchPct = 60, 50
+		}},
+		{"ic stall not t2-t1", "ic-stall-derivation", func(r *core.Report) {
+			r.IC.Stall += time.Millisecond
+		}},
+		{"t2 disagreement", "t2-agreement", func(r *core.Report) {
+			r.Data.Synthetic += time.Nanosecond
+		}},
+		{"nw t2 disagreement", "t2-agreement-nw", func(r *core.Report) {
+			r.NW.SingleInstance += time.Nanosecond
+		}},
+		{"warm above cold", "warm<=cold", func(r *core.Report) {
+			r.Epoch.WarmIteration = r.Epoch.ColdIteration + time.Millisecond
+		}},
+		{"epoch time mismatch", "epoch-time-derivation", func(r *core.Report) {
+			r.Epoch.Time += time.Second
+		}},
+		{"epoch not from data stalls", "epoch-warm-agreement", func(r *core.Report) {
+			r.Epoch.WarmIteration += time.Nanosecond
+		}},
+		{"zero epoch cost", "epoch-positive", func(r *core.Report) {
+			r.Epoch.Cost = 0
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := testReport(t)
+			nw := *rep.NW
+			rep.NW = &nw // mutate a copy, testReport shares the profiler cache per call
+			tc.mutil(rep)
+			res := CheckReport(rep)
+			if !hasViolation(res, tc.check) {
+				t.Errorf("corrupted report passed %q; violations: %v", tc.check, res.Strings())
+			}
+		})
+	}
+}
+
+// TestCheckStats: the conservation checker accepts balanced snapshots
+// and flags leaks, over-delivery, and negative counters.
+func TestCheckStats(t *testing.T) {
+	balanced := core.Stats{Requests: 10, Simulated: 4, CacheHits: 3, Waits: 2, Cancelled: 1}
+	if res := CheckStats(balanced); !res.Ok() {
+		t.Errorf("balanced stats flagged: %v", res.Strings())
+	}
+	leaked := balanced
+	leaked.Requests = 11 // one admitted request never reached an outcome
+	if res := CheckStats(leaked); !hasViolation(res, "balance-quiesced") {
+		t.Errorf("leaked request not flagged: %v", res.Strings())
+	}
+	negative := balanced
+	negative.Waits = -1
+	if res := CheckStats(negative); !hasViolation(res, "counters-nonnegative") {
+		t.Errorf("negative counter not flagged: %v", res.Strings())
+	}
+}
+
+// TestCheckStatsLive: mid-flight snapshots may run a positive balance
+// but never a negative one.
+func TestCheckStatsLive(t *testing.T) {
+	inflight := core.Stats{Requests: 10, Simulated: 4, CacheHits: 3}
+	if res := CheckStatsLive(inflight); !res.Ok() {
+		t.Errorf("in-flight stats flagged: %v", res.Strings())
+	}
+	broken := core.Stats{Requests: 3, Simulated: 4}
+	if res := CheckStatsLive(broken); !hasViolation(res, "balance-live") {
+		t.Errorf("outcomes exceeding admissions not flagged: %v", res.Strings())
+	}
+	if res := CheckStats(inflight); !hasViolation(res, "balance-quiesced") {
+		t.Errorf("quiesced checker accepted an unbalanced snapshot: %v", res.Strings())
+	}
+}
+
+// TestViolationRendering pins the report formats the CLIs print.
+func TestViolationRendering(t *testing.T) {
+	v := Violation{Family: FamilyPhysical, Check: "t1<=t2", Detail: "boom"}
+	if got, want := v.String(), "physical/t1<=t2: boom"; got != want {
+		t.Errorf("Violation.String() = %q, want %q", got, want)
+	}
+	clean := &Result{Checks: 7}
+	if got := clean.String(); !strings.Contains(got, "7 checks") || !strings.Contains(got, "all invariants hold") {
+		t.Errorf("clean Result.String() = %q", got)
+	}
+	dirty := &Result{Checks: 7, Violations: []Violation{v}}
+	if got := dirty.String(); !strings.Contains(got, "1 violated") || !strings.Contains(got, v.String()) {
+		t.Errorf("dirty Result.String() = %q", got)
+	}
+	if dirty.Ok() {
+		t.Error("Result with violations reports Ok")
+	}
+}
+
+// TestOptionsNormalize pins the defaulting rules, including the shared
+// "0 or negative = GOMAXPROCS" parallelism convention.
+func TestOptionsNormalize(t *testing.T) {
+	full := Options{}.normalize(false)
+	if full.Iterations != DefaultIterations || full.Seed != 1 || len(full.Profiles) == 0 || len(full.Experiments) == 0 {
+		t.Errorf("full defaults: %+v", full)
+	}
+	quick := Options{}.normalize(true)
+	if quick.Iterations != quickIterations || len(quick.Profiles) != len(QuickProfileCells()) ||
+		len(quick.Experiments) != len(QuickExperiments()) {
+		t.Errorf("quick defaults: %+v", quick)
+	}
+	if got := (Options{Parallelism: -2}).normalize(false).Parallelism; got != 0 {
+		t.Errorf("negative parallelism normalized to %d, want 0 (GOMAXPROCS)", got)
+	}
+}
+
+// TestOOMCellAudits: a matrix of only the expected-OOM cell still
+// audits cleanly — the memory-model consistency check accepts the OOM
+// and the conservation audit copes with zero admitted requests.
+func TestOOMCellAudits(t *testing.T) {
+	res, err := Run(context.Background(), Options{
+		Iterations:  4,
+		Profiles:    []ProfileCell{{Model: "bert-large", Batch: 64, Instance: "p3.2xlarge"}},
+		Experiments: []string{"table2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok() {
+		t.Fatalf("OOM-only matrix audit: %s", strings.Join(res.Strings(), "\n"))
+	}
+}

@@ -1,0 +1,183 @@
+package audit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"stash/internal/cloud"
+	"stash/internal/core"
+	"stash/internal/dnn"
+	"stash/internal/workload"
+)
+
+// pctEps tolerates float re-derivation noise in percentage checks. The
+// durations themselves are exact integers, so only the percentage
+// arithmetic needs a tolerance.
+const pctEps = 1e-9
+
+// auditPhysical profiles every cell of the options' matrix on a fresh,
+// unshared profiler and checks the physical invariants of each report,
+// plus the OOM-consistency invariant against the dnn memory model. It
+// returns the profiler so the conservation audit can inspect (and
+// further exercise) its counters.
+func auditPhysical(ctx context.Context, opts Options, res *Result) (*core.Profiler, error) {
+	p := core.New(
+		core.WithIterations(opts.Iterations),
+		core.WithSeed(opts.Seed),
+		core.WithParallelism(opts.Parallelism),
+	)
+	for _, cell := range opts.Profiles {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		label := cellLabel(cell)
+		model, err := dnn.Resolve(cell.Model)
+		if err != nil {
+			res.check(FamilyPhysical, "cell-model", false, "%s: %v", label, err)
+			continue
+		}
+		it, err := cloud.ByName(cell.Instance)
+		if err != nil {
+			res.check(FamilyPhysical, "cell-instance", false, "%s: %v", label, err)
+			continue
+		}
+		job, err := workload.NewJob(model, cell.Batch)
+		if err != nil {
+			res.check(FamilyPhysical, "cell-job", false, "%s: %v", label, err)
+			continue
+		}
+
+		// The memory model decides OOM before any simulation runs; the
+		// profiler's outcome must agree with it exactly.
+		need := model.TrainingMemoryBytes(cell.Batch)
+		have := it.GPUMemPerGPU()
+		rep, err := p.ProfileContext(ctx, job, it)
+		var oom *core.OOMError
+		switch {
+		case errors.As(err, &oom):
+			res.check(FamilyPhysical, "oom-consistency", need > have,
+				"%s: profiler reported OOM but model needs %.1f GB of %.1f GB", label, need/1e9, have/1e9)
+			res.check(FamilyPhysical, "oom-detail", oom.Required == need && oom.Available == have,
+				"%s: OOM error carries %.0f/%.0f bytes, memory model says %.0f/%.0f",
+				label, oom.Required, oom.Available, need, have)
+		case err != nil:
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			res.check(FamilyPhysical, "profile-runs", false, "%s: %v", label, err)
+		default:
+			res.check(FamilyPhysical, "oom-consistency", need <= have,
+				"%s: profile succeeded but model needs %.1f GB of %.1f GB", label, need/1e9, have/1e9)
+			// Step 5 exists exactly when the instance has an even,
+			// multi-GPU count to split across two machines.
+			wantNW := it.NGPUs >= 2 && it.NGPUs%2 == 0
+			res.check(FamilyPhysical, "nw-presence", (rep.NW != nil) == wantNW,
+				"%s: network stall present=%v, want %v for %d GPUs", label, rep.NW != nil, wantNW, it.NGPUs)
+			res.merge(CheckReport(rep))
+		}
+	}
+	return p, nil
+}
+
+func cellLabel(c ProfileCell) string {
+	return fmt.Sprintf("%s/bs%d@%s", c.Model, c.Batch, c.Instance)
+}
+
+// CheckReport checks the physical invariants of one complete profile:
+// the §IV-B time orderings, pre-clamp stall non-negativity, percentage
+// bounds and re-derivations, epoch positivity, and cross-measurement
+// agreement on the scenarios the measurements share. It is a pure
+// function over the report, so tests can feed it deliberately broken
+// fakes.
+func CheckReport(rep *core.Report) *Result {
+	res := &Result{}
+	label := rep.Model + "@" + rep.Instance
+
+	// Interconnect (steps 1 and 2): t① ≤ t②, and the stall is exactly
+	// the difference the paper defines.
+	ic := rep.IC
+	res.check(FamilyPhysical, "ic-positive-times", ic.SingleGPU > 0 && ic.AllGPU > 0,
+		"%s: non-positive step times t1=%v t2=%v", label, ic.SingleGPU, ic.AllGPU)
+	res.check(FamilyPhysical, "t1<=t2", ic.SingleGPU <= ic.AllGPU,
+		"%s: single-GPU iteration %v exceeds all-GPU %v", label, ic.SingleGPU, ic.AllGPU)
+	res.check(FamilyPhysical, "ic-stall-derivation", ic.Stall == ic.AllGPU-ic.SingleGPU,
+		"%s: I/C stall %v != t2-t1 = %v", label, ic.Stall, ic.AllGPU-ic.SingleGPU)
+	res.check(FamilyPhysical, "ic-pct-derivation", pctAgrees(ic.Pct, ic.Stall.Seconds(), ic.SingleGPU.Seconds()),
+		"%s: I/C stall%% %.6f != 100*stall/t1", label, ic.Pct)
+
+	// Data stalls (steps 2, 3, 4): the DS-Analyzer differences must be
+	// non-negative *before* the public fields' clamp — a warm-cache run
+	// faster than synthetic, or a cold run faster than warm, is
+	// physically impossible in the model.
+	d := rep.Data
+	res.check(FamilyPhysical, "data-positive-times", d.Synthetic > 0 && d.ColdCache > 0 && d.WarmCache > 0,
+		"%s: non-positive data-stall times t2=%v t3=%v t4=%v", label, d.Synthetic, d.ColdCache, d.WarmCache)
+	res.check(FamilyPhysical, "prep-preclamp", d.WarmCache >= d.Synthetic,
+		"%s: pre-clamp prep stall t4-t2 = %v < 0", label, d.WarmCache-d.Synthetic)
+	res.check(FamilyPhysical, "fetch-preclamp", d.ColdCache >= d.WarmCache,
+		"%s: pre-clamp fetch stall t3-t4 = %v < 0", label, d.ColdCache-d.WarmCache)
+	res.check(FamilyPhysical, "prep-stall-derivation", d.PrepStall == max(0, d.WarmCache-d.Synthetic),
+		"%s: prep stall %v != max(0, t4-t2)", label, d.PrepStall)
+	res.check(FamilyPhysical, "fetch-stall-derivation", d.FetchStall == max(0, d.ColdCache-d.WarmCache),
+		"%s: fetch stall %v != max(0, t3-t4)", label, d.FetchStall)
+	res.check(FamilyPhysical, "stall-pct-bounds",
+		d.PrepPct >= 0 && d.FetchPct >= 0 && d.PrepPct+d.FetchPct <= 100+pctEps,
+		"%s: prep%%+fetch%% = %.6f+%.6f outside [0,100]", label, d.PrepPct, d.FetchPct)
+	res.check(FamilyPhysical, "prep-pct-derivation", pctAgrees(d.PrepPct, d.PrepStall.Seconds(), d.ColdCache.Seconds()),
+		"%s: prep%% %.6f != 100*prep/t3", label, d.PrepPct)
+	res.check(FamilyPhysical, "fetch-pct-derivation", pctAgrees(d.FetchPct, d.FetchStall.Seconds(), d.ColdCache.Seconds()),
+		"%s: fetch%% %.6f != 100*fetch/t3", label, d.FetchPct)
+
+	// The three measurements share step 2 (one instance, all GPUs,
+	// synthetic data): the interconnect's all-GPU time, the data
+	// analysis's synthetic time, and — when present — the network
+	// stall's single-instance time must be the same number.
+	res.check(FamilyPhysical, "t2-agreement", ic.AllGPU == d.Synthetic,
+		"%s: step-2 disagreement: interconnect t2=%v, data t2=%v", label, ic.AllGPU, d.Synthetic)
+
+	if nw := rep.NW; nw != nil {
+		res.check(FamilyPhysical, "nw-nodes", nw.Nodes >= 2,
+			"%s: network stall over %d nodes", label, nw.Nodes)
+		res.check(FamilyPhysical, "t2<=t5", nw.SingleInstance <= nw.MultiInstance,
+			"%s: single-instance iteration %v exceeds %d-node %v", label, nw.SingleInstance, nw.Nodes, nw.MultiInstance)
+		res.check(FamilyPhysical, "nw-stall-derivation", nw.Stall == nw.MultiInstance-nw.SingleInstance,
+			"%s: N/W stall %v != t5-t2 = %v", label, nw.Stall, nw.MultiInstance-nw.SingleInstance)
+		res.check(FamilyPhysical, "nw-pct-derivation", pctAgrees(nw.Pct, nw.Stall.Seconds(), nw.SingleInstance.Seconds()),
+			"%s: N/W stall%% %.6f != 100*stall/t2", label, nw.Pct)
+		res.check(FamilyPhysical, "t2-agreement-nw", nw.SingleInstance == d.Synthetic,
+			"%s: step-2 disagreement: network t2=%v, data t2=%v", label, nw.SingleInstance, d.Synthetic)
+	}
+
+	// Epoch estimate: positive extent, warm ≤ amortized ≤ cold, and
+	// agreement with the data-stall scenarios it is built from.
+	e := rep.Epoch
+	res.check(FamilyPhysical, "epoch-positive", e.Time > 0 && e.Cost > 0 && e.Iterations > 0 && e.WorldSize >= 1,
+		"%s: epoch time=%v cost=%.4f iters=%d world=%d", label, e.Time, e.Cost, e.Iterations, e.WorldSize)
+	res.check(FamilyPhysical, "warm<=cold", e.WarmIteration <= e.ColdIteration,
+		"%s: warm iteration %v exceeds cold %v", label, e.WarmIteration, e.ColdIteration)
+	res.check(FamilyPhysical, "epoch-amortization-bounds",
+		e.PerIteration >= e.WarmIteration && e.PerIteration <= e.ColdIteration,
+		"%s: amortized iteration %v outside [warm %v, cold %v]", label, e.PerIteration, e.WarmIteration, e.ColdIteration)
+	res.check(FamilyPhysical, "epoch-time-derivation", e.Time == e.PerIteration*time.Duration(e.Iterations),
+		"%s: epoch time %v != per-iteration %v * %d", label, e.Time, e.PerIteration, e.Iterations)
+	res.check(FamilyPhysical, "epoch-warm-agreement", e.WarmIteration == d.WarmCache,
+		"%s: epoch warm iteration %v != data t4 %v", label, e.WarmIteration, d.WarmCache)
+	res.check(FamilyPhysical, "epoch-cold-agreement", e.ColdIteration == d.ColdCache,
+		"%s: epoch cold iteration %v != data t3 %v", label, e.ColdIteration, d.ColdCache)
+
+	return res
+}
+
+// pctAgrees re-derives a percentage as 100*num/den and compares with a
+// relative tolerance; a zero denominator requires a zero percentage
+// (the profiler's guarded division).
+func pctAgrees(got, num, den float64) bool {
+	if den <= 0 {
+		return got == 0
+	}
+	want := 100 * num / den
+	return math.Abs(got-want) <= pctEps*math.Max(1, math.Abs(want))
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"stash/internal/dnn"
+)
+
+// waitUntil polls cond for up to two seconds.
+func waitUntil(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestCancelledWaiterCountsAsCancelled: a requester blocked on another
+// goroutine's in-flight scenario whose own context expires must be
+// charged to Cancelled, not Waits — it never received the result it was
+// waiting for. The pre-fix scheduler folded these into Waits, breaking
+// conservation the moment anyone reasoned "Waits = results delivered by
+// another goroutine's simulation".
+func TestCancelledWaiterCountsAsCancelled(t *testing.T) {
+	p := fastProfiler()
+	j := job(t, resnet18(t), 32)
+	it := instance(t, "p3.16xlarge")
+
+	// Manufacture an in-flight single-flight entry for the scenario the
+	// measurement requests first (step 2: one instance, all GPUs,
+	// synthetic), so the requester blocks on it.
+	key := scenarioKey{model: j.Model.Name, batch: j.BatchPerGPU, instance: it.Name, count: 1, mode: modeSynthetic}
+	e := &cacheEntry{done: make(chan struct{})}
+	p.mu.Lock()
+	p.cache[key] = e
+	p.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := p.NetworkStallContext(ctx, j, it, 2)
+		errc <- err
+	}()
+	// The requester is admitted (Requests ticks) before it blocks on the
+	// manufactured entry.
+	waitUntil(t, func() bool { return p.Stats().Requests == 1 }, "requester admission")
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter returned %v, want context.Canceled", err)
+	}
+
+	st := p.Stats()
+	if st.Cancelled != 1 {
+		t.Errorf("Cancelled = %d, want 1", st.Cancelled)
+	}
+	if st.Waits != 0 {
+		t.Errorf("Waits = %d, want 0 (the waiter never got a result)", st.Waits)
+	}
+	if st.Balance() != 0 {
+		t.Errorf("counters leak: %v (balance %d)", st, st.Balance())
+	}
+
+	// Release the manufactured entry and verify a later requester is a
+	// normal cache hit against the conserved counters.
+	e.err = errors.New("manufactured entry, never simulated")
+	close(e.done)
+	if _, err := p.NetworkStallContext(context.Background(), j, it, 2); err == nil {
+		t.Fatal("expected the manufactured entry's error")
+	}
+	if st := p.Stats(); st.Balance() != 0 {
+		t.Errorf("counters leak after release: %v (balance %d)", st, st.Balance())
+	}
+}
+
+// TestPreCancelledRequestCountsCancelled: a request arriving with an
+// already-expired context is admitted, charged to Cancelled, and never
+// simulates.
+func TestPreCancelledRequestCountsCancelled(t *testing.T) {
+	p := fastProfiler()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := p.ProfileContext(ctx, job(t, resnet18(t), 32), instance(t, "p3.16xlarge"))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	st := p.Stats()
+	if st.Requests != 1 || st.Cancelled != 1 || st.Simulated != 0 {
+		t.Errorf("stats after pre-cancelled request: %v", st)
+	}
+	if st.Balance() != 0 {
+		t.Errorf("counters leak: %v (balance %d)", st, st.Balance())
+	}
+}
+
+// TestOOMRejectionNotAdmitted: a request the fit check rejects never
+// enters the scheduler, so the conservation law stays exact without a
+// rejected-outcome counter.
+func TestOOMRejectionNotAdmitted(t *testing.T) {
+	p := fastProfiler()
+	bert, err := dnn.ByName("bert-large")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, perr := p.Profile(job(t, bert, 64), instance(t, "p3.2xlarge"))
+	var oom *OOMError
+	if !errors.As(perr, &oom) {
+		t.Fatalf("got %v, want OOMError", perr)
+	}
+	if st := p.Stats(); st != (Stats{}) {
+		t.Errorf("rejected request moved scheduler counters: %v", st)
+	}
+}

@@ -108,10 +108,15 @@ type Profiler struct {
 	mu    sync.Mutex
 	cache map[scenarioKey]*cacheEntry
 
-	// Scheduler counters behind Stats.
+	// Scheduler counters behind Stats. requests is incremented when a
+	// scenario request is admitted (after the fit check); exactly one of
+	// the outcome counters follows, so at quiescence
+	// requests == simulated + hits + waits + cancelled.
+	requests  atomic.Int64
 	simulated atomic.Int64
 	hits      atomic.Int64
 	waits     atomic.Int64
+	cancelled atomic.Int64
 }
 
 // cacheEntry is one scenario's single-flight slot: res and err are
@@ -123,31 +128,63 @@ type cacheEntry struct {
 }
 
 // Stats is a snapshot of the profiler's scenario-scheduler counters.
+// The counters conserve: every admitted request ends in exactly one of
+// the four outcomes, so on a quiesced profiler
+//
+//	Requests == Simulated + CacheHits + Waits + Cancelled.
+//
+// A snapshot taken while requests are in flight may see Requests ahead
+// of the outcome sum (admission is counted before the outcome), never
+// behind it — Balance is always >= 0.
 type Stats struct {
+	// Requests counts scenario requests admitted to the scheduler (a
+	// request rejected by the GPU-memory fit check is never admitted).
+	Requests int64
+
 	// Simulated counts scenarios actually executed on an engine.
 	Simulated int64
 
 	// CacheHits counts scenario requests served from a completed result.
 	CacheHits int64
 
-	// Waits counts requests that found their scenario in flight and
-	// blocked on the single-flight entry instead of re-simulating.
+	// Waits counts requests that found their scenario in flight, blocked
+	// on the single-flight entry, and received its result.
 	Waits int64
+
+	// Cancelled counts requests whose context expired before a result:
+	// either on admission or while blocked on an in-flight entry.
+	Cancelled int64
+}
+
+// Balance is Requests minus the sum of the outcome counters. It is 0 on
+// a quiesced profiler and transiently positive while requests are in
+// flight; a negative balance means the accounting is broken (the
+// auditor's conservation invariant).
+func (s Stats) Balance() int64 {
+	return s.Requests - (s.Simulated + s.CacheHits + s.Waits + s.Cancelled)
 }
 
 // String renders the counters compactly.
 func (s Stats) String() string {
-	return fmt.Sprintf("%d scenarios simulated, %d cache hits, %d single-flight waits",
-		s.Simulated, s.CacheHits, s.Waits)
+	return fmt.Sprintf("%d scenario requests: %d simulated, %d cache hits, %d single-flight waits, %d cancelled",
+		s.Requests, s.Simulated, s.CacheHits, s.Waits, s.Cancelled)
 }
 
-// Stats returns the profiler's scheduler counters.
+// Stats returns the profiler's scheduler counters. The fields are read
+// individually, not under one lock, so a concurrent snapshot can be
+// mid-request. The outcome counters are loaded before Requests: every
+// outcome increment is preceded by its request's admission increment,
+// so an outcome visible here implies its request is too, and Balance
+// stays >= 0 even mid-flight.
 func (p *Profiler) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Simulated: p.simulated.Load(),
 		CacheHits: p.hits.Load(),
 		Waits:     p.waits.Load(),
+		Cancelled: p.cancelled.Load(),
 	}
+	s.Requests = p.requests.Load()
+	return s
 }
 
 // New returns a Stash profiler with the given options.
@@ -233,11 +270,19 @@ const (
 // already started always runs to completion (they take milliseconds),
 // so a cancelled requester never poisons the single-flight entry for
 // the goroutines still waiting on it.
+//
+// Counter discipline: a request that passes the fit check increments
+// requests, then exactly one outcome counter — simulated, hits, waits,
+// or cancelled — so the Stats conservation invariant holds. A waiter
+// whose context expires counts as cancelled, not as a wait: it never
+// received the result it was waiting for.
 func (p *Profiler) run(ctx context.Context, job workload.Job, sc scenario) (*train.Result, error) {
-	if err := ctx.Err(); err != nil {
+	if err := checkFit(job, sc.instance); err != nil {
 		return nil, err
 	}
-	if err := checkFit(job, sc.instance); err != nil {
+	p.requests.Add(1)
+	if err := ctx.Err(); err != nil {
+		p.cancelled.Add(1)
 		return nil, err
 	}
 	key := scenarioKey{
@@ -257,11 +302,12 @@ func (p *Profiler) run(ctx context.Context, job workload.Job, sc scenario) (*tra
 			return e.res, e.err
 		default:
 		}
-		p.waits.Add(1)
 		select {
 		case <-e.done:
+			p.waits.Add(1)
 			return e.res, e.err
 		case <-ctx.Done():
+			p.cancelled.Add(1)
 			return nil, ctx.Err()
 		}
 	}

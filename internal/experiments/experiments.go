@@ -28,7 +28,8 @@ type Config struct {
 	Seed int64
 
 	// Parallelism bounds how many scenario cells (and, under RunMany,
-	// experiments) run concurrently: 0 = GOMAXPROCS, 1 = serial. Output
+	// experiments) run concurrently: 0 or negative = GOMAXPROCS (the
+	// core.WithParallelism convention), 1 = serial. Output
 	// is byte-identical at every setting — cells land in index-ordered
 	// slots and rows are assembled in paper order. Parallelism is not
 	// part of the shared-profiler identity (profilerKey), so serial and
@@ -73,8 +74,11 @@ func (c Config) normalize() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	// Negative Parallelism means GOMAXPROCS, same as 0: the semantics
+	// are defined once, by core.WithParallelism / core.ForEach ("0 or
+	// negative = GOMAXPROCS"), and this layer must not remap them.
 	if c.Parallelism < 0 {
-		c.Parallelism = 1
+		c.Parallelism = 0
 	}
 	return c
 }
@@ -144,11 +148,35 @@ func touchProfiler(key profilerKey) {
 	}
 }
 
+// peekProfiler is the read-only counterpart of profiler: it returns the
+// configuration's shared profiler if one already exists, without
+// inserting a new entry, evicting an old one, or refreshing LRU order.
+// Observability paths (SchedulerStats, the stashd /metrics scrape) must
+// use this: a scrape that allocated a profiler would report freshly
+// zeroed counters and could evict a profiler whose scenario cache a
+// running sweep is reusing.
+func (c Config) peekProfiler() (*core.Profiler, bool) {
+	c = c.normalize()
+	key := profilerKey{iterations: c.Iterations, seed: c.Seed}
+	sharedProfilers.Lock()
+	defer sharedProfilers.Unlock()
+	p, ok := sharedProfilers.m[key]
+	return p, ok
+}
+
 // SchedulerStats reports the shared profiler's scenario-scheduler
-// counters for this configuration (simulations, cache hits,
-// single-flight waits).
+// counters for this configuration (requests, simulations, cache hits,
+// single-flight waits, cancellations). It is a pure read: if no sweep
+// has built the configuration's profiler yet, it reports zero counters
+// instead of allocating one, and it never perturbs the shared-profiler
+// LRU — repeated scrapes leave the counters monotonically
+// non-decreasing.
 func SchedulerStats(cfg Config) core.Stats {
-	return cfg.profiler().Stats()
+	p, ok := cfg.peekProfiler()
+	if !ok {
+		return core.Stats{}
+	}
+	return p.Stats()
 }
 
 // Experiment is a runnable reproduction of one paper artifact.

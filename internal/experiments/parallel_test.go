@@ -146,8 +146,10 @@ func TestParallelismExcludedFromSharing(t *testing.T) {
 }
 
 func TestConfigNormalizeParallelism(t *testing.T) {
-	if got := (Config{Parallelism: -3}).normalize().Parallelism; got != 1 {
-		t.Errorf("negative Parallelism normalized to %d, want 1", got)
+	// "0 or negative = GOMAXPROCS" is core.WithParallelism's contract;
+	// this layer must not remap negative to serial (the pre-fix bug).
+	if got := (Config{Parallelism: -3}).normalize().Parallelism; got != 0 {
+		t.Errorf("negative Parallelism normalized to %d, want 0 (GOMAXPROCS at pool)", got)
 	}
 	if got := (Config{}).normalize().Parallelism; got != 0 {
 		t.Errorf("zero Parallelism normalized to %d, want 0 (GOMAXPROCS at pool)", got)

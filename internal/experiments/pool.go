@@ -11,7 +11,8 @@ import (
 )
 
 // forEach runs fn(0..n-1) on a worker pool bounded by the config's
-// Parallelism (0 = GOMAXPROCS, 1 = serial). Failures are deterministic:
+// Parallelism (0 or negative = GOMAXPROCS, 1 = serial). Failures are
+// deterministic:
 // the lowest-index error wins regardless of completion order. The
 // config's context (WithContext) cancels the sweep between cells.
 func (c Config) forEach(n int, fn func(i int) error) error {

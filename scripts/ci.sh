@@ -36,4 +36,7 @@ go test ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> stash -selfcheck (cross-layer invariant audit)"
+go run ./cmd/stash -selfcheck
+
 echo "==> ci.sh: all checks passed"
