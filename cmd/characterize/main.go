@@ -92,7 +92,7 @@ func run(args []string) error {
 	}
 
 	cfg := experiments.Config{Iterations: *iters, Seed: *seed, Parallelism: *parallel}
-	start := time.Now()
+	start := time.Now() //lint:allow wallclock CLI wall-time progress line, never enters a stall table
 	for _, r := range experiments.RunMany(cfg, selected) {
 		if r.Err != nil {
 			return fmt.Errorf("%s: %w", r.Experiment.ID, r.Err)
@@ -108,6 +108,7 @@ func run(args []string) error {
 	}
 	if *verbose {
 		fmt.Printf("# scheduler: %v (wall %v)\n",
+			//lint:allow wallclock verbose-only scheduler wall time, not part of any table
 			experiments.SchedulerStats(cfg), time.Since(start).Round(time.Millisecond))
 	}
 	return nil

@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -161,8 +162,13 @@ func runRecommend(p *core.Profiler, job workload.Job, cons core.Constraints) err
 	}
 	if len(rec.Rejected) > 0 {
 		fmt.Println("\nrejected:")
-		for lbl, reason := range rec.Rejected {
-			fmt.Printf("  %-16s %s\n", lbl, reason)
+		labels := make([]string, 0, len(rec.Rejected))
+		for lbl := range rec.Rejected {
+			labels = append(labels, lbl)
+		}
+		sort.Strings(labels)
+		for _, lbl := range labels {
+			fmt.Printf("  %-16s %s\n", lbl, rec.Rejected[lbl])
 		}
 	}
 	fmt.Printf("\n%s\n", rec.ModelAdvice)

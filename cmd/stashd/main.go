@@ -100,6 +100,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 
 	fmt.Fprintln(out, "stashd: shutting down, draining in-flight requests")
+	//lint:allow ctxflow the serve ctx is already cancelled here; the drain deadline must outlive it
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(dctx); err != nil {

@@ -1,0 +1,109 @@
+// Command stashlint is the repository's static determinism and
+// concurrency gate: a multichecker over the internal/lint analyzer
+// suite, run by scripts/ci.sh between go vet and the build.
+//
+// Usage:
+//
+//	stashlint [-list] [pattern ...]
+//
+// Patterns are module-root-relative package patterns ("./...",
+// "./internal/core", "./internal/..."); the default is "./...".
+// -list prints the suite version and the analyzer roster (what the CI
+// gate log pins) and exits.
+//
+// Exit status: 0 when the tree is clean, 1 when any analyzer reports a
+// finding, 2 on usage or load errors.
+//
+// Findings are suppressed per site with
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on or directly above the flagged line; the reason is mandatory and a
+// bare directive is itself a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"stash/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("stashlint", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	list := fs.Bool("list", false, "print suite version and analyzers, then exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		fmt.Fprint(out, listSuite())
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(errw, "stashlint:", err)
+		return 2
+	}
+	root, modPath, err := lint.ModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintln(errw, "stashlint:", err)
+		return 2
+	}
+
+	loader := lint.NewLoader(root, modPath)
+	pkgs, err := loader.Expand(patterns)
+	if err != nil {
+		fmt.Fprintln(errw, "stashlint:", err)
+		return 2
+	}
+
+	count := 0
+	for _, pkg := range pkgs {
+		for _, d := range lint.Run(pkg, lint.All()) {
+			pos := d.Pos
+			if rel, err := filepath.Rel(wd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				pos.Filename = rel
+			}
+			fmt.Fprintf(errw, "%s: %s: %s\n", pos, d.Analyzer, d.Message)
+			count++
+		}
+	}
+	if count > 0 {
+		fmt.Fprintf(errw, "stashlint: %d finding(s) in %d packages\n", count, len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+// listSuite renders the version/roster block ci.sh prints into the
+// gate log so every CI run records exactly what was enforced.
+func listSuite() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stashlint %s — static determinism & concurrency analyzers\n", lint.Version)
+	for _, a := range lint.All() {
+		fmt.Fprintf(&b, "  %-10s %s\n", a.Name, firstClause(a.Doc))
+	}
+	return b.String()
+}
+
+// firstClause trims an analyzer doc to its headline for the roster.
+func firstClause(doc string) string {
+	if i := strings.IndexByte(doc, ':'); i > 0 {
+		return doc[:i]
+	}
+	return doc
+}

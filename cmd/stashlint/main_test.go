@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"stash/internal/lint"
+)
+
+// TestListSuite pins the -list output: ci.sh prints it into the gate
+// log so every run records the enforced version and roster.
+func TestListSuite(t *testing.T) {
+	out := listSuite()
+	if !strings.Contains(out, "stashlint "+lint.Version) {
+		t.Errorf("missing version line in %q", out)
+	}
+	for _, a := range lint.All() {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("roster missing analyzer %q:\n%s", a.Name, out)
+		}
+	}
+}
+
+func TestRunListFlag(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errw); code != 0 {
+		t.Fatalf("-list exited %d, stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "wallclock") {
+		t.Errorf("-list output missing analyzers: %q", out.String())
+	}
+}
+
+// TestRunCleanPackage runs the real multichecker path over a small
+// violation-free package; the whole-tree gate lives in ci.sh and in
+// internal/lint's TestRepoIsClean.
+func TestRunCleanPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks real packages; run without -short")
+	}
+	var out, errw bytes.Buffer
+	if code := run([]string{"./internal/hw"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d on clean package, stderr: %s", code, errw.String())
+	}
+}
+
+func TestRunBadPattern(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"./no/such/dir"}, &out, &errw); code != 2 {
+		t.Fatalf("exit %d on bad pattern, want 2 (stderr: %s)", code, errw.String())
+	}
+}

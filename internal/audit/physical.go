@@ -60,6 +60,7 @@ func auditPhysical(ctx context.Context, opts Options, res *Result) (*core.Profil
 		case errors.As(err, &oom):
 			res.check(FamilyPhysical, "oom-consistency", need > have,
 				"%s: profiler reported OOM but model needs %.1f GB of %.1f GB", label, need/1e9, have/1e9)
+			//lint:allow floatcmp the OOM error must carry the memory model's exact values; bit-equality is the invariant
 			res.check(FamilyPhysical, "oom-detail", oom.Required == need && oom.Available == have,
 				"%s: OOM error carries %.0f/%.0f bytes, memory model says %.0f/%.0f",
 				label, oom.Required, oom.Available, need, have)
@@ -176,6 +177,7 @@ func CheckReport(rep *core.Report) *Result {
 // (the profiler's guarded division).
 func pctAgrees(got, num, den float64) bool {
 	if den <= 0 {
+		//lint:allow floatcmp the profiler's guarded division emits exactly 0 here; bit-equality is the invariant
 		return got == 0
 	}
 	want := 100 * num / den

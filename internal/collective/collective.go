@@ -161,6 +161,7 @@ func (g *Group) AllReduceAsync(rank int, bytes float64) *sim.Signal {
 		o = &op{seq: seq, bytes: bytes, done: sim.NewSignal(g.eng)}
 		g.ops[seq] = o
 	}
+	//lint:allow floatcmp ranks must hand in bit-identical sizes; any difference is a caller bug worth a panic
 	if o.bytes != bytes {
 		panic(fmt.Sprintf("collective: rank %d op %d carries %v bytes, others sent %v", rank, seq, bytes, o.bytes))
 	}

@@ -193,6 +193,7 @@ func (p *Profiler) RecommendContext(ctx context.Context, job workload.Job, cons 
 
 	sort.SliceStable(rec.Candidates, func(i, j int) bool {
 		a, b := rec.Candidates[i], rec.Candidates[j]
+		//lint:allow floatcmp tie-break comparator; a tolerance would break the strict weak ordering sort requires
 		if a.Estimate.Cost != b.Estimate.Cost {
 			return a.Estimate.Cost < b.Estimate.Cost
 		}

@@ -113,6 +113,7 @@ func AblateBucketSize(cfg Config) ([]*report.Table, error) {
 		bk := bucketings[i]
 		var buckets []collective.Bucket
 		var err error
+		//lint:allow floatcmp 0 is the per-layer-bucketing sentinel literal, not a computed value
 		if bk.bytes == 0 {
 			buckets = collective.PerLayerBuckets(m)
 		} else {

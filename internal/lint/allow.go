@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+}
+
+// allowIndex maps (file, line) to the directives that cover it. A
+// directive covers its own line (trailing comment) and the line below
+// (comment above the flagged statement).
+type allowIndex struct {
+	byLine map[string]map[int][]*allowDirective
+	all    []*allowDirective
+}
+
+const allowPrefix = "//lint:allow"
+
+// buildAllowIndex scans every comment in the package for
+// //lint:allow directives.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
+	idx := &allowIndex{byLine: make(map[string]map[int][]*allowDirective)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:allowed — not ours
+				}
+				// A fixture may pair a directive with a // want
+				// assertion in the same comment; the directive ends
+				// where the nested comment starts.
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				fields := strings.Fields(rest)
+				d := &allowDirective{pos: fset.Position(c.Pos())}
+				if len(fields) > 0 {
+					d.analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				idx.all = append(idx.all, d)
+				lines := idx.byLine[d.pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]*allowDirective)
+					idx.byLine[d.pos.Filename] = lines
+				}
+				lines[d.pos.Line] = append(lines[d.pos.Line], d)
+				lines[d.pos.Line+1] = append(lines[d.pos.Line+1], d)
+			}
+		}
+	}
+	return idx
+}
+
+// allows reports whether a well-formed directive for the analyzer
+// covers file:line. Directives without a reason never suppress — they
+// are themselves diagnostics (see malformed).
+func (idx *allowIndex) allows(analyzer, file string, line int) bool {
+	for _, d := range idx.byLine[file][line] {
+		if d.analyzer == analyzer && d.reason != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// malformed returns the positions of directives naming the analyzer
+// that lack the mandatory reason string.
+func (idx *allowIndex) malformed(analyzer string) []token.Position {
+	var out []token.Position
+	for _, d := range idx.all {
+		if d.analyzer == analyzer && d.reason == "" {
+			out = append(out, d.pos)
+		}
+	}
+	return out
+}

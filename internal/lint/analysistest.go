@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// wantExpectation is one `// want` assertion from a fixture file.
+type wantExpectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// CheckFixture runs one analyzer over a loaded fixture package and
+// compares the diagnostics against the package's `// want` comments —
+// the same contract as x/tools' analysistest: every diagnostic must be
+// matched by a want regexp on its line, and every want must fire.
+// Patterns are written as Go string literals, back-quoted by
+// convention: // want `regexp` (multiple per comment allowed).
+func CheckFixture(pkg *Package, a *Analyzer) []error {
+	wants, errs := parseWants(pkg)
+	diags := Run(pkg, []*Analyzer{a})
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.pattern.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			errs = append(errs, fmt.Errorf("unexpected diagnostic at %s: [%s] %s", d.Pos, d.Analyzer, d.Message))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			errs = append(errs, fmt.Errorf("%s:%d: no diagnostic matched `%s`", w.file, w.line, w.pattern))
+		}
+	}
+	return errs
+}
+
+// parseWants extracts the want expectations from every comment in the
+// package. A want clause may share its comment with other text (for
+// example a deliberately-malformed //lint:allow under test), so the
+// scan starts at the first "// want" inside the comment.
+func parseWants(pkg *Package) ([]*wantExpectation, []error) {
+	var wants []*wantExpectation
+	var errs []error
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, lit := range stringLiterals(c.Text[idx+len("// want "):]) {
+					pat, err := strconv.Unquote(lit)
+					if err != nil {
+						errs = append(errs, fmt.Errorf("%s:%d: bad want literal %s: %v", pos.Filename, pos.Line, lit, err))
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						errs = append(errs, fmt.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err))
+						continue
+					}
+					wants = append(wants, &wantExpectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return wants, errs
+}
+
+// stringLiterals scans s for Go string literals (back-quoted or
+// double-quoted) and returns them with their delimiters.
+func stringLiterals(s string) []string {
+	var out []string
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '`':
+			if j := strings.IndexByte(s[i+1:], '`'); j >= 0 {
+				out = append(out, s[i:i+j+2])
+				i += j + 1
+			}
+		case '"':
+			for j := i + 1; j < len(s); j++ {
+				if s[j] == '\\' {
+					j++
+					continue
+				}
+				if s[j] == '"' {
+					out = append(out, s[i:j+1])
+					i = j
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// fixtureHasAllow reports whether any file in the package carries an
+// allow directive for the named analyzer — used by tests asserting the
+// escape hatch itself is exercised.
+func fixtureHasAllow(pkg *Package, analyzer string) bool {
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, allowPrefix) && strings.Contains(c.Text, analyzer) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

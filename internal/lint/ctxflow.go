@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces context threading on request paths: a function that
+// receives a context.Context must pass it along, not mint a fresh root.
+// Two patterns are flagged inside such functions: (1) any call to
+// context.Background() or context.TODO(), which silently detaches the
+// callee from the request's deadline and cancellation (a stashd request
+// timeout or SIGTERM drain would no longer stop the work); and (2)
+// calling Foo(...) when a FooContext(ctx, ...) variant exists in the
+// same package or method set — the repo's convention for
+// context-threading APIs (Profile/ProfileContext, ForEach/ForEachCtx).
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "a function that receives a ctx must thread it: no context.Background()/TODO() " +
+		"and no calls to the context-free variant of an API whose *Context sibling exists — " +
+		"detached work outlives request deadlines and the shutdown drain",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var sig *types.Signature
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+				if obj, ok := pass.Info.Defs[fn.Name].(*types.Func); ok {
+					sig = obj.Type().(*types.Signature)
+				}
+			case *ast.FuncLit:
+				body = fn.Body
+				if tv, ok := pass.Info.Types[fn]; ok {
+					sig, _ = tv.Type.(*types.Signature)
+				}
+			}
+			if body == nil || sig == nil || !hasContextParam(sig) {
+				return true
+			}
+			checkCtxBody(pass, body)
+			// Nested function literals are checked on their own walk
+			// (they may or may not take a ctx themselves), so stop here
+			// only for the ctx checks; keep traversing for nested defs.
+			return true
+		})
+	}
+}
+
+// hasContextParam reports whether any parameter is a context.Context.
+func hasContextParam(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCtxBody flags detached-context patterns in one ctx-receiving
+// function body, without descending into nested function literals.
+func checkCtxBody(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := funcFor(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO") {
+			pass.Reportf(call.Pos(), "context.%s inside a function that receives a ctx detaches the callee from the request's deadline and cancellation; thread the ctx (or annotate //lint:allow ctxflow <reason>)", fn.Name())
+			return true
+		}
+		if sibling := contextSibling(pass, fn); sibling != "" {
+			pass.Reportf(call.Pos(), "%s has a context-threading variant %s; call it with the ctx this function already holds", fn.Name(), sibling)
+		}
+		return true
+	})
+}
+
+// contextSibling returns the name of fn's *Context/*Ctx variant if one
+// exists in the same package scope (for functions) or method set (for
+// methods) and takes a context.Context. Only module-local APIs are
+// considered — the repo controls those naming pairs.
+func contextSibling(pass *Pass, fn *types.Func) string {
+	if fn.Pkg() != pass.Pkg && !strings.HasPrefix(fn.Pkg().Path(), pass.Pkg.Path()+"/") &&
+		!sameModule(pass.Pkg.Path(), fn.Pkg().Path()) {
+		return ""
+	}
+	name := fn.Name()
+	if strings.HasSuffix(name, "Context") || strings.HasSuffix(name, "Ctx") {
+		return ""
+	}
+	sig := fn.Type().(*types.Signature)
+	for _, suffix := range []string{"Context", "Ctx"} {
+		want := name + suffix
+		var cand types.Object
+		if recv := sig.Recv(); recv != nil {
+			cand, _, _ = types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), want)
+		} else {
+			cand = fn.Pkg().Scope().Lookup(want)
+		}
+		cfn, ok := cand.(*types.Func)
+		if !ok {
+			continue
+		}
+		csig := cfn.Type().(*types.Signature)
+		if csig.Params().Len() > 0 && isContextType(csig.Params().At(0).Type()) {
+			return want
+		}
+	}
+	return ""
+}
+
+// sameModule reports whether two import paths share their first path
+// element (the module), so the sibling check covers cross-package
+// calls like experiments -> core but never the standard library.
+func sameModule(a, b string) bool {
+	first := func(p string) string {
+		if i := strings.IndexByte(p, '/'); i >= 0 {
+			return p[:i]
+		}
+		return p
+	}
+	return first(a) == first(b)
+}

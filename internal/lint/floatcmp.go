@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != on floating-point operands. Stall
+// arithmetic is all float64; exact equality silently depends on
+// evaluation order and compiler fusing, so a refactor that is
+// mathematically a no-op can flip a branch. The audit package's
+// deliberate exact-derivation checks carry //lint:allow annotations
+// explaining why bit-equality is the point there. Test files are not
+// loaded by stashlint at all.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc: "forbid ==/!= on float operands in stall arithmetic: exact float equality " +
+		"depends on evaluation order and breaks under algebraically-equivalent refactors; " +
+		"compare with a tolerance or annotate the sites where bit-equality is the invariant",
+	Run: runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(pass, bin.X) || isFloat(pass, bin.Y) {
+				pass.Reportf(bin.Pos(), "%s on float operands depends on evaluation order and FMA fusing; compare with a tolerance or annotate //lint:allow floatcmp <reason>", bin.Op)
+			}
+			return true
+		})
+	}
+}
+
+func isFloat(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,169 @@
+// Package lint is stashlint's analyzer suite: five static analyzers
+// that prove, at compile time, the invariants this repository otherwise
+// only checks dynamically (internal/audit, go test -race). The headline
+// guarantee — byte-identical stall tables serial-vs-parallel and
+// run-vs-rerun — survives only if no wall-clock read, unsorted map
+// iteration, or lock-across-blocking-call ever reaches a release;
+// these analyzers reject that class of bug before it can fire on some
+// schedule.
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Reportf, testdata fixtures with // want
+// annotations) but is built on the standard library's go/ast and
+// go/types only, so the suite works in the hermetic build environment
+// with no module downloads.
+//
+// Suppression: a finding may be silenced with a trailing or
+// line-above comment of the form
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The reason is mandatory; a bare //lint:allow <analyzer> is itself a
+// diagnostic, so every exemption in the tree documents why it is safe.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Version identifies the analyzer suite in CI gate logs. Bump it when
+// an analyzer's semantics change so a log line pins exactly what was
+// enforced for a given commit.
+const Version = "1.0.0"
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in diagnostics and in
+	// //lint:allow annotations.
+	Name string
+
+	// Doc is a one-paragraph description: the invariant encoded and
+	// why the runtime checks alone are insufficient.
+	Doc string
+
+	// Run inspects one type-checked package and reports findings via
+	// pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// All returns the full suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Wallclock, MapOrder, LockHeld, CtxFlow, FloatCmp}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// A Diagnostic is one finding, positioned and attributed to its
+// analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Pass carries one type-checked package through one analyzer run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	allow *allowIndex
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless an allow annotation with a
+// reason covers that line for this analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allow.allows(p.Analyzer.Name, position.Filename, position.Line) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the given analyzers over one loaded package and returns
+// the findings sorted by position. Malformed allow annotations (no
+// reason) surface as diagnostics of the analyzer they name.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	allow := buildAllowIndex(pkg.Fset, pkg.Files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			allow:    allow,
+			diags:    &diags,
+		}
+		for _, bad := range allow.malformed(a.Name) {
+			diags = append(diags, Diagnostic{
+				Pos:      bad,
+				Analyzer: a.Name,
+				Message:  fmt.Sprintf("//lint:allow %s needs a reason: //lint:allow %s <why this site is safe>", a.Name, a.Name),
+			})
+		}
+		a.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos.Filename != diags[j].Pos.Filename {
+			return diags[i].Pos.Filename < diags[j].Pos.Filename
+		}
+		if diags[i].Pos.Line != diags[j].Pos.Line {
+			return diags[i].Pos.Line < diags[j].Pos.Line
+		}
+		if diags[i].Pos.Column != diags[j].Pos.Column {
+			return diags[i].Pos.Column < diags[j].Pos.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// funcFor resolves the called function or method behind a call
+// expression, seeing through parentheses. Returns nil for builtins,
+// conversions and calls of function-typed variables.
+func funcFor(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

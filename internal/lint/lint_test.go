@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureLoader builds one loader rooted at this module so fixtures can
+// import real repo packages (internal/report) alongside the stdlib.
+func fixtureLoader(t *testing.T) *Loader {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, path, err := ModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewLoader(root, path)
+}
+
+func loadFixture(t *testing.T, l *Loader, name string) *Package {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(filepath.Join(wd, "testdata", "src", name), "fixture/"+name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	return pkg
+}
+
+// TestFixtures runs each analyzer over its testdata package and checks
+// the diagnostics against the // want annotations, analysistest-style.
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		fixture  string
+	}{
+		{Wallclock, "wallclock"},
+		{MapOrder, "maporder"},
+		{LockHeld, "lockheld"},
+		{CtxFlow, "ctxflow"},
+		{FloatCmp, "floatcmp"},
+	}
+	l := fixtureLoader(t)
+	for _, c := range cases {
+		t.Run(c.fixture, func(t *testing.T) {
+			pkg := loadFixture(t, l, c.fixture)
+			for _, err := range CheckFixture(pkg, c.analyzer) {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestAllowRequiresReason is the escape-hatch-of-the-escape-hatch: a
+// bare //lint:allow wallclock with no reason string must not suppress
+// the finding and must itself be reported.
+func TestAllowRequiresReason(t *testing.T) {
+	l := fixtureLoader(t)
+	pkg := loadFixture(t, l, "allowreason")
+	for _, err := range CheckFixture(pkg, Wallclock) {
+		t.Error(err)
+	}
+
+	// Belt and braces beyond the want annotations: the malformed
+	// directive must be present and produce exactly one
+	// missing-reason diagnostic plus two unsuppressed findings.
+	if !fixtureHasAllow(pkg, "wallclock") {
+		t.Fatal("fixture lost its //lint:allow directive")
+	}
+	diags := Run(pkg, []*Analyzer{Wallclock})
+	var missing, findings int
+	for _, d := range diags {
+		if d.Analyzer != "wallclock" {
+			t.Errorf("unexpected analyzer %q", d.Analyzer)
+		}
+		if strings.Contains(d.Message, "needs a reason") {
+			missing++
+		} else {
+			findings++
+		}
+	}
+	if missing != 1 || findings != 2 {
+		t.Errorf("got %d missing-reason and %d findings, want 1 and 2: %v", missing, findings, diags)
+	}
+}
+
+// TestSuiteRegistry pins the analyzer set: CI prints this list, and the
+// allow annotations in the tree reference these names.
+func TestSuiteRegistry(t *testing.T) {
+	want := []string{"wallclock", "maporder", "lockheld", "ctxflow", "floatcmp"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("got %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing doc or run", a.Name)
+		}
+		if ByName(want[i]) != a {
+			t.Errorf("ByName(%q) did not round-trip", want[i])
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName of unknown name should be nil")
+	}
+}
+
+// TestRepoIsClean runs the full suite over the whole module — the same
+// gate ci.sh enforces via cmd/stashlint, kept here so a plain `go test
+// ./...` also proves the tree is violation-free.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module type check is slow; run without -short")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, path, err := ModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := NewLoader(root, path).Expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("expected to load the whole module, got %d packages", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		for _, d := range Run(pkg, All()) {
+			t.Errorf("%s", d)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockHeld flags blocking operations performed while a sync.Mutex or
+// sync.RWMutex is held: channel sends and receives (including
+// <-ctx.Done()), select statements, range-over-channel,
+// sync.WaitGroup.Wait and time.Sleep. Holding a lock across a wait is
+// how the single-flight profiler cache or the stashd concurrency gate
+// would deadlock (or serialize) under a schedule the race detector
+// never happens to produce; the correct pattern — publish the entry,
+// unlock, then wait — is what this analyzer proves.
+//
+// The check is a syntactic approximation: the held region runs from a
+// mu.Lock() call to the first mu.Unlock() on the same receiver in
+// document order (for the same enclosing function), or to the end of
+// the surrounding block when the Unlock is deferred. sync.Cond.Wait is
+// exempt: it atomically releases the lock it guards.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc: "forbid blocking operations (channel ops, select, WaitGroup.Wait, time.Sleep) " +
+		"while a mutex is held: waits under a lock deadlock or serialize the scenario " +
+		"scheduler on schedules dynamic testing cannot enumerate",
+	Run: runLockHeld,
+}
+
+func runLockHeld(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				checkLockRegions(pass, body)
+			}
+			return true
+		})
+	}
+}
+
+// checkLockRegions scans every block in one function body for Lock
+// calls and inspects the statements held under each.
+func checkLockRegions(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested literals are scanned on their own
+		}
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, stmt := range block.List {
+			recv, kind := mutexCall(pass, stmt)
+			if kind != "Lock" && kind != "RLock" {
+				continue
+			}
+			h := &heldScan{pass: pass, recv: recv}
+			for _, held := range block.List[i+1:] {
+				if h.done {
+					break
+				}
+				h.scan(held)
+			}
+		}
+		return true
+	})
+}
+
+// heldScan walks the statements after a Lock in document order,
+// flagging blocking operations until the matching Unlock.
+type heldScan struct {
+	pass *Pass
+	recv string
+	done bool
+}
+
+func (h *heldScan) scan(stmt ast.Stmt) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if h.done {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			// Runs on another goroutine (or is merely defined): not
+			// executed under this lock.
+			return false
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the region open to the block's
+			// end; any other deferred call runs after unlock anyway.
+			return false
+		case *ast.CallExpr:
+			if r, k := mutexCallExpr(h.pass, v); r == h.recv && (k == "Unlock" || k == "RUnlock") {
+				h.done = true
+				return false
+			}
+			if fn := funcFor(h.pass.Info, v); fn != nil && fn.Pkg() != nil {
+				sig := fn.Type().(*types.Signature)
+				switch {
+				case fn.Pkg().Path() == "sync" && fn.Name() == "Wait" && sig.Recv() != nil && !isCondRecv(sig):
+					h.pass.Reportf(v.Pos(), "sync.WaitGroup.Wait while %s is locked; unlock before waiting", h.recv)
+				case fn.Pkg().Path() == "time" && fn.Name() == "Sleep":
+					h.pass.Reportf(v.Pos(), "time.Sleep while %s is locked; unlock before sleeping", h.recv)
+				}
+			}
+		case *ast.SendStmt:
+			h.pass.Reportf(v.Pos(), "channel send while %s is locked; unlock before communicating", h.recv)
+		case *ast.UnaryExpr:
+			if v.Op.String() == "<-" {
+				h.pass.Reportf(v.Pos(), "channel receive while %s is locked; unlock before waiting", h.recv)
+			}
+		case *ast.SelectStmt:
+			h.pass.Reportf(v.Pos(), "select while %s is locked; unlock before waiting", h.recv)
+			return false
+		case *ast.RangeStmt:
+			if tv, ok := h.pass.Info.Types[v.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					h.pass.Reportf(v.Pos(), "range over channel while %s is locked; unlock before waiting", h.recv)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// mutexCall matches a statement of the form `mu.Lock()` /
+// `mu.Unlock()` (and RW variants) and returns the receiver expression
+// rendered as a string plus the method name.
+func mutexCall(pass *Pass, stmt ast.Stmt) (recv, method string) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", ""
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	return mutexCallExpr(pass, call)
+}
+
+func mutexCallExpr(pass *Pass, call *ast.CallExpr) (recv, method string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return types.ExprString(sel.X), fn.Name()
+	}
+	return "", ""
+}
+
+// isCondRecv reports whether the method receiver is *sync.Cond, whose
+// Wait atomically releases the associated lock and is therefore legal
+// under it.
+func isCondRecv(sig *types.Signature) bool {
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Cond"
+}

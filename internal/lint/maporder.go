@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `range` over a map whose body does something
+// order-sensitive: appending to a slice that is never subsequently
+// sorted, printing through fmt, writing to a Buffer/Builder/io.Writer,
+// or feeding internal/report. Go randomizes map iteration order per
+// run, so any of these produces output that differs run-vs-rerun —
+// exactly the bug class that would silently break the byte-identical
+// stall tables. The safe idiom (collect keys, sort, iterate the sorted
+// slice) is recognized and not flagged.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "forbid order-sensitive work inside range-over-map: map iteration order is " +
+		"randomized per run, so appends that are never sorted, fmt output, writer calls " +
+		"and report-table construction inside the loop break byte-identical output",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		// Walk function by function so the append exemption can look
+		// for a sort call later in the same function.
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				checkMapRanges(pass, body)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRanges inspects one function body (not descending into
+// nested function literals, which are visited separately).
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(pass, body, rng)
+		return true
+	})
+}
+
+func checkMapRangeBody(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+
+		// Builtin append: order-sensitive unless the destination slice
+		// is sorted after the loop.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+			if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+				if dst := appendTarget(pass, call); dst != nil && sortedAfter(pass, fnBody, rng, dst) {
+					return true
+				}
+				pass.Reportf(call.Pos(), "append inside range over map accumulates in randomized iteration order; collect keys, sort, then iterate, or sort the result before it is used")
+				return true
+			}
+		}
+
+		fn := funcFor(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch {
+		case fn.Pkg().Path() == "fmt" && (strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")):
+			pass.Reportf(call.Pos(), "fmt.%s inside range over map emits output in randomized iteration order; iterate a sorted key slice instead", fn.Name())
+		case isWriterMethod(fn):
+			pass.Reportf(call.Pos(), "%s.%s inside range over map writes output in randomized iteration order; iterate a sorted key slice instead", fn.Pkg().Name(), fn.Name())
+		case strings.HasSuffix(fn.Pkg().Path(), "internal/report") && fn.Type().(*types.Signature).Recv() != nil:
+			// Methods mutate a table in iteration order; the package's
+			// pure formatters (Pct, Dur, ...) are order-independent.
+			pass.Reportf(call.Pos(), "feeding %s.%s from inside range over map builds tables in randomized iteration order; iterate a sorted key slice instead", fn.Pkg().Name(), fn.Name())
+		}
+		return true
+	})
+}
+
+// isWriterMethod reports whether fn is a byte/string sink: a
+// Write*/Fprint-style method on the standard library's writer types.
+func isWriterMethod(fn *types.Func) bool {
+	if fn.Type().(*types.Signature).Recv() == nil {
+		return false
+	}
+	if !strings.HasPrefix(fn.Name(), "Write") {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "bytes", "strings", "bufio", "io", "os":
+		return true
+	}
+	return false
+}
+
+// appendTarget resolves the object being appended to, when it is a
+// plain identifier (`s = append(s, ...)`). Field or index targets
+// return nil and are reported conservatively.
+func appendTarget(pass *Pass, call *ast.CallExpr) types.Object {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.Info.Uses[id]
+}
+
+// sortedAfter reports whether obj is passed to a sort.*/slices.* call
+// after the range statement ends, anywhere later in the same function
+// body — the collect-then-sort idiom.
+func sortedAfter(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		fn := funcFor(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+					found = true
+					return false
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,22 @@
+// Package allowreason exercises the escape hatch itself: a bare
+// //lint:allow without a reason must not suppress anything and is its
+// own diagnostic, so every exemption in the tree documents why it is
+// safe.
+package allowreason
+
+import "time"
+
+func missingReason() time.Time {
+	//lint:allow wallclock // want `//lint:allow wallclock needs a reason`
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func withReason() time.Time {
+	//lint:allow wallclock request timing only, never in a stall table
+	return time.Now()
+}
+
+func wrongAnalyzer() time.Time {
+	//lint:allow floatcmp reason for a different analyzer does not cover this
+	return time.Now() // want `time\.Now reads the wall clock`
+}

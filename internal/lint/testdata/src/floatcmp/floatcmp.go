@@ -1,0 +1,37 @@
+// Package floatcmp exercises the floatcmp analyzer: exact equality on
+// float operands is flagged; ordered comparisons, integer equality and
+// annotated bit-equality checks are not.
+package floatcmp
+
+func bad(a, b float64) bool {
+	return a == b // want `== on float operands`
+}
+
+func bad32(a, b float32) bool {
+	return a != b // want `!= on float operands`
+}
+
+func badZero(x float64) bool {
+	return x == 0 // want `== on float operands`
+}
+
+func badExpr(t1, t2, t5 float64) bool {
+	return t5-t1 == t2 // want `== on float operands`
+}
+
+func good(a, b float64) bool {
+	const eps = 1e-9
+	d := a - b
+	return d < eps && d > -eps
+}
+
+func goodOrdered(a, b float64) bool { return a < b }
+
+func goodInt(a, b int) bool { return a == b }
+
+func goodString(a, b string) bool { return a == b }
+
+func allowedDerivation(stall, all, single float64) bool {
+	//lint:allow floatcmp audit checks the exact derivation identity on purpose
+	return stall == all-single
+}

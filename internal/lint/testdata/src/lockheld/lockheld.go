@@ -1,0 +1,108 @@
+// Package lockheld exercises the lockheld analyzer: blocking
+// operations under a held mutex are flagged; the publish-unlock-wait
+// idiom, goroutine bodies and sync.Cond.Wait are not.
+package lockheld
+
+import (
+	"sync"
+	"time"
+)
+
+type gate struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	wg sync.WaitGroup
+}
+
+func (g *gate) badSend(v int) {
+	g.mu.Lock()
+	g.ch <- v // want `channel send while g\.mu is locked`
+	g.mu.Unlock()
+}
+
+func (g *gate) badRecvUnderDefer() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return <-g.ch // want `channel receive while g\.mu is locked`
+}
+
+func (g *gate) badSelect(done chan struct{}) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // want `select while g\.mu is locked`
+	case <-done:
+	default:
+	}
+}
+
+func (g *gate) badWaitGroup() {
+	g.mu.Lock()
+	g.wg.Wait() // want `sync\.WaitGroup\.Wait while g\.mu is locked`
+	g.mu.Unlock()
+}
+
+func (g *gate) badSleepUnderRLock() {
+	g.rw.RLock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while g\.rw is locked`
+	g.rw.RUnlock()
+}
+
+func (g *gate) badRangeChan() int {
+	sum := 0
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for v := range g.ch { // want `range over channel while g\.mu is locked`
+		sum += v
+	}
+	return sum
+}
+
+func (g *gate) goodUnlockThenWait() int {
+	g.mu.Lock()
+	ch := g.ch
+	g.mu.Unlock()
+	return <-ch
+}
+
+// goodUnlockInBranch is the single-flight cache's shape: the lock is
+// released inside the hit branch before waiting on the entry.
+func (g *gate) goodUnlockInBranch(hit bool) int {
+	g.mu.Lock()
+	if hit {
+		g.mu.Unlock()
+		return <-g.ch
+	}
+	g.ch = make(chan int)
+	g.mu.Unlock()
+	return 0
+}
+
+func (g *gate) goodGoroutineBody() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	go func() { g.ch <- 1 }()
+}
+
+func (g *gate) goodTwoMutexes(other *sync.Mutex) int {
+	g.mu.Lock()
+	g.mu.Unlock()
+	other.Lock()
+	other.Unlock()
+	return <-g.ch
+}
+
+func (g *gate) goodCondWait(c *sync.Cond, ready *bool) {
+	c.L.Lock()
+	for !*ready {
+		c.Wait()
+	}
+	c.L.Unlock()
+}
+
+func (g *gate) allowed(v int) {
+	g.mu.Lock()
+	//lint:allow lockheld buffered handoff channel can never block here
+	g.ch <- v
+	g.mu.Unlock()
+}

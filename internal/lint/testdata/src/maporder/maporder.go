@@ -1,0 +1,96 @@
+// Package maporder exercises the maporder analyzer: order-sensitive
+// work inside range-over-map is flagged unless the collect-then-sort
+// idiom is used.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"stash/internal/report"
+)
+
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append inside range over map`
+	}
+	return out
+}
+
+func goodCollectSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodSortSlice(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func badPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt\.Println inside range over map`
+	}
+}
+
+func badWrite(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `strings\.WriteString inside range over map`
+	}
+	return b.String()
+}
+
+func badReport(m map[string]float64) *report.Table {
+	t := report.NewTable("stalls", "config", "pct")
+	for k, v := range m {
+		_ = v
+		t.AddRow(k, "cell") // want `feeding report\.AddRow from inside range over map`
+	}
+	return t
+}
+
+// goodFormatter: report's pure formatters are order-independent, so
+// building map values with them is fine.
+func goodFormatter(m map[string]float64) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = report.Pct(v)
+	}
+	return out
+}
+
+func goodRangeSlice(rows []string) []string {
+	var out []string
+	for _, r := range rows {
+		out = append(out, r)
+	}
+	return out
+}
+
+func goodMapToMap(m map[string]int) map[string]int {
+	inv := make(map[string]int, len(m))
+	for k, v := range m {
+		inv[k] = v * 2
+	}
+	return inv
+}
+
+func allowed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//lint:allow maporder feeds a set, order re-established downstream
+		out = append(out, k)
+	}
+	return out
+}

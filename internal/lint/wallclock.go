@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeterministicPackages lists the packages whose outputs must be
+// byte-identical run-vs-rerun and serial-vs-parallel: every layer that
+// contributes to a stall table. The wallclock analyzer checks the whole
+// tree (service and CLI layers time requests, and those sites carry
+// //lint:allow annotations); in these packages an allow should be
+// treated as a design smell during review, not just an exemption.
+var DeterministicPackages = []string{
+	"sim", "core", "collective", "dnn", "experiments", "report",
+	"audit", "topo", "hw", "train", "workload", "pipeline", "simnet", "trace",
+}
+
+// Wallclock flags reads of the wall clock (time.Now, time.Since,
+// time.Until) and draws from math/rand's seed-global top-level
+// functions. Either one makes a profile depend on when or in what
+// order it ran, which the runtime determinism audit can only catch
+// after the fact on a schedule that happens to expose it.
+// Explicitly-seeded sources (rand.New(rand.NewSource(seed))) are fine.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/time.Since and global math/rand draws: a wall-clock read or " +
+		"seed-global draw makes stall tables differ run-vs-rerun, breaking the byte-identity " +
+		"guarantee the experiment suite and its audit depend on",
+	Run: runWallclock,
+}
+
+// wallclockRandOK are the math/rand package-level functions that do not
+// touch the global source.
+var wallclockRandOK = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true, // takes an explicit *rand.Rand
+}
+
+func runWallclock(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcFor(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					pass.Reportf(call.Pos(), "time.%s reads the wall clock, which breaks run-vs-rerun determinism; inject elapsed time explicitly or annotate //lint:allow wallclock <reason>", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !wallclockRandOK[fn.Name()] {
+					pass.Reportf(call.Pos(), "rand.%s draws from the global seed-dependent source; use rand.New(rand.NewSource(seed)) or annotate //lint:allow wallclock <reason>", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

@@ -144,6 +144,7 @@ func Run(eng *sim.Engine, net *simnet.Network, cfg Config) (*Result, error) {
 		cfg.HookOverhead = 0
 	}
 	switch {
+	//lint:allow floatcmp 0 is the unset-field sentinel of the zero Config, not a computed value
 	case cfg.CompressionRatio == 0:
 		cfg.CompressionRatio = 1
 	case cfg.CompressionRatio < 0 || cfg.CompressionRatio > 1:

@@ -1,0 +1,74 @@
+#!/bin/sh
+# bench.sh — the repository's perf-trajectory snapshot.
+#
+# Runs the suite-level benchmarks (root Suite*/experiment benches, the
+# collective ring benches, and the simulation-engine/simnet microbenches)
+# with a fixed -benchtime and -count, then converts `go test -bench`
+# output into a machine-readable BENCH_<date>.json so successive commits
+# accumulate comparable data points.
+#
+# Usage, from the repository root:
+#
+#   ./scripts/bench.sh            # writes BENCH_YYYYMMDD.json
+#   OUT=custom.json ./scripts/bench.sh
+#
+# Knobs (fixed defaults keep points comparable across runs):
+#
+#   BENCHTIME  per-benchmark budget         (default 1x: deterministic
+#              single-iteration timing — the suite benches simulate a
+#              full figure per iteration, so 1x is already seconds)
+#   COUNT      repetitions per benchmark    (default 3; the JSON keeps
+#              every sample so consumers can take min/median)
+#   FILTER     -bench regexp                (default Suite|RingAllReduce|
+#              EventDispatch|ProcessSwitch|Barrier|FlowLifecycle)
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1x}"
+COUNT="${COUNT:-3}"
+FILTER="${FILTER:-SuiteSerial|SuiteParallel|RingAllReduce|EventDispatch|ProcessSwitch|Barrier|FlowLifecycle}"
+DATE="$(date -u +%Y%m%d)"
+OUT="${OUT:-BENCH_${DATE}.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "==> go test -bench '$FILTER' -benchtime=$BENCHTIME -count=$COUNT"
+go test -run '^$' -bench "$FILTER" -benchtime "$BENCHTIME" -count "$COUNT" \
+    . ./internal/collective ./internal/sim ./internal/simnet | tee "$RAW"
+
+# Convert the textual benchmark lines into JSON. A line looks like
+#   BenchmarkSuiteSerial-8   1   123456789 ns/op   456 B/op   7 allocs/op
+# Fields beyond ns/op are optional and preserved when present.
+awk -v date="$DATE" -v benchtime="$BENCHTIME" -v count="$COUNT" '
+BEGIN { n = 0 }
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^pkg:/    { pkg = $2 }
+/^cpu:/    { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ && $4 == "ns/op" {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    extra = ""
+    for (i = 5; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        extra = extra sprintf(", \"%s\": %s", unit, $i)
+    }
+    line = sprintf("    {\"name\": \"%s\", \"package\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s%s}",
+                   name, pkg, $2, $3, extra)
+    lines[n++] = line
+}
+END {
+    printf "{\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"goos\": \"%s\",\n", goos
+    printf "  \"goarch\": \"%s\",\n", goarch
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"count\": %s,\n", count
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n - 1 ? "," : "")
+    printf "  ]\n"
+    printf "}\n"
+}' "$RAW" > "$OUT"
+
+echo "==> wrote $OUT ($(grep -c '"name"' "$OUT") samples)"

@@ -2,12 +2,12 @@
 # ci.sh — the repository's full verification gate.
 #
 # Tier-1 (ROADMAP.md) is `go build ./... && go test ./...`; this script
-# adds vet, an explicit build of every runnable (CLIs, stashd, each
-# example), the documentation checks (docs/API.md examples replayed
-# against a live server, markdown cross-references resolved), and a
-# race-detector pass — the real guard for the parallel scenario
-# scheduler and the stashd concurrency gate. Run from the repository
-# root:
+# adds vet, the stashlint static determinism/concurrency gate, an
+# explicit build of every runnable (CLIs, stashd, each example), the
+# documentation checks (docs/API.md examples replayed against a live
+# server, markdown cross-references resolved), and a race-detector
+# pass — the real guard for the parallel scenario scheduler and the
+# stashd concurrency gate. Run from the repository root:
 #
 #   ./scripts/ci.sh
 set -eu
@@ -15,6 +15,10 @@ cd "$(dirname "$0")/.."
 
 echo "==> go vet ./..."
 go vet ./...
+
+echo "==> stashlint ./... (static determinism & concurrency analyzers)"
+go run ./cmd/stashlint -list
+go run ./cmd/stashlint ./...
 
 echo "==> go build ./..."
 go build ./...
