@@ -1,0 +1,164 @@
+// Command benchcmp diffs two BENCH_*.json files produced by
+// scripts/bench.sh and reports per-benchmark deltas, so the perf
+// trajectory between commits is a one-command check instead of manual
+// JSON spelunking.
+//
+//	benchcmp [-threshold pct] old.json new.json
+//
+// For each benchmark the minimum ns/op over the non-warmup samples is
+// compared (samples flagged "warmup": true absorb cold caches and are
+// skipped; files from before the flag existed fall back to skipping the
+// first sample of each benchmark, which the seed data shows is the cold
+// one). Allocation counts are shown when both files carry -benchmem
+// fields.
+//
+// Exit status: 0 when no benchmark regressed by more than -threshold
+// percent, 1 when at least one did, 2 on usage or parse errors. CI runs
+// it advisorily (a negative threshold disables the failure).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+type benchFile struct {
+	Date       string   `json:"date"`
+	Benchmarks []sample `json:"benchmarks"`
+}
+
+type sample struct {
+	Name        string   `json:"name"`
+	Package     string   `json:"package"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+	Warmup      bool     `json:"warmup"`
+}
+
+// steady is one benchmark's steady-state summary: the minimum over its
+// non-warmup samples. warmOnly marks a benchmark whose every sample was
+// a warmup (single-sample runs), kept so the benchmark still appears.
+type steady struct {
+	nsPerOp  float64
+	bytes    *float64
+	allocs   *float64
+	warmOnly bool
+}
+
+// summarize reduces a file's samples to per-benchmark steady state.
+// Files written before the warmup flag existed have no flagged samples;
+// for those the first sample of each benchmark is treated as the warmup.
+func summarize(f *benchFile) map[string]steady {
+	flagged := false
+	for _, s := range f.Benchmarks {
+		if s.Warmup {
+			flagged = true
+			break
+		}
+	}
+	seen := map[string]int{}
+	out := map[string]steady{}
+	for _, s := range f.Benchmarks {
+		key := s.Package + "." + s.Name
+		idx := seen[key]
+		seen[key] = idx + 1
+		warm := s.Warmup || (!flagged && idx == 0)
+		cur, have := out[key]
+		// A steady sample always beats a warmup-only entry; among steady
+		// samples the minimum ns/op wins.
+		if have && (warm || (!cur.warmOnly && cur.nsPerOp <= s.NsPerOp)) {
+			continue
+		}
+		out[key] = steady{nsPerOp: s.NsPerOp, bytes: s.BytesPerOp, allocs: s.AllocsPerOp, warmOnly: warm}
+	}
+	return out
+}
+
+func load(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// compare renders the delta table and returns the keys that regressed
+// by more than threshold percent (negative threshold disables).
+func compare(w io.Writer, before, after map[string]steady, threshold float64) []string {
+	keys := map[string]bool{}
+	for k := range before {
+		keys[k] = true
+	}
+	for k := range after {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	var regressed []string
+	fmt.Fprintf(w, "%-55s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, k := range sorted {
+		o, haveOld := before[k]
+		n, haveNew := after[k]
+		switch {
+		case !haveOld:
+			fmt.Fprintf(w, "%-55s %14s %14.0f %9s\n", k, "-", n.nsPerOp, "new")
+		case !haveNew:
+			fmt.Fprintf(w, "%-55s %14.0f %14s %9s\n", k, o.nsPerOp, "-", "gone")
+		default:
+			delta := 100 * (n.nsPerOp - o.nsPerOp) / o.nsPerOp
+			note := ""
+			if threshold >= 0 && delta > threshold {
+				note = "  REGRESSED"
+				regressed = append(regressed, k)
+			}
+			fmt.Fprintf(w, "%-55s %14.0f %14.0f %+8.1f%%%s\n", k, o.nsPerOp, n.nsPerOp, delta, note)
+			//lint:allow floatcmp allocs/op are integer counts decoded from JSON, compared to the literal 0
+			if o.allocs != nil && n.allocs != nil && (*o.allocs != 0 || *n.allocs != 0) {
+				fmt.Fprintf(w, "%-55s %14.0f %14.0f  allocs/op\n", "", *o.allocs, *n.allocs)
+			}
+		}
+	}
+	return regressed
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 10, "fail when any benchmark's steady-state ns/op regresses by more than this percent; negative disables")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchcmp [-threshold pct] old.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	before, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	after, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("benchcmp %s (%s) -> %s (%s)\n", flag.Arg(0), before.Date, flag.Arg(1), after.Date)
+	regressed := compare(os.Stdout, summarize(before), summarize(after), *threshold)
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: %d benchmark(s) regressed beyond %.1f%%\n", len(regressed), *threshold)
+		os.Exit(1)
+	}
+}

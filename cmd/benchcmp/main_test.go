@@ -1,0 +1,117 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func fileOf(samples ...sample) *benchFile {
+	return &benchFile{Date: "20260805", Benchmarks: samples}
+}
+
+func s(name string, ns float64, warmup bool) sample {
+	return sample{Name: name, Package: "stash/internal/sim", NsPerOp: ns, Warmup: warmup}
+}
+
+func TestSummarizeSkipsFlaggedWarmup(t *testing.T) {
+	f := fileOf(
+		s("BenchmarkX", 9000, true),
+		s("BenchmarkX", 2000, false),
+		s("BenchmarkX", 1500, false),
+	)
+	st := summarize(f)
+	got := st["stash/internal/sim.BenchmarkX"]
+	if got.nsPerOp != 1500 || got.warmOnly {
+		t.Fatalf("steady = %+v, want min non-warmup 1500", got)
+	}
+}
+
+func TestSummarizeLegacyFirstSampleIsWarmup(t *testing.T) {
+	// No sample carries the warmup flag (pre-flag BENCH files): the first
+	// sample per benchmark is the cold one and must be skipped.
+	f := fileOf(
+		s("BenchmarkX", 33718283763, false),
+		s("BenchmarkX", 1714039387, false),
+		s("BenchmarkX", 1709688592, false),
+	)
+	st := summarize(f)
+	if got := st["stash/internal/sim.BenchmarkX"].nsPerOp; got != 1709688592 {
+		t.Fatalf("legacy steady = %v, want 1709688592", got)
+	}
+}
+
+func TestSummarizeWarmupOnlySurvives(t *testing.T) {
+	f := fileOf(s("BenchmarkX", 5000, true))
+	st := summarize(f)
+	got, ok := st["stash/internal/sim.BenchmarkX"]
+	if !ok || !got.warmOnly || got.nsPerOp != 5000 {
+		t.Fatalf("warmup-only benchmark lost: %+v ok=%v", got, ok)
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	before := summarize(fileOf(s("BenchmarkX", 0, true), s("BenchmarkX", 1000, false)))
+	after := summarize(fileOf(s("BenchmarkX", 0, true), s("BenchmarkX", 1200, false)))
+	var buf strings.Builder
+	regressed := compare(&buf, before, after, 10)
+	if len(regressed) != 1 {
+		t.Fatalf("regressed = %v, want 1 entry (out:\n%s)", regressed, buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSED") {
+		t.Fatalf("output missing REGRESSED marker:\n%s", buf.String())
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	before := summarize(fileOf(s("BenchmarkX", 0, true), s("BenchmarkX", 1000, false)))
+	after := summarize(fileOf(s("BenchmarkX", 0, true), s("BenchmarkX", 1050, false)))
+	var buf strings.Builder
+	if regressed := compare(&buf, before, after, 10); len(regressed) != 0 {
+		t.Fatalf("regressed = %v, want none", regressed)
+	}
+}
+
+func TestCompareImprovementNeverFails(t *testing.T) {
+	before := summarize(fileOf(s("BenchmarkX", 0, true), s("BenchmarkX", 1573, false)))
+	after := summarize(fileOf(s("BenchmarkX", 0, true), s("BenchmarkX", 478, false)))
+	var buf strings.Builder
+	if regressed := compare(&buf, before, after, 0); len(regressed) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regressed)
+	}
+	if !strings.Contains(buf.String(), "-69.6%") {
+		t.Fatalf("expected -69.6%% delta in output:\n%s", buf.String())
+	}
+}
+
+func TestCompareNegativeThresholdDisables(t *testing.T) {
+	before := summarize(fileOf(s("BenchmarkX", 0, true), s("BenchmarkX", 100, false)))
+	after := summarize(fileOf(s("BenchmarkX", 0, true), s("BenchmarkX", 10000, false)))
+	var buf strings.Builder
+	if regressed := compare(&buf, before, after, -1); len(regressed) != 0 {
+		t.Fatalf("negative threshold still failed: %v", regressed)
+	}
+}
+
+func TestCompareNewAndGoneBenchmarks(t *testing.T) {
+	before := summarize(fileOf(s("BenchmarkOld", 0, true), s("BenchmarkOld", 100, false)))
+	after := summarize(fileOf(s("BenchmarkNew", 0, true), s("BenchmarkNew", 200, false)))
+	var buf strings.Builder
+	if regressed := compare(&buf, before, after, 10); len(regressed) != 0 {
+		t.Fatalf("appearing/disappearing benchmarks must not fail: %v", regressed)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "new") || !strings.Contains(out, "gone") {
+		t.Fatalf("output missing new/gone markers:\n%s", out)
+	}
+}
+
+func TestCompareShowsAllocs(t *testing.T) {
+	allocs := func(v float64) *float64 { return &v }
+	before := map[string]steady{"p.B": {nsPerOp: 100, allocs: allocs(7)}}
+	after := map[string]steady{"p.B": {nsPerOp: 90, allocs: allocs(0)}}
+	var buf strings.Builder
+	compare(&buf, before, after, 10)
+	if !strings.Contains(buf.String(), "allocs/op") {
+		t.Fatalf("allocs line missing:\n%s", buf.String())
+	}
+}

@@ -73,6 +73,14 @@ type Group struct {
 	ready     []*op
 	executing bool
 
+	x exec // the group's single continuation executor (ops run one at a time)
+
+	// Route caches: the topology is static, so neighbor and server paths
+	// are resolved once instead of per collective.
+	ringPaths [][]*simnet.Link // rank i -> rank i+1
+	psPush    [][]*simnet.Link // rank i -> server
+	psPull    [][]*simnet.Link // server -> rank i
+
 	// Statistics.
 	opsCompleted int
 	bytesReduced float64
@@ -106,6 +114,7 @@ func NewGroup(eng *sim.Engine, net *simnet.Network, t *topo.Topology, gpus []*to
 	for _, o := range opts {
 		o(g)
 	}
+	g.x.init(g)
 	// Validate routes up front so failures surface at construction.
 	if len(gpus) > 1 {
 		switch g.algorithm {
@@ -176,6 +185,8 @@ func (g *Group) AllReduceAsync(rank int, bytes float64) *sim.Signal {
 
 // AllReduce issues the collective and blocks the calling process until it
 // completes.
+//
+//lint:allow hotpath thin blocking wrapper for process-style callers; train's hot loop awaits AllReduceAsync continuations
 func (g *Group) AllReduce(p *sim.Process, rank int, bytes float64) {
 	p.Await(g.AllReduceAsync(rank, bytes))
 }
@@ -187,93 +198,216 @@ func (g *Group) maybeStart() {
 	g.executing = true
 	o := g.ready[0]
 	g.ready = g.ready[1:]
-	g.eng.Go(fmt.Sprintf("allreduce-%d", o.seq), func(p *sim.Process) {
-		start := p.Now()
-		g.execute(p, o)
-		g.busyTime += p.Now() - start
-		g.opsCompleted++
-		g.bytesReduced += o.bytes
-		g.executing = false
-		o.done.Fire()
-		g.maybeStart()
-	})
+	g.x.begin(o)
 }
 
-func (g *Group) execute(p *sim.Process, o *op) {
-	world := len(g.gpus)
-	if world == 1 {
-		// Single rank: DDP skips communication entirely.
-		return
-	}
-	p.Sleep(g.callOverhead)
-	if o.bytes <= 0 {
-		return
-	}
-	switch g.algorithm {
-	case Ring:
-		g.runRing(p, o.bytes)
-	case ParameterServer:
-		g.runPS(p, o.bytes)
-	}
-}
-
-// runRing performs 2(p-1) ring steps; in each, every rank forwards a
-// 1/p chunk to its successor concurrently. Step time is set by the
-// slowest route, which is how a single network hop throttles the whole
-// ring (§IV-B2).
-func (g *Group) runRing(p *sim.Process, bytes float64) {
-	world := len(g.gpus)
-	chunk := bytes / float64(world)
-	steps := 2 * (world - 1)
-	routes := make([][]*simnet.Link, world)
-	for i := range g.gpus {
-		r, err := g.topology.Route(g.gpus[i], g.gpus[(i+1)%world])
-		if err != nil {
-			// Routes were validated at construction.
-			panic(fmt.Sprintf("collective: %v", err))
-		}
-		routes[i] = r
-	}
-	for s := 0; s < steps; s++ {
-		flows := make([]*simnet.Flow, world)
-		for i := range routes {
-			// The first step pays route latency; later steps stream over
-			// the already-pipelined path (NCCL slices the chunk so their
-			// latency hides behind the previous step's tail).
-			if s == 0 {
-				flows[i] = g.net.StartFlow(chunk, routes[i])
-			} else {
-				flows[i] = g.net.StartFlowLatency(chunk, routes[i], 0)
+// ringRoutes resolves (once) the rank->successor route of every rank.
+func (g *Group) ringRoutes() [][]*simnet.Link {
+	if g.ringPaths == nil {
+		world := len(g.gpus)
+		g.ringPaths = make([][]*simnet.Link, world)
+		for i := range g.gpus {
+			r, err := g.topology.Route(g.gpus[i], g.gpus[(i+1)%world])
+			if err != nil {
+				// Routes were validated at construction.
+				panic(fmt.Sprintf("collective: %v", err))
 			}
-		}
-		for _, f := range flows {
-			p.Await(f.Done())
+			g.ringPaths[i] = r
 		}
 	}
+	return g.ringPaths
 }
 
-// runPS gathers full gradients at the lead machine's host and broadcasts
-// the averaged update back: 2 phases of p concurrent full-size transfers
-// through the server's links.
-func (g *Group) runPS(p *sim.Process, bytes float64) {
-	server := g.topology.Machines[g.gpus[0].Node].Host
-	transferAll := func(toServer bool) {
-		var flows []*simnet.Flow
-		for _, gpu := range g.gpus {
-			from, to := gpu, server
-			if !toServer {
-				from, to = server, gpu
-			}
-			route, err := g.topology.Route(from, to)
+// psRoutes resolves (once) every rank's route to and from the parameter
+// server (the lead machine's host).
+func (g *Group) psRoutes(toServer bool) [][]*simnet.Link {
+	if g.psPush == nil {
+		server := g.topology.Machines[g.gpus[0].Node].Host
+		g.psPush = make([][]*simnet.Link, len(g.gpus))
+		g.psPull = make([][]*simnet.Link, len(g.gpus))
+		for i, gpu := range g.gpus {
+			up, err := g.topology.Route(gpu, server)
 			if err != nil {
 				panic(fmt.Sprintf("collective: %v", err))
 			}
-			flows = append(flows, g.net.StartFlow(bytes, route))
-		}
-		for _, f := range flows {
-			p.Await(f.Done())
+			down, err := g.topology.Route(server, gpu)
+			if err != nil {
+				panic(fmt.Sprintf("collective: %v", err))
+			}
+			g.psPush[i] = up
+			g.psPull[i] = down
 		}
 	}
-	transferAll(true)  // push gradients
-	transferAll(false) // pull updated parameters
+	if toServer {
+		return g.psPush
+	}
+	return g.psPull
+}
+
+// exec runs the group's collectives as a continuation-style state machine
+// on the engine's event loop: no goroutine handoffs, and its flow scratch
+// and step closure are reused across ops so steady-state execution does
+// not allocate. Ops execute one at a time (g.executing), so a single exec
+// per group suffices.
+//
+// The state transitions reproduce, event for event, the retired process
+// implementation: a spawn event at issue, one timer for the call
+// overhead, then per phase a batch of flow starts awaited in rank order.
+type exec struct {
+	g     *Group
+	o     *op
+	task  *sim.Task
+	cont  func() // run, bound once
+	start time.Duration
+	state int
+
+	chunk float64        // ring: per-step chunk size
+	step  int            // ring: current step of 2(world-1)
+	idx   int            // await progress within flows
+	flows []*simnet.Flow // scratch, one slot per rank
+}
+
+// exec states.
+const (
+	xStart       = iota // spawn event fired; charge call overhead
+	xDispatch           // overhead elapsed; choose algorithm
+	xRingLaunch         // start this ring step's flows
+	xRingAwait          // await this ring step's flows in rank order
+	xPSPush             // start all gradient pushes to the server
+	xPSPushAwait        // await pushes
+	xPSPull             // start all parameter pulls from the server
+	xPSPullAwait        // await pulls; op complete
+)
+
+func (x *exec) init(g *Group) {
+	x.g = g
+	x.cont = x.run
+	x.flows = make([]*simnet.Flow, len(g.gpus))
+}
+
+// begin starts executing op o: like the process it replaces, the op's
+// body runs in a fresh event at the current instant, after anything
+// already queued.
+func (x *exec) begin(o *op) {
+	x.o = o
+	x.state = xStart
+	x.task = x.g.eng.Spawn("allreduce", x.cont)
+}
+
+func (x *exec) run() {
+	g := x.g
+	for {
+		switch x.state {
+		case xStart:
+			x.start = g.eng.Now()
+			if len(g.gpus) == 1 {
+				// Single rank: DDP skips communication entirely.
+				x.finish()
+				return
+			}
+			x.state = xDispatch
+			g.eng.Schedule(g.callOverhead, x.cont)
+			return
+
+		case xDispatch:
+			if x.o.bytes <= 0 {
+				x.finish()
+				return
+			}
+			switch g.algorithm {
+			case Ring:
+				x.chunk = x.o.bytes / float64(len(g.gpus))
+				x.step = 0
+				x.state = xRingLaunch
+			case ParameterServer:
+				x.state = xPSPush
+			}
+
+		case xRingLaunch:
+			// One ring step: every rank forwards a 1/p chunk to its
+			// successor concurrently. Step time is set by the slowest
+			// route, which is how a single network hop throttles the
+			// whole ring (§IV-B2).
+			routes := g.ringRoutes()
+			for i := range routes {
+				// The first step pays route latency; later steps stream
+				// over the already-pipelined path (NCCL slices the chunk
+				// so their latency hides behind the previous step's tail).
+				if x.step == 0 {
+					x.flows[i] = g.net.StartFlow(x.chunk, routes[i])
+				} else {
+					x.flows[i] = g.net.StartFlowLatency(x.chunk, routes[i], 0)
+				}
+			}
+			x.idx = 0
+			x.state = xRingAwait
+
+		case xRingAwait:
+			if !x.awaitFlows() {
+				return
+			}
+			x.step++
+			if x.step < 2*(len(g.gpus)-1) {
+				x.state = xRingLaunch
+				continue
+			}
+			x.finish()
+			return
+
+		case xPSPush, xPSPull:
+			// One PS phase: p concurrent full-size transfers through the
+			// server's links (push gradients, then pull updates).
+			routes := g.psRoutes(x.state == xPSPush)
+			for i := range routes {
+				x.flows[i] = g.net.StartFlow(x.o.bytes, routes[i])
+			}
+			x.idx = 0
+			x.state++ // the matching await state follows each launch state
+
+		case xPSPushAwait:
+			if !x.awaitFlows() {
+				return
+			}
+			x.state = xPSPull
+
+		case xPSPullAwait:
+			if !x.awaitFlows() {
+				return
+			}
+			x.finish()
+			return
+		}
+	}
+}
+
+// awaitFlows advances x.idx across the current flow batch, subscribing
+// the continuation to the first unfinished flow. It reports whether the
+// whole batch has completed — false means run must return and will be
+// re-entered when the blocking flow finishes.
+func (x *exec) awaitFlows() bool {
+	for x.idx < len(x.flows) {
+		sig := x.flows[x.idx].Done()
+		if !sig.Fired() {
+			sig.OnFire(x.cont)
+			return false
+		}
+		x.idx++
+	}
+	return true
+}
+
+func (x *exec) finish() {
+	g := x.g
+	g.busyTime += g.eng.Now() - x.start
+	g.opsCompleted++
+	g.bytesReduced += x.o.bytes
+	g.executing = false
+	done := x.o.done
+	task := x.task
+	x.o, x.task = nil, nil
+	done.Fire()
+	// maybeStart may re-begin this exec for the next ready op, so the
+	// locals above must be captured before it runs.
+	g.maybeStart()
+	task.End()
 }

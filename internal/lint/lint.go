@@ -1,11 +1,13 @@
-// Package lint is stashlint's analyzer suite: five static analyzers
+// Package lint is stashlint's analyzer suite: six static analyzers
 // that prove, at compile time, the invariants this repository otherwise
 // only checks dynamically (internal/audit, go test -race). The headline
 // guarantee — byte-identical stall tables serial-vs-parallel and
 // run-vs-rerun — survives only if no wall-clock read, unsorted map
 // iteration, or lock-across-blocking-call ever reaches a release;
 // these analyzers reject that class of bug before it can fire on some
-// schedule.
+// schedule. The hotpath analyzer additionally guards a performance
+// invariant: the converted hot-loop packages stay on the engine's
+// continuation fast path instead of coroutine processes.
 //
 // The framework deliberately mirrors golang.org/x/tools/go/analysis
 // (Analyzer, Pass, Reportf, testdata fixtures with // want
@@ -52,7 +54,7 @@ type Analyzer struct {
 
 // All returns the full suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Wallclock, MapOrder, LockHeld, CtxFlow, FloatCmp}
+	return []*Analyzer{Wallclock, MapOrder, LockHeld, CtxFlow, FloatCmp, Hotpath}
 }
 
 // ByName returns the analyzer with the given name, or nil.

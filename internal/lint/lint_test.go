@@ -47,6 +47,7 @@ func TestFixtures(t *testing.T) {
 		{LockHeld, "lockheld"},
 		{CtxFlow, "ctxflow"},
 		{FloatCmp, "floatcmp"},
+		{Hotpath, "hotpath"},
 	}
 	l := fixtureLoader(t)
 	for _, c := range cases {
@@ -95,7 +96,7 @@ func TestAllowRequiresReason(t *testing.T) {
 // TestSuiteRegistry pins the analyzer set: CI prints this list, and the
 // allow annotations in the tree reference these names.
 func TestSuiteRegistry(t *testing.T) {
-	want := []string{"wallclock", "maporder", "lockheld", "ctxflow", "floatcmp"}
+	want := []string{"wallclock", "maporder", "lockheld", "ctxflow", "floatcmp", "hotpath"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("got %d analyzers, want %d", len(all), len(want))

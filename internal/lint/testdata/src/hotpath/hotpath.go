@@ -1,0 +1,59 @@
+// Package hotpath exercises the hotpath analyzer: in a converted
+// hot-loop package, spawning coroutine processes (Engine.Go) and
+// declaring *sim.Process parameters are flagged; the continuation Task
+// API and annotated compatibility wrappers are not.
+package hotpath
+
+import (
+	"time"
+
+	"stash/internal/sim"
+)
+
+func badSpawn(e *sim.Engine) {
+	e.Go("worker", func(p *sim.Process) { // want `\(\*sim\.Engine\)\.Go spawns a coroutine process` `\*sim\.Process parameter reintroduces the coroutine API`
+		p.Sleep(time.Second)
+	})
+}
+
+func badParam(p *sim.Process, d time.Duration) { // want `\*sim\.Process parameter reintroduces the coroutine API`
+	p.Sleep(d)
+}
+
+type runner struct{ eng *sim.Engine }
+
+func (r *runner) badMethod(p *sim.Process) { // want `\*sim\.Process parameter reintroduces the coroutine API`
+	p.Yield()
+}
+
+// goodTask uses the continuation API: one event dispatch per step, no
+// goroutine handoffs — the shape the analyzer exists to preserve.
+func goodTask(e *sim.Engine) {
+	var task *sim.Task
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < 3 {
+			task.After(time.Second, step)
+			return
+		}
+		task.End()
+	}
+	task = e.Spawn("worker", step)
+}
+
+// goodSignal registers a continuation instead of parking a process.
+func goodSignal(e *sim.Engine, sig *sim.Signal) {
+	sig.OnFire(func() {})
+	e.Schedule(0, func() {})
+	e.ScheduleArg(0, func(arg any) { _ = arg }, 1)
+}
+
+// allowedWrapper mirrors the annotated thin blocking wrappers the
+// converted packages keep for tests and examples.
+//
+//lint:allow hotpath thin blocking wrapper kept for tests; hot loop uses continuations
+func allowedWrapper(p *sim.Process, e *sim.Engine) {
+	p.Sleep(time.Millisecond)
+}

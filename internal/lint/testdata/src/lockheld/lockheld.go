@@ -106,3 +106,30 @@ func (g *gate) allowed(v int) {
 	g.ch <- v
 	g.mu.Unlock()
 }
+
+// schedule stands in for sim.Engine.Schedule: continuation callbacks are
+// function literals handed to a scheduler, not goroutine bodies.
+func schedule(fn func()) { fn() }
+
+// badContinuationBody: a continuation callback is an ordinary function
+// literal, so blocking under a lock inside it is flagged exactly as in a
+// named function (unlike a `go` statement body, it runs on the caller's
+// goroutine).
+func (g *gate) badContinuationBody() {
+	schedule(func() {
+		g.mu.Lock()
+		g.ch <- 1 // want `channel send while g\.mu is locked`
+		g.mu.Unlock()
+	})
+}
+
+// goodContinuationDeferred: locking around registering the continuation
+// is fine — the callback body is scanned on its own and does not inherit
+// the registration-time lock.
+func (g *gate) goodContinuationDeferred() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	schedule(func() {
+		g.ch <- 1
+	})
+}

@@ -34,3 +34,19 @@ func allowed() time.Time {
 func allowedTrailing() time.Time {
 	return time.Now() //lint:allow wallclock pool elapsed-time metric only
 }
+
+// schedule stands in for sim.Engine.Schedule: wall-clock reads inside
+// continuation callbacks are flagged the same as in straight-line code.
+func schedule(d time.Duration, fn func()) { fn() }
+
+func badContinuation() {
+	schedule(0, func() {
+		_ = time.Now() // want `time\.Now reads the wall clock`
+	})
+}
+
+func goodContinuation(virtualNow time.Duration) {
+	schedule(time.Millisecond, func() {
+		_ = virtualNow + time.Millisecond // virtual clocks are injected, never read
+	})
+}

@@ -234,6 +234,20 @@ func (l *Loader) Next(p *sim.Process) (Batch, bool) {
 	return b, ok
 }
 
+// NextFunc is Next for continuation-style consumers: fn receives the next
+// batch synchronously when one is buffered, otherwise when the upload
+// stage produces it. The prefetch credit is returned before fn runs,
+// exactly as Next returns it before its caller resumes, so the producer
+// side observes an identical event sequence either way.
+func (l *Loader) NextFunc(fn func(Batch, bool)) {
+	l.queue.GetFunc(func(b Batch, ok bool) {
+		if ok {
+			l.credits.Release()
+		}
+		fn(b, ok)
+	})
+}
+
 // DiskLink exposes the machine's storage link (for probes and tests).
 func (hp *HostPipeline) DiskLink() *simnet.Link { return hp.disk }
 

@@ -17,6 +17,7 @@ func BenchmarkEventDispatch(b *testing.B) {
 		}
 	}
 	e.Schedule(0, chain)
+	b.ReportAllocs()
 	b.ResetTimer()
 	if err := e.Run(); err != nil {
 		b.Fatal(err)
@@ -32,6 +33,31 @@ func BenchmarkProcessSwitch(b *testing.B) {
 			p.Sleep(time.Microsecond)
 		}
 	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTaskSwitch measures the same sleep loop as
+// BenchmarkProcessSwitch expressed as a continuation task: one event
+// dispatch per step, no goroutine handoffs, no allocations.
+func BenchmarkTaskSwitch(b *testing.B) {
+	e := NewEngine()
+	var task *Task
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			e.Schedule(time.Microsecond, step)
+			return
+		}
+		task.End()
+	}
+	task = e.Spawn("sleeper", step)
+	b.ReportAllocs()
 	b.ResetTimer()
 	if err := e.Run(); err != nil {
 		b.Fatal(err)
@@ -49,6 +75,7 @@ func BenchmarkBarrier(b *testing.B) {
 			}
 		})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	if err := e.Run(); err != nil {
 		b.Fatal(err)

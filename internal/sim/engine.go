@@ -1,80 +1,106 @@
 // Package sim implements a deterministic discrete-event simulation engine.
 //
 // The engine maintains a virtual clock and a priority queue of events.
-// Higher-level code is written as processes (see process.go): goroutines
-// that run one at a time, interleaved with event dispatch, so that the
-// whole simulation is sequential and reproducible even though it is
-// expressed as concurrent-looking code.
+// Higher-level code is written either as run-to-completion continuations
+// (see task.go) — the allocation-free hot path — or as processes (see
+// process.go): goroutines that run one at a time, interleaved with event
+// dispatch. Both styles share one scheduler, so the whole simulation is
+// sequential and reproducible regardless of how it is expressed.
+//
+// Internally events live in pooled, generation-counted nodes: firing or
+// cancelling an event returns its node to a free list, so steady-state
+// simulation performs no per-event heap allocations. Same-instant events
+// (the dominant Schedule(0, fn) wake-up pattern) bypass the priority
+// queue entirely through a FIFO ring.
 //
 // All timestamps are time.Duration offsets from the simulation start.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
 	"time"
 )
 
-// ErrDeadlock is returned by Run when live processes remain but no events
-// are scheduled, meaning the simulation can never make progress again.
+// ErrDeadlock is returned by Run when live processes or tasks remain but
+// no events are scheduled, meaning the simulation can never make progress
+// again.
 var ErrDeadlock = errors.New("sim: deadlock: live processes but no pending events")
 
-// Event is a scheduled callback. It can be cancelled before it fires.
+// ErrRunning is returned by Run and RunUntil when called re-entrantly —
+// from inside an event callback, or from a second goroutine while a run
+// is in progress.
+var ErrRunning = errors.New("sim: engine already running")
+
+const maxDuration = time.Duration(math.MaxInt64)
+
+// eventNode is the pooled storage behind an Event handle. Nodes are
+// recycled through the engine's free list when their event fires or is
+// cancelled; gen increments on every recycle so stale handles from a
+// previous use can never act on the node's next occupant.
+type eventNode struct {
+	fn    func()
+	fnArg func(any)
+	arg   any
+	at    time.Duration
+	seq   uint64 // tiebreaker for deterministic ordering
+	gen   uint64 // incremented on recycle; Event handles must match
+	pos   int32  // heap index, posFIFO in the ring, posIdle when free
+}
+
+const (
+	posIdle int32 = -1
+	posFIFO int32 = -2
+)
+
+// dead reports whether a ring entry was cancelled in place.
+func (n *eventNode) dead() bool { return n.fn == nil && n.fnArg == nil }
+
+// Event is a handle to a scheduled callback. It is a small value (not a
+// pointer): the zero Event is valid and refers to nothing. A handle stays
+// usable after its event fires or is cancelled — Cancel and the accessors
+// recognize it as stale and do nothing — so callers may retain handles
+// without lifetime bookkeeping even though the underlying storage is
+// pooled and reused.
 type Event struct {
-	at       time.Duration
-	seq      uint64 // tiebreaker for deterministic ordering
-	index    int    // heap index, -1 when not queued
-	fn       func()
-	canceled bool
+	n   *eventNode
+	gen uint64
 }
 
-// At returns the virtual time at which the event is scheduled to fire.
-func (ev *Event) At() time.Duration { return ev.at }
+// Pending reports whether the event is still scheduled to fire.
+func (ev Event) Pending() bool { return ev.n != nil && ev.n.gen == ev.gen }
 
-// eventHeap orders events by (time, sequence number).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// At returns the virtual time at which the event will fire, or zero if
+// the event already fired or was cancelled.
+func (ev Event) At() time.Duration {
+	if !ev.Pending() {
+		return 0
 	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	return ev.n.at
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; use
 // NewEngine.
 type Engine struct {
-	now       time.Duration
-	seq       uint64
-	events    eventHeap
-	liveProcs int
-	running   bool
+	now time.Duration
+	seq uint64
+
+	// heap is a 4-ary min-heap over (at, seq) holding future events.
+	heap []*eventNode
+
+	// fifo is the same-instant fast path: events scheduled for the
+	// current instant are appended here and drained in order (interleaved
+	// with any same-instant heap events by seq), skipping heap sifts for
+	// the dominant Schedule(0, fn) pattern. fifoHead indexes the next
+	// entry; cancelled entries are tombstoned in place and skipped.
+	fifo     []*eventNode
+	fifoHead int
+
+	free    []*eventNode // recycled nodes
+	pending int          // scheduled, not-yet-cancelled events
+	live    int          // processes and tasks that have not completed
+	running bool
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -85,89 +111,280 @@ func NewEngine() *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
 
+// alloc takes a node from the free list, minting one only when empty.
+func (e *Engine) alloc() *eventNode {
+	if n := len(e.free); n > 0 {
+		node := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return node
+	}
+	return &eventNode{pos: posIdle}
+}
+
+// recycle invalidates all outstanding handles to n and returns it to the
+// free list.
+func (e *Engine) recycle(n *eventNode) {
+	n.gen++
+	n.fn, n.fnArg, n.arg = nil, nil, nil
+	n.pos = posIdle
+	e.free = append(e.free, n)
+}
+
+func (e *Engine) schedule(at time.Duration, fn func(), fnArg func(any), arg any) Event {
+	e.seq++
+	n := e.alloc()
+	n.fn, n.fnArg, n.arg = fn, fnArg, arg
+	n.at, n.seq = at, e.seq
+	e.pending++
+	if at == e.now {
+		// Same-instant fast path: seq rises monotonically, so appending
+		// keeps the ring in dispatch order with no sifting.
+		n.pos = posFIFO
+		e.fifo = append(e.fifo, n)
+	} else {
+		e.heapPush(n)
+	}
+	return Event{n: n, gen: n.gen}
+}
+
 // Schedule registers fn to run after delay of virtual time. A negative
 // delay is treated as zero. Events scheduled for the same instant fire in
 // scheduling order.
-func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
+func (e *Engine) Schedule(delay time.Duration, fn func()) Event {
 	if delay < 0 {
 		delay = 0
 	}
-	e.seq++
-	ev := &Event{at: e.now + delay, seq: e.seq, fn: fn, index: -1}
-	heap.Push(&e.events, ev)
-	return ev
+	return e.schedule(e.now+delay, fn, nil, nil)
+}
+
+// ScheduleArg is Schedule for callbacks that take one argument. It exists
+// so hot paths can reuse a single long-lived fn instead of minting a
+// capturing closure per event: the argument rides in the pooled event
+// node, making the whole scheduling operation allocation-free.
+func (e *Engine) ScheduleArg(delay time.Duration, fn func(arg any), arg any) Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.schedule(e.now+delay, nil, fn, arg)
 }
 
 // ScheduleAt registers fn to run at absolute virtual time at. Times in the
 // past are clamped to now.
-func (e *Engine) ScheduleAt(at time.Duration, fn func()) *Event {
-	return e.Schedule(at-e.now, fn)
+func (e *Engine) ScheduleAt(at time.Duration, fn func()) Event {
+	if at < e.now {
+		at = e.now
+	}
+	return e.schedule(at, fn, nil, nil)
 }
 
 // Cancel removes a pending event so it never fires. Cancelling an event
-// that already fired (or was already cancelled) is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.canceled {
+// that already fired, was already cancelled, or is the zero Event is a
+// no-op — including when the event's pooled node has since been reused by
+// a newer event, which the handle's generation check detects.
+func (e *Engine) Cancel(ev Event) {
+	n := ev.n
+	if n == nil || n.gen != ev.gen {
 		return
 	}
-	ev.canceled = true
-	if ev.index >= 0 {
-		heap.Remove(&e.events, ev.index)
-		ev.index = -1
+	e.pending--
+	if n.pos >= 0 {
+		e.heapRemove(int(n.pos))
+		e.recycle(n)
+		return
 	}
+	// In the FIFO ring: tombstone in place (the ring cannot be compacted
+	// cheaply); the dispatcher recycles it when the head reaches it. The
+	// generation bump makes any further handle use stale immediately.
+	n.gen++
+	n.fn, n.fnArg, n.arg = nil, nil, nil
 }
 
 // Pending reports the number of events waiting to fire.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.pending }
 
-// step pops and dispatches the next event. It reports whether an event was
-// dispatched.
-func (e *Engine) step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*Event)
-		if ev.canceled {
+// next prunes cancelled ring entries and returns the next event to
+// dispatch without removing it, or nil when none remain.
+func (e *Engine) next() *eventNode {
+	for e.fifoHead < len(e.fifo) {
+		if n := e.fifo[e.fifoHead]; n.dead() {
+			e.fifoHead++
+			e.recycle(n)
 			continue
 		}
-		if ev.at < e.now {
-			// Heap invariant guarantees this cannot happen; guard anyway.
-			panic(fmt.Sprintf("sim: event at %v fired after clock %v", ev.at, e.now))
-		}
-		e.now = ev.at
-		ev.fn()
-		return true
+		break
 	}
-	return false
+	if e.fifoHead == len(e.fifo) {
+		e.fifo = e.fifo[:0]
+		e.fifoHead = 0
+	}
+	var f *eventNode
+	if e.fifoHead < len(e.fifo) {
+		f = e.fifo[e.fifoHead]
+	}
+	if len(e.heap) == 0 {
+		return f
+	}
+	h := e.heap[0]
+	if f == nil || eventLess(h, f) {
+		return h
+	}
+	return f
+}
+
+// pop removes n — which must be the node returned by next — from its
+// container.
+func (e *Engine) pop(n *eventNode) {
+	if n.pos == posFIFO {
+		e.fifoHead++
+		return
+	}
+	e.heapPop()
 }
 
 // Run dispatches events until none remain. It returns ErrDeadlock if live
-// processes remain blocked with no way to wake them.
+// processes or tasks remain blocked with no way to wake them, and
+// ErrRunning when called re-entrantly.
 func (e *Engine) Run() error {
-	return e.RunUntil(time.Duration(math.MaxInt64))
+	return e.RunUntil(maxDuration)
 }
 
 // RunUntil dispatches events with timestamps <= limit, then advances the
-// clock to limit if it ran out of events earlier. It returns ErrDeadlock if
-// it stops with live processes still blocked and no pending events.
+// clock to limit if it ran out of events earlier. It returns ErrDeadlock
+// if it stops with live processes or tasks still blocked and no pending
+// events, and ErrRunning when called re-entrantly (from an event callback
+// or while another RunUntil is in progress).
 func (e *Engine) RunUntil(limit time.Duration) error {
 	if e.running {
-		return errors.New("sim: engine already running")
+		return ErrRunning
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.events) > 0 && e.events[0].at <= limit {
-		e.step()
-	}
-	if len(e.events) == 0 {
-		if e.liveProcs > 0 {
-			return ErrDeadlock
+	for {
+		n := e.next()
+		if n == nil {
+			if e.live > 0 {
+				return ErrDeadlock
+			}
+			if limit != maxDuration && limit > e.now {
+				e.now = limit
+			}
+			return nil
 		}
-		if limit != time.Duration(math.MaxInt64) && limit > e.now {
-			e.now = limit
+		if n.at > limit {
+			if limit > e.now {
+				e.now = limit
+			}
+			return nil
 		}
-		return nil
+		if n.at < e.now {
+			// Queue invariants guarantee this cannot happen; guard anyway.
+			panic(fmt.Sprintf("sim: event at %v fired after clock %v", n.at, e.now))
+		}
+		e.pop(n)
+		e.pending--
+		e.now = n.at
+		fn, fnArg, arg := n.fn, n.fnArg, n.arg
+		// Recycle before dispatch: the handle is stale the moment the
+		// event fires, and the callback may immediately want a fresh node.
+		e.recycle(n)
+		if fn != nil {
+			fn()
+		} else {
+			fnArg(arg)
+		}
 	}
-	if limit > e.now {
-		e.now = limit
+}
+
+// eventLess orders events by (time, sequence number).
+func eventLess(a, b *eventNode) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return nil
+	return a.seq < b.seq
+}
+
+// The priority queue is a hand-rolled 4-ary min-heap: shallower than a
+// binary heap (fewer cache-missing levels per sift) and free of the
+// container/heap interface boxing that allocated on every Push.
+
+func (e *Engine) heapPush(n *eventNode) {
+	n.pos = int32(len(e.heap))
+	e.heap = append(e.heap, n)
+	e.siftUp(len(e.heap) - 1)
+}
+
+// heapPop removes the minimum element (heap[0]).
+func (e *Engine) heapPop() {
+	last := len(e.heap) - 1
+	if last > 0 {
+		e.heap[0] = e.heap[last]
+		e.heap[0].pos = 0
+	}
+	e.heap[last] = nil
+	e.heap = e.heap[:last]
+	if last > 1 {
+		e.siftDown(0)
+	}
+}
+
+// heapRemove removes the element at index i.
+func (e *Engine) heapRemove(i int) {
+	last := len(e.heap) - 1
+	if i != last {
+		moved := e.heap[last]
+		e.heap[i] = moved
+		moved.pos = int32(i)
+	}
+	e.heap[last] = nil
+	e.heap = e.heap[:last]
+	if i < last {
+		e.siftDown(i)
+		e.siftUp(i)
+	}
+}
+
+func (e *Engine) siftUp(i int) {
+	n := e.heap[i]
+	for i > 0 {
+		parent := (i - 1) >> 2
+		p := e.heap[parent]
+		if !eventLess(n, p) {
+			break
+		}
+		e.heap[i] = p
+		p.pos = int32(i)
+		i = parent
+	}
+	e.heap[i] = n
+	n.pos = int32(i)
+}
+
+func (e *Engine) siftDown(i int) {
+	n := e.heap[i]
+	size := len(e.heap)
+	for {
+		first := i<<2 + 1
+		if first >= size {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > size {
+			end = size
+		}
+		for c := first + 1; c < end; c++ {
+			if eventLess(e.heap[c], e.heap[min]) {
+				min = c
+			}
+		}
+		if !eventLess(e.heap[min], n) {
+			break
+		}
+		e.heap[i] = e.heap[min]
+		e.heap[i].pos = int32(i)
+		i = min
+	}
+	e.heap[i] = n
+	n.pos = int32(i)
 }

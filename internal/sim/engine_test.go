@@ -65,8 +65,8 @@ func TestCancel(t *testing.T) {
 	fired := false
 	ev := e.Schedule(time.Second, func() { fired = true })
 	e.Cancel(ev)
-	e.Cancel(ev) // double cancel is a no-op
-	e.Cancel(nil)
+	e.Cancel(ev)      // double cancel is a no-op
+	e.Cancel(Event{}) // zero handle is a no-op
 	if err := e.Run(); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -78,7 +78,7 @@ func TestCancel(t *testing.T) {
 func TestCancelOneOfMany(t *testing.T) {
 	e := NewEngine()
 	var got []int
-	var evs []*Event
+	var evs []Event
 	for i := 0; i < 5; i++ {
 		i := i
 		evs = append(evs, e.Schedule(time.Duration(i+1)*time.Second, func() { got = append(got, i) }))
@@ -218,7 +218,7 @@ func TestQuickCancelSubset(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		e := NewEngine()
 		firedCount := 0
-		var evs []*Event
+		var evs []Event
 		for i := 0; i < count; i++ {
 			evs = append(evs, e.Schedule(time.Duration(rng.Intn(1000))*time.Millisecond, func() { firedCount++ }))
 		}

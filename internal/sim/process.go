@@ -10,6 +10,11 @@ import (
 // callback) executes at a time, so process code needs no locking and the
 // simulation is fully deterministic.
 //
+// Processes are the readability layer over the scheduler: blocking calls
+// cost two goroutine handoffs each, so hot inner loops should use the
+// continuation Task API (task.go) instead. Both run on the same event
+// queue and interleave deterministically.
+//
 // Process methods that block (Sleep, Await, Acquire, ...) must only be
 // called from the process's own goroutine.
 type Process struct {
@@ -19,6 +24,10 @@ type Process struct {
 	yield  chan struct{}
 	done   bool
 	doneSg *Signal
+
+	// stepFn is the step method bound once at spawn, so waking the
+	// process (Schedule(0, stepFn)) never mints a new closure.
+	stepFn func()
 }
 
 // Go spawns a new process executing fn. The process starts at the current
@@ -31,16 +40,17 @@ func (e *Engine) Go(name string, fn func(p *Process)) *Process {
 		yield:  make(chan struct{}),
 		doneSg: NewSignal(e),
 	}
-	e.liveProcs++
+	p.stepFn = p.step
+	e.live++
 	go func() {
 		<-p.resume
 		fn(p)
 		p.done = true
-		p.eng.liveProcs--
+		p.eng.live--
 		p.doneSg.Fire()
 		p.yield <- struct{}{}
 	}()
-	e.Schedule(0, p.step)
+	e.Schedule(0, p.stepFn)
 	return p
 }
 
@@ -80,7 +90,7 @@ func (p *Process) Completion() *Signal { return p.doneSg }
 // Sleep suspends the process for d of virtual time. Negative durations are
 // treated as zero.
 func (p *Process) Sleep(d time.Duration) {
-	p.eng.Schedule(d, p.step)
+	p.eng.Schedule(d, p.stepFn)
 	p.park()
 }
 
@@ -94,7 +104,7 @@ func (p *Process) Await(s *Signal) {
 	if s.fired {
 		return
 	}
-	s.waiters = append(s.waiters, p)
+	s.waiters = append(s.waiters, p.stepFn)
 	p.park()
 }
 
@@ -105,16 +115,26 @@ func (p *Process) Join(procs ...*Process) {
 	}
 }
 
-// Signal is a one-shot broadcast: processes Await it, Fire wakes them all.
-// Once fired, Await returns immediately forever after.
+// Signal is a one-shot broadcast: processes Await it (and continuations
+// register OnFire), Fire wakes them all. Once fired, Await returns
+// immediately and OnFire runs its callback immediately, forever after.
 type Signal struct {
-	eng     *Engine
-	fired   bool
-	waiters []*Process
+	eng   *Engine
+	fired bool
+
+	// waiters holds parked processes (their cached step closures) and
+	// OnFire continuations in one arrival-ordered list, so both styles
+	// wake in exactly the order they blocked.
+	waiters []func()
 }
 
 // NewSignal returns an unfired signal bound to the engine.
 func NewSignal(e *Engine) *Signal { return &Signal{eng: e} }
+
+// MakeSignal returns an unfired signal value for embedding into a larger
+// struct, saving the separate allocation of NewSignal. Methods are on the
+// pointer; embedders hand out &s.
+func MakeSignal(e *Engine) Signal { return Signal{eng: e} }
 
 // Fired reports whether Fire has been called.
 func (s *Signal) Fired() bool { return s.fired }
@@ -129,8 +149,20 @@ func (s *Signal) Fire() {
 	waiters := s.waiters
 	s.waiters = nil
 	for _, w := range waiters {
-		s.eng.Schedule(0, w.step)
+		s.eng.Schedule(0, w)
 	}
+}
+
+// OnFire registers fn to run when the signal fires: it is scheduled at
+// the firing instant, interleaved in arrival order with parked process
+// waiters. If the signal has already fired, fn runs synchronously — the
+// continuation analogue of Await returning immediately.
+func (s *Signal) OnFire(fn func()) {
+	if s.fired {
+		fn()
+		return
+	}
+	s.waiters = append(s.waiters, fn)
 }
 
 // Barrier releases a batch of processes once a fixed number have arrived.
@@ -170,7 +202,7 @@ func (b *Barrier) Wait(p *Process) {
 	b.arrived = nil
 	b.rounds++
 	for _, w := range waiters {
-		b.eng.Schedule(0, w.step)
+		b.eng.Schedule(0, w.stepFn)
 	}
 }
 
@@ -217,18 +249,18 @@ func (r *Resource) Release() {
 		next := r.queue[0]
 		r.queue = r.queue[1:]
 		// The unit passes directly to the waiter; inUse stays constant.
-		r.eng.Schedule(0, next.step)
+		r.eng.Schedule(0, next.stepFn)
 		return
 	}
 	r.inUse--
 }
 
 // Queue is an unbounded FIFO channel between processes: Put never blocks,
-// Get blocks while empty.
+// Get blocks while empty. Continuation consumers use GetFunc.
 type Queue[T any] struct {
 	eng     *Engine
 	items   []T
-	waiters []*Process
+	waiters []func()
 	closed  bool
 }
 
@@ -258,7 +290,7 @@ func (q *Queue[T]) Close() {
 	waiters := q.waiters
 	q.waiters = nil
 	for _, w := range waiters {
-		q.eng.Schedule(0, w.step)
+		q.eng.Schedule(0, w)
 	}
 }
 
@@ -268,7 +300,7 @@ func (q *Queue[T]) wakeOne() {
 	}
 	w := q.waiters[0]
 	q.waiters = q.waiters[1:]
-	q.eng.Schedule(0, w.step)
+	q.eng.Schedule(0, w)
 }
 
 // Get removes and returns the oldest item, blocking while the queue is
@@ -278,7 +310,7 @@ func (q *Queue[T]) Get(p *Process) (v T, ok bool) {
 		if q.closed {
 			return v, false
 		}
-		q.waiters = append(q.waiters, p)
+		q.waiters = append(q.waiters, p.stepFn)
 		p.park()
 	}
 	v = q.items[0]
@@ -288,4 +320,27 @@ func (q *Queue[T]) Get(p *Process) (v T, ok bool) {
 		q.wakeOne()
 	}
 	return v, true
+}
+
+// GetFunc delivers the oldest item to fn without a process: synchronously
+// when an item is buffered (or the queue is closed and drained), otherwise
+// once a Put or Close wakes this getter. Like Get, a woken getter
+// re-checks the queue, so mixed process/continuation consumers keep FIFO
+// fairness.
+func (q *Queue[T]) GetFunc(fn func(v T, ok bool)) {
+	if len(q.items) == 0 {
+		if q.closed {
+			var zero T
+			fn(zero, false)
+			return
+		}
+		q.waiters = append(q.waiters, func() { q.GetFunc(fn) })
+		return
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	if len(q.items) > 0 {
+		q.wakeOne()
+	}
+	fn(v, true)
 }

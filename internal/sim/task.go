@@ -1,0 +1,82 @@
+package sim
+
+import "time"
+
+// Task is a simulated thread of control expressed as run-to-completion
+// continuations instead of a coroutine: each step is an ordinary event
+// callback that runs, schedules its successor (After, Signal.OnFire, or
+// Engine.Schedule directly), and returns. Tasks never park a goroutine,
+// so stepping one costs an event dispatch — no Go-scheduler handoffs —
+// and, with a long-lived step closure, no allocations.
+//
+// A Task and a Process are interchangeable from the engine's point of
+// view: Spawn enqueues the first step exactly where Go enqueues a
+// process's first resume, a continuation registered with Signal.OnFire
+// wakes exactly where an Await-parked process wakes, and End releases
+// the engine's liveness accounting exactly where a process body's return
+// does. Converting a hot loop from a Process to a Task therefore leaves
+// the event sequence — and every simulated timestamp — bit-identical.
+//
+// Use a Task for hot inner loops; keep the Process API where complex
+// control flow reads better as straight-line code.
+type Task struct {
+	eng    *Engine
+	name   string
+	done   bool
+	doneSg *Signal // lazily created; most tasks are never joined
+}
+
+// Spawn starts a new task: first is scheduled to run at the current
+// virtual time, after already-queued events at this instant — the same
+// slot a process body spawned by Go would first run in. The task counts
+// as live (for deadlock detection) until End is called.
+func (e *Engine) Spawn(name string, first func()) *Task {
+	t := &Task{eng: e, name: name}
+	e.live++
+	e.Schedule(0, first)
+	return t
+}
+
+// Engine returns the engine this task runs on.
+func (t *Task) Engine() *Engine { return t.eng }
+
+// Name returns the task name given to Spawn.
+func (t *Task) Name() string { return t.name }
+
+// Now returns the current virtual time.
+func (t *Task) Now() time.Duration { return t.eng.now }
+
+// After schedules fn to run after d of virtual time — the continuation
+// analogue of Process.Sleep, with the remainder of the step chained
+// through fn instead of resuming below a blocking call.
+func (t *Task) After(d time.Duration, fn func()) Event {
+	return t.eng.Schedule(d, fn)
+}
+
+// Done reports whether End has been called.
+func (t *Task) Done() bool { return t.done }
+
+// End marks the task complete, releasing it from deadlock accounting and
+// firing its completion signal. Calling End again is a no-op.
+func (t *Task) End() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.eng.live--
+	if t.doneSg != nil {
+		t.doneSg.Fire()
+	}
+}
+
+// Completion returns a signal that fires when the task ends. Await it (or
+// register OnFire) to join the task.
+func (t *Task) Completion() *Signal {
+	if t.doneSg == nil {
+		t.doneSg = NewSignal(t.eng)
+		if t.done {
+			t.doneSg.Fire()
+		}
+	}
+	return t.doneSg
+}

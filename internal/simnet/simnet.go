@@ -67,11 +67,11 @@ type Flow struct {
 	completed bool
 	started   time.Duration
 	finished  time.Duration
-	done      *sim.Signal
+	done      sim.Signal // embedded to keep a flow at one allocation
 }
 
 // Done returns a signal fired when the flow completes.
-func (f *Flow) Done() *sim.Signal { return f.done }
+func (f *Flow) Done() *sim.Signal { return &f.done }
 
 // Completed reports whether the flow has finished.
 func (f *Flow) Completed() bool { return f.completed }
@@ -104,13 +104,27 @@ type Network struct {
 	links      []*Link
 	flows      []*Flow
 	lastSettle time.Duration
-	completion *sim.Event
+	completion sim.Event
 	dirty      bool
+
+	// Long-lived callbacks, bound once so the per-flow and per-settle
+	// scheduling operations never mint closures.
+	activateFn   func(arg any)
+	settleFn     func()
+	completionFn func()
 }
 
 // New returns an empty network bound to the engine.
 func New(eng *sim.Engine) *Network {
-	return &Network{eng: eng}
+	n := &Network{eng: eng}
+	n.activateFn = func(arg any) { n.activate(arg.(*Flow)) }
+	n.settleFn = func() {
+		n.dirty = false
+		n.settle()
+		n.recompute()
+	}
+	n.completionFn = n.onCompletion
+	return n
 }
 
 // NewLink adds a link with the given capacity (bytes/sec) and latency.
@@ -161,16 +175,18 @@ func (n *Network) StartFlowLatency(bytes float64, route []*Link, latency time.Du
 		bytes:     bytes,
 		index:     -1,
 		started:   n.eng.Now(),
-		done:      sim.NewSignal(n.eng),
+		done:      sim.MakeSignal(n.eng),
 	}
-	n.eng.Schedule(latency, func() { n.activate(f) })
+	n.eng.ScheduleArg(latency, n.activateFn, f)
 	return f
 }
 
 // Transfer starts a flow and blocks the process until it completes.
+//
+//lint:allow hotpath thin blocking wrapper for process-style callers; hot paths use StartFlow + Done().OnFire
 func (n *Network) Transfer(p *sim.Process, bytes float64, route []*Link) *Flow {
 	f := n.StartFlow(bytes, route)
-	p.Await(f.done)
+	p.Await(&f.done)
 	return f
 }
 
@@ -213,11 +229,7 @@ func (n *Network) markDirty() {
 		return
 	}
 	n.dirty = true
-	n.eng.Schedule(0, func() {
-		n.dirty = false
-		n.settle()
-		n.recompute()
-	})
+	n.eng.Schedule(0, n.settleFn)
 }
 
 // settle advances all active flows' progress from lastSettle to now at
@@ -244,10 +256,9 @@ func (n *Network) settle() {
 // recompute runs progressive filling to assign max-min fair rates, then
 // reschedules the next completion event.
 func (n *Network) recompute() {
-	if n.completion != nil {
-		n.eng.Cancel(n.completion)
-		n.completion = nil
-	}
+	// Cancel of a stale or zero handle is a no-op, so no pending check.
+	n.eng.Cancel(n.completion)
+	n.completion = sim.Event{}
 	if len(n.flows) == 0 {
 		return
 	}
@@ -359,11 +370,11 @@ func (n *Network) recompute() {
 		next = maxHorizonSeconds
 	}
 	delay := time.Duration(math.Ceil(next * float64(time.Second)))
-	n.completion = n.eng.Schedule(delay, n.onCompletion)
+	n.completion = n.eng.Schedule(delay, n.completionFn)
 }
 
 func (n *Network) onCompletion() {
-	n.completion = nil
+	n.completion = sim.Event{}
 	n.settle()
 	for i := 0; i < len(n.flows); {
 		f := n.flows[i]

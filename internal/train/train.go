@@ -174,6 +174,10 @@ func Run(eng *sim.Engine, net *simnet.Network, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("train: %w", err)
 	}
 
+	hook := cfg.HookOverhead
+	if group.WorldSize() == 1 {
+		hook = 0 // DDP hooks are not installed on single-GPU training
+	}
 	workers := make([]*worker, len(gpus))
 	for rank, gpu := range gpus {
 		w := &worker{
@@ -182,7 +186,12 @@ func Run(eng *sim.Engine, net *simnet.Network, cfg Config) (*Result, error) {
 			cfg:   &cfg,
 			plan:  plan,
 			group: group,
+			eng:   eng,
+			hook:  hook,
+			total: cfg.Warmup + cfg.Iterations,
 		}
+		w.cont = w.step
+		w.onBatch = w.batchDelivered
 		if !cfg.Synthetic {
 			hp := cfg.Pipelines[gpu.Node]
 			if hp == nil {
@@ -205,7 +214,7 @@ func Run(eng *sim.Engine, net *simnet.Network, cfg Config) (*Result, error) {
 		if w.loader != nil {
 			w.loader.Start(fmt.Sprintf("loader-%d", w.rank))
 		}
-		w.proc = eng.Go(fmt.Sprintf("worker-%d", w.rank), w.run)
+		w.task = eng.Spawn(fmt.Sprintf("worker-%d", w.rank), w.cont)
 	}
 	if err := eng.Run(); err != nil {
 		return nil, fmt.Errorf("train: %w", err)
@@ -313,6 +322,25 @@ func newIterationPlan(job workload.Job, gpu hw.GPUSpec, buckets []collective.Buc
 	return p, nil
 }
 
+// Worker states. The per-iteration loop is a run-to-completion state
+// machine driven by step: each Sleep of the old process body became a
+// Schedule(d, w.cont) followed by a return, each Await became an
+// OnFire(w.cont), so the engine sees the exact event sequence the
+// coroutine produced without any goroutine handoffs.
+const (
+	wIterStart = iota // top of the iteration loop (warmup bookkeeping, data fetch)
+	wForward          // launch forward compute
+	wForwardDone      // forward finished; start backward
+	wSegOrTail        // next backward segment, or the tail when buckets are done
+	wSegDone          // segment finished; charge the DDP hook
+	wHookDone         // hook finished; issue the bucket's all-reduce
+	wIssue            // issue all-reduce, overlap or block per config
+	wBlockDone        // blocking (no-overlap) all-reduce finished
+	wTailDone         // backward tail finished; drain overlapped collectives
+	wDrain            // await pending all-reduces in issue order
+	wOptDone          // optimizer finished; next iteration
+)
+
 type worker struct {
 	rank   int
 	gpu    *topo.Device
@@ -320,7 +348,24 @@ type worker struct {
 	plan   *iterationPlan
 	group  *collective.Group
 	loader *pipeline.Loader
-	proc   *sim.Process
+	task   *sim.Task
+	eng    *sim.Engine
+	hook   time.Duration
+	total  int
+
+	// cont and onBatch are bound once at spawn so scheduling a
+	// continuation never mints a closure.
+	cont    func()
+	onBatch func(pipeline.Batch, bool)
+
+	state   int
+	it      int           // current iteration
+	bi      int           // current backward bucket
+	pi      int           // drain position in pending
+	pending []*sim.Signal // overlapped all-reduces, reused across iterations
+
+	// Span/stall start times carried across blocking points.
+	t0, c0, h0, o0, bwdStart time.Duration
 
 	finish    time.Duration
 	warmupEnd time.Duration
@@ -328,69 +373,144 @@ type worker struct {
 	commWait  time.Duration
 }
 
-func (w *worker) run(p *sim.Process) {
-	hook := w.cfg.HookOverhead
-	if w.group.WorldSize() == 1 {
-		hook = 0 // DDP hooks are not installed on single-GPU training
-	}
-	tr := w.cfg.Trace
-	span := func(kind trace.Kind, name string, start time.Duration) {
-		tr.Add(trace.Span{Worker: w.rank, Kind: kind, Name: name, Start: start, End: p.Now()})
-	}
-	total := w.cfg.Warmup + w.cfg.Iterations
-	for it := 0; it < total; it++ {
-		if it == w.cfg.Warmup {
-			w.warmupEnd = p.Now()
-			w.dataWait, w.commWait = 0, 0
-		}
-		iterName := fmt.Sprintf("iter%d", it)
-		if w.loader != nil {
-			t0 := p.Now()
-			if _, ok := w.loader.Next(p); !ok {
-				panic(fmt.Sprintf("train: loader for rank %d exhausted at iteration %d", w.rank, it))
-			}
-			w.dataWait += p.Now() - t0
-			span(trace.KindDataWait, iterName, t0)
-		}
-		t0 := p.Now()
-		p.Sleep(w.plan.forward)
-		span(trace.KindForward, iterName, t0)
+func (w *worker) span(kind trace.Kind, name string, start time.Duration) {
+	w.cfg.Trace.Add(trace.Span{Worker: w.rank, Kind: kind, Name: name, Start: start, End: w.eng.Now()})
+}
 
-		var pending []*sim.Signal
-		bwdStart := p.Now()
-		for bi, seg := range w.plan.backwardSegments {
-			p.Sleep(seg)
-			if hook > 0 {
-				h0 := p.Now()
-				p.Sleep(hook)
-				span(trace.KindHook, fmt.Sprintf("bucket%d", bi), h0)
+func (w *worker) iterName() string { return fmt.Sprintf("iter%d", w.it) }
+
+// batchDelivered resumes the iteration once the loader hands over a
+// batch (synchronously when one was prefetched).
+func (w *worker) batchDelivered(_ pipeline.Batch, ok bool) {
+	if !ok {
+		panic(fmt.Sprintf("train: loader for rank %d exhausted at iteration %d", w.rank, w.it))
+	}
+	w.dataWait += w.eng.Now() - w.t0
+	if w.cfg.Trace != nil {
+		w.span(trace.KindDataWait, w.iterName(), w.t0)
+	}
+	w.state = wForward
+	w.step()
+}
+
+// step advances the worker until it blocks (schedules its continuation)
+// or the run completes.
+func (w *worker) step() {
+	tr := w.cfg.Trace
+	for {
+		switch w.state {
+		case wIterStart:
+			if w.it == w.total {
+				w.finish = w.eng.Now()
+				w.task.End()
+				return
 			}
-			bytes := w.plan.buckets[bi].Bytes * w.cfg.CompressionRatio
+			if w.it == w.cfg.Warmup {
+				w.warmupEnd = w.eng.Now()
+				w.dataWait, w.commWait = 0, 0
+			}
+			if w.loader != nil {
+				w.t0 = w.eng.Now()
+				w.loader.NextFunc(w.onBatch)
+				return
+			}
+			w.state = wForward
+
+		case wForward:
+			w.t0 = w.eng.Now()
+			w.state = wForwardDone
+			w.eng.Schedule(w.plan.forward, w.cont)
+			return
+
+		case wForwardDone:
+			if tr != nil {
+				w.span(trace.KindForward, w.iterName(), w.t0)
+			}
+			w.bwdStart = w.eng.Now()
+			w.bi = 0
+			w.pending = w.pending[:0]
+			w.state = wSegOrTail
+
+		case wSegOrTail:
+			if w.bi < len(w.plan.backwardSegments) {
+				w.state = wSegDone
+				w.eng.Schedule(w.plan.backwardSegments[w.bi], w.cont)
+			} else {
+				w.state = wTailDone
+				w.eng.Schedule(w.plan.backwardTail, w.cont)
+			}
+			return
+
+		case wSegDone:
+			if w.hook > 0 {
+				w.h0 = w.eng.Now()
+				w.state = wHookDone
+				w.eng.Schedule(w.hook, w.cont)
+				return
+			}
+			w.state = wIssue
+
+		case wHookDone:
+			if tr != nil {
+				w.span(trace.KindHook, fmt.Sprintf("bucket%d", w.bi), w.h0)
+			}
+			w.state = wIssue
+
+		case wIssue:
+			bytes := w.plan.buckets[w.bi].Bytes * w.cfg.CompressionRatio
 			sig := w.group.AllReduceAsync(w.rank, bytes)
 			if w.cfg.DisableOverlap {
-				c0 := p.Now()
-				p.Await(sig)
-				w.commWait += p.Now() - c0
-				span(trace.KindCommWait, fmt.Sprintf("bucket%d", bi), c0)
-			} else {
-				pending = append(pending, sig)
+				w.c0 = w.eng.Now()
+				w.state = wBlockDone
+				if !sig.Fired() {
+					sig.OnFire(w.cont)
+					return
+				}
+				continue // completed synchronously
 			}
-		}
-		p.Sleep(w.plan.backwardTail)
-		span(trace.KindBackward, iterName, bwdStart)
+			w.pending = append(w.pending, sig)
+			w.bi++
+			w.state = wSegOrTail
 
-		c0 := p.Now()
-		for _, sig := range pending {
-			p.Await(sig)
-		}
-		w.commWait += p.Now() - c0
-		if len(pending) > 0 {
-			span(trace.KindCommWait, iterName, c0)
-		}
+		case wBlockDone:
+			w.commWait += w.eng.Now() - w.c0
+			if tr != nil {
+				w.span(trace.KindCommWait, fmt.Sprintf("bucket%d", w.bi), w.c0)
+			}
+			w.bi++
+			w.state = wSegOrTail
 
-		o0 := p.Now()
-		p.Sleep(w.plan.optimizer)
-		span(trace.KindOptimizer, iterName, o0)
+		case wTailDone:
+			if tr != nil {
+				w.span(trace.KindBackward, w.iterName(), w.bwdStart)
+			}
+			w.c0 = w.eng.Now()
+			w.pi = 0
+			w.state = wDrain
+
+		case wDrain:
+			for w.pi < len(w.pending) {
+				if sig := w.pending[w.pi]; !sig.Fired() {
+					sig.OnFire(w.cont)
+					return
+				}
+				w.pi++
+			}
+			w.commWait += w.eng.Now() - w.c0
+			if len(w.pending) > 0 && tr != nil {
+				w.span(trace.KindCommWait, w.iterName(), w.c0)
+			}
+			w.o0 = w.eng.Now()
+			w.state = wOptDone
+			w.eng.Schedule(w.plan.optimizer, w.cont)
+			return
+
+		case wOptDone:
+			if tr != nil {
+				w.span(trace.KindOptimizer, w.iterName(), w.o0)
+			}
+			w.it++
+			w.state = wIterStart
+		}
 	}
-	w.finish = p.Now()
 }

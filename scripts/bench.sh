@@ -7,39 +7,69 @@
 # output into a machine-readable BENCH_<date>.json so successive commits
 # accumulate comparable data points.
 #
+# Each benchmark's first sample is flagged "warmup": true — it absorbs
+# cold caches, first-touch page faults and JIT-ish one-time costs (the
+# seed data shows first samples up to 20x the steady state), so
+# consumers (cmd/benchcmp) compare steady-state samples only. -benchmem
+# is always on; bytes_per_op / allocs_per_op land in the JSON.
+#
 # Usage, from the repository root:
 #
 #   ./scripts/bench.sh            # writes BENCH_YYYYMMDD.json
 #   OUT=custom.json ./scripts/bench.sh
 #
+# If the default output file already exists (a second run on the same
+# day), a _r2/_r3/... revision suffix is appended instead of
+# overwriting, so earlier points in the trajectory are never lost.
+#
 # Knobs (fixed defaults keep points comparable across runs):
 #
-#   BENCHTIME  per-benchmark budget         (default 1x: deterministic
-#              single-iteration timing — the suite benches simulate a
-#              full figure per iteration, so 1x is already seconds)
-#   COUNT      repetitions per benchmark    (default 3; the JSON keeps
-#              every sample so consumers can take min/median)
-#   FILTER     -bench regexp                (default Suite|RingAllReduce|
-#              EventDispatch|ProcessSwitch|Barrier|FlowLifecycle)
+#   BENCHTIME       suite-bench budget     (default 1x: deterministic
+#                   single-iteration timing — the suite benches simulate
+#                   a full figure per iteration, so 1x is already
+#                   seconds)
+#   MICRO_BENCHTIME micro-bench budget     (default 0.5s: the engine/
+#                   collective/simnet micro benches cost nanoseconds to
+#                   microseconds per op, so a single iteration would
+#                   measure constant setup cost, not the operation —
+#                   these need many iterations for a steady-state ns/op)
+#   COUNT           repetitions per benchmark (default 3; the JSON keeps
+#                   every sample so consumers can take min/median of the
+#                   non-warmup ones)
+#   FILTER          -bench regexp          (default Suite|RingAllReduce|
+#                   EventDispatch|ProcessSwitch|TaskSwitch|Barrier|
+#                   FlowLifecycle)
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1x}"
+MICRO_BENCHTIME="${MICRO_BENCHTIME:-0.5s}"
 COUNT="${COUNT:-3}"
-FILTER="${FILTER:-SuiteSerial|SuiteParallel|RingAllReduce|EventDispatch|ProcessSwitch|Barrier|FlowLifecycle}"
+FILTER="${FILTER:-SuiteSerial|SuiteParallel|RingAllReduce|EventDispatch|ProcessSwitch|TaskSwitch|Barrier|FlowLifecycle}"
 DATE="$(date -u +%Y%m%d)"
-OUT="${OUT:-BENCH_${DATE}.json}"
+if [ -z "${OUT:-}" ]; then
+    OUT="BENCH_${DATE}.json"
+    r=2
+    while [ -e "$OUT" ]; do
+        OUT="BENCH_${DATE}_r${r}.json"
+        r=$((r + 1))
+    done
+fi
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-echo "==> go test -bench '$FILTER' -benchtime=$BENCHTIME -count=$COUNT"
-go test -run '^$' -bench "$FILTER" -benchtime "$BENCHTIME" -count "$COUNT" \
-    . ./internal/collective ./internal/sim ./internal/simnet | tee "$RAW"
+echo "==> go test -bench '$FILTER' -benchtime=$BENCHTIME -count=$COUNT (suite)"
+go test -run '^$' -bench "$FILTER" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" \
+    . | tee "$RAW"
+echo "==> go test -bench '$FILTER' -benchtime=$MICRO_BENCHTIME -count=$COUNT (micro)"
+go test -run '^$' -bench "$FILTER" -benchmem -benchtime "$MICRO_BENCHTIME" -count "$COUNT" \
+    ./internal/collective ./internal/sim ./internal/simnet | tee -a "$RAW"
 
 # Convert the textual benchmark lines into JSON. A line looks like
 #   BenchmarkSuiteSerial-8   1   123456789 ns/op   456 B/op   7 allocs/op
-# Fields beyond ns/op are optional and preserved when present.
-awk -v date="$DATE" -v benchtime="$BENCHTIME" -v count="$COUNT" '
+# Fields beyond ns/op are optional and preserved when present. The first
+# sample of each benchmark is marked as warmup.
+awk -v date="$DATE" -v benchtime="$BENCHTIME" -v microbenchtime="$MICRO_BENCHTIME" -v count="$COUNT" '
 BEGIN { n = 0 }
 /^goos:/   { goos = $2 }
 /^goarch:/ { goarch = $2 }
@@ -50,9 +80,12 @@ BEGIN { n = 0 }
     extra = ""
     for (i = 5; i + 1 <= NF; i += 2) {
         unit = $(i + 1)
+        if (unit == "B/op") unit = "bytes_per_op"
         gsub(/\//, "_per_", unit)
         extra = extra sprintf(", \"%s\": %s", unit, $i)
     }
+    key = pkg "/" name
+    if (!(key in seen)) { seen[key] = 1; extra = extra ", \"warmup\": true" }
     line = sprintf("    {\"name\": \"%s\", \"package\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s%s}",
                    name, pkg, $2, $3, extra)
     lines[n++] = line
@@ -64,6 +97,7 @@ END {
     printf "  \"goarch\": \"%s\",\n", goarch
     printf "  \"cpu\": \"%s\",\n", cpu
     printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"micro_benchtime\": \"%s\",\n", microbenchtime
     printf "  \"count\": %s,\n", count
     printf "  \"benchmarks\": [\n"
     for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n - 1 ? "," : "")

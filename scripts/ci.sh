@@ -43,4 +43,15 @@ go test -race ./...
 echo "==> stash -selfcheck (cross-layer invariant audit)"
 go run ./cmd/stash -selfcheck
 
+# Advisory perf-trajectory check: diff the two most recent BENCH_*.json
+# snapshots when at least two exist. Never fails the gate — benchmark
+# noise across machines is not a correctness signal — but the delta
+# table lands in the CI log for eyeballing.
+set -- $(ls BENCH_*.json 2>/dev/null | sort)
+if [ "$#" -ge 2 ]; then
+  shift $(($# - 2))
+  echo "==> benchcmp $1 $2 (advisory)"
+  go run ./cmd/benchcmp -threshold -1 "$1" "$2" || echo "    benchcmp: advisory check failed (non-blocking)"
+fi
+
 echo "==> ci.sh: all checks passed"
