@@ -158,10 +158,15 @@ func BenchmarkClaims(b *testing.B) {
 // benchSuite runs the full registry through the parallel scheduler at a
 // fixed worker-pool size. Comparing BenchmarkSuiteSerial against
 // BenchmarkSuiteParallel measures the wall-clock win of the scenario
-// scheduler on the whole evaluation. Each variant gets its own seed
-// space: the shared profiler is keyed by {iterations, seed} and lives
-// for the whole process, so reusing seeds would hand the second bench a
-// warm scenario cache and fake the comparison.
+// scheduler on the whole evaluation; bench.sh distils their steady-state
+// ratio into the BENCH_*.json parallel_speedup field. The scheduler
+// dispatches contiguous per-worker batches (core.ForEachCtx), so each
+// worker's simulate calls hit the same per-P pooled simContext — engine,
+// network and provisioner scratch recycled across cells instead of
+// reallocated. Each variant gets its own seed space: the shared profiler
+// is keyed by {iterations, seed} and lives for the whole process, so
+// reusing seeds would hand the second bench a warm scenario cache and
+// fake the comparison.
 func benchSuite(b *testing.B, parallelism int, seedBase int64) {
 	b.Helper()
 	reg := experiments.Registry()

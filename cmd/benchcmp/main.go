@@ -3,18 +3,24 @@
 // trajectory between commits is a one-command check instead of manual
 // JSON spelunking.
 //
-//	benchcmp [-threshold pct] old.json new.json
+//	benchcmp [-threshold pct] [-match regexp] old.json new.json
 //
 // For each benchmark the minimum ns/op over the non-warmup samples is
 // compared (samples flagged "warmup": true absorb cold caches and are
 // skipped; files from before the flag existed fall back to skipping the
 // first sample of each benchmark, which the seed data shows is the cold
 // one). Allocation counts are shown when both files carry -benchmem
-// fields.
+// fields. -match scopes the comparison (and the threshold gate) to
+// benchmarks whose package.Name matches the regexp — CI uses it to
+// enforce the stable micro benches while leaving the noisier suite
+// benches advisory. The derived parallel_speedup field (SuiteSerial /
+// SuiteParallel, emitted by bench.sh) is diffed informationally whenever
+// either file carries it.
 //
-// Exit status: 0 when no benchmark regressed by more than -threshold
-// percent, 1 when at least one did, 2 on usage or parse errors. CI runs
-// it advisorily (a negative threshold disables the failure).
+// Exit status: 0 when no matched benchmark regressed by more than
+// -threshold percent, 1 when at least one did, 2 on usage or parse
+// errors — including a file whose every sample is warmup-flagged, which
+// has no steady state to compare (re-run bench.sh with COUNT >= 2).
 package main
 
 import (
@@ -23,12 +29,17 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 )
 
 type benchFile struct {
 	Date       string   `json:"date"`
 	Benchmarks []sample `json:"benchmarks"`
+
+	// ParallelSpeedup is bench.sh's derived SuiteSerial/SuiteParallel
+	// steady-state ns ratio; nil in files from before the field existed.
+	ParallelSpeedup *float64 `json:"parallel_speedup"`
 }
 
 type sample struct {
@@ -75,6 +86,32 @@ func summarize(f *benchFile) map[string]steady {
 			continue
 		}
 		out[key] = steady{nsPerOp: s.NsPerOp, bytes: s.BytesPerOp, allocs: s.AllocsPerOp, warmOnly: warm}
+	}
+	return out
+}
+
+// allWarmup reports whether a non-empty summary has no steady-state
+// sample at all — every benchmark fell back to its warmup sample, so a
+// min-of-steady comparison would silently compare cold-cache noise.
+func allWarmup(m map[string]steady) bool {
+	if len(m) == 0 {
+		return false
+	}
+	for _, s := range m {
+		if !s.warmOnly {
+			return false
+		}
+	}
+	return true
+}
+
+// filterMatch keeps only the benchmarks whose package.Name key matches re.
+func filterMatch(m map[string]steady, re *regexp.Regexp) map[string]steady {
+	out := make(map[string]steady, len(m))
+	for k, v := range m {
+		if re.MatchString(k) {
+			out[k] = v
+		}
 	}
 	return out
 }
@@ -136,8 +173,9 @@ func compare(w io.Writer, before, after map[string]steady, threshold float64) []
 
 func main() {
 	threshold := flag.Float64("threshold", 10, "fail when any benchmark's steady-state ns/op regresses by more than this percent; negative disables")
+	match := flag.String("match", "", "only compare benchmarks whose package.Name matches this regexp")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchcmp [-threshold pct] old.json new.json\n")
+		fmt.Fprintf(os.Stderr, "usage: benchcmp [-threshold pct] [-match regexp] old.json new.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -155,8 +193,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
 		os.Exit(2)
 	}
+	oldSum, newSum := summarize(before), summarize(after)
+	for i, sum := range []map[string]steady{oldSum, newSum} {
+		if allWarmup(sum) {
+			fmt.Fprintf(os.Stderr, "benchcmp: every sample in %s is warmup-flagged — no steady state to compare; re-run scripts/bench.sh with COUNT >= 2\n", flag.Arg(i))
+			os.Exit(2)
+		}
+	}
+	if *match != "" {
+		re, err := regexp.Compile(*match)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcmp: bad -match: %v\n", err)
+			os.Exit(2)
+		}
+		oldSum, newSum = filterMatch(oldSum, re), filterMatch(newSum, re)
+	}
 	fmt.Printf("benchcmp %s (%s) -> %s (%s)\n", flag.Arg(0), before.Date, flag.Arg(1), after.Date)
-	regressed := compare(os.Stdout, summarize(before), summarize(after), *threshold)
+	regressed := compare(os.Stdout, oldSum, newSum, *threshold)
+	// The headline tentpole metric rides along informationally: suite
+	// variance makes it a trajectory signal, not a gate.
+	switch {
+	case before.ParallelSpeedup != nil && after.ParallelSpeedup != nil:
+		fmt.Printf("%-55s %14.2fx %13.2fx %+8.1f%%\n", "parallel_speedup (serial/parallel ns)",
+			*before.ParallelSpeedup, *after.ParallelSpeedup,
+			100*(*after.ParallelSpeedup-*before.ParallelSpeedup) / *before.ParallelSpeedup)
+	case after.ParallelSpeedup != nil:
+		fmt.Printf("%-55s %14s %13.2fx %9s\n", "parallel_speedup (serial/parallel ns)", "-", *after.ParallelSpeedup, "new")
+	}
 	if len(regressed) > 0 {
 		fmt.Fprintf(os.Stderr, "benchcmp: %d benchmark(s) regressed beyond %.1f%%\n", len(regressed), *threshold)
 		os.Exit(1)

@@ -79,7 +79,51 @@ func auditDeterminism(ctx context.Context, opts Options, res *Result) error {
 			"%s renders differently across reruns at seed %d (%d vs %d bytes)", id, opts.Seed, len(serial), len(rerun))
 	}
 
-	return auditCacheKey(ctx, opts, res)
+	if err := auditCacheKey(ctx, opts, res); err != nil {
+		return err
+	}
+	return auditWarmPrefix(ctx, opts, res)
+}
+
+// auditWarmPrefix checks the warm-prefix forking guarantee: a profile
+// computed with forking enabled (the default — synthetic scenarios skip
+// simulating their warmup prefix and reconstruct CommBusy exactly) must
+// be deeply equal to one computed with forking disabled, which simulates
+// every warmup iteration. Any divergence means synthetic training is not
+// lockstep-periodic from iteration zero and the fork is unsound.
+func auditWarmPrefix(ctx context.Context, opts Options, res *Result) error {
+	job, it, ok := fittingCell(opts)
+	if !ok {
+		return nil
+	}
+	mk := func(fork bool) *core.Profiler {
+		return core.New(
+			core.WithIterations(opts.Iterations),
+			core.WithSeed(opts.Seed),
+			core.WithParallelism(opts.Parallelism),
+			core.WithWarmPrefixFork(fork),
+		)
+	}
+	forked, err := mk(true).ProfileContext(ctx, job, it)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		res.check(FamilyDeterminism, "warm-prefix-profile", false, "forked profile: %v", err)
+		return nil
+	}
+	full, err := mk(false).ProfileContext(ctx, job, it)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		res.check(FamilyDeterminism, "warm-prefix-profile", false, "unforked profile: %v", err)
+		return nil
+	}
+	res.check(FamilyDeterminism, "forked-vs-unforked", reflect.DeepEqual(forked, full),
+		"%s@%s profiles differently with warm-prefix forking on vs off — synthetic warmup prefix is not a replica of the measured window",
+		job.Model.Name, it.Name)
+	return nil
 }
 
 // renderExperiment concatenates every table of one experiment run into

@@ -71,6 +71,7 @@ type Group struct {
 	nextSeq   []int // per-rank counter of issued collectives
 	ops       map[int]*op
 	ready     []*op
+	freeOps   []*op // completed op structs awaiting reuse
 	executing bool
 
 	x exec // the group's single continuation executor (ops run one at a time)
@@ -94,23 +95,37 @@ type op struct {
 	done    *sim.Signal
 }
 
+// groupArena holds released groups on each engine's scratch arena, so a
+// recycled engine re-running a scenario reuses its group storage (op free
+// list, rank slices, exec scratch) instead of re-growing it.
+var groupArena = sim.NewArenaKey()
+
+type groupCache struct{ free []*Group }
+
 // NewGroup creates a synchronization group over the given GPUs (in rank
 // order) of a topology. All GPU pairs that the algorithm needs must be
-// routable.
+// routable. If a previously Released group is available on the engine's
+// arena, its storage is reused.
 func NewGroup(eng *sim.Engine, net *simnet.Network, t *topo.Topology, gpus []*topo.Device, opts ...Option) (*Group, error) {
 	if len(gpus) == 0 {
 		return nil, fmt.Errorf("collective: empty group")
 	}
-	g := &Group{
-		eng:          eng,
-		net:          net,
-		topology:     t,
-		gpus:         gpus,
-		algorithm:    Ring,
-		callOverhead: DefaultCallOverhead,
-		nextSeq:      make([]int, len(gpus)),
-		ops:          make(map[int]*op),
+	var g *Group
+	if cache, _ := eng.Arena(groupArena).(*groupCache); cache != nil && len(cache.free) > 0 {
+		k := len(cache.free) - 1
+		g = cache.free[k]
+		cache.free[k] = nil
+		cache.free = cache.free[:k]
+		g.reuse(eng, net, t, gpus)
+	} else {
+		g = &Group{
+			nextSeq: make([]int, len(gpus)),
+			ops:     make(map[int]*op),
+		}
+		g.eng, g.net, g.topology, g.gpus = eng, net, t, gpus
 	}
+	g.algorithm = Ring
+	g.callOverhead = DefaultCallOverhead
 	for _, o := range opts {
 		o(g)
 	}
@@ -141,6 +156,45 @@ func NewGroup(eng *sim.Engine, net *simnet.Network, t *topo.Topology, gpus []*to
 	return g, nil
 }
 
+// reuse re-initializes a released group's identity fields while keeping
+// its recycled storage (rank slice capacity, op map, op free list, exec
+// scratch). Option-set fields are re-defaulted by NewGroup.
+func (g *Group) reuse(eng *sim.Engine, net *simnet.Network, t *topo.Topology, gpus []*topo.Device) {
+	g.eng, g.net, g.topology, g.gpus = eng, net, t, gpus
+	if cap(g.nextSeq) >= len(gpus) {
+		g.nextSeq = g.nextSeq[:len(gpus)]
+		for i := range g.nextSeq {
+			g.nextSeq[i] = 0
+		}
+	} else {
+		g.nextSeq = make([]int, len(gpus))
+	}
+	clear(g.ops)
+	g.ready = g.ready[:0]
+	g.executing = false
+	// Route caches depend on the (possibly new) topology and rank set.
+	g.ringPaths, g.psPush, g.psPull = nil, nil, nil
+	g.opsCompleted = 0
+	g.bytesReduced = 0
+	g.busyTime = 0
+}
+
+// Release returns the group's storage to its engine's scratch arena so a
+// later NewGroup on the same engine reuses it. Call only when the group
+// is idle (no collective in flight) and every reference obtained from it
+// — op done signals included — has been dropped; statistics copied out
+// beforehand stay valid. The arena survives Engine.Reset, which is the
+// point: a pooled engine re-running training carries its warmed-up group
+// storage with it.
+func (g *Group) Release() {
+	cache, _ := g.eng.Arena(groupArena).(*groupCache)
+	if cache == nil {
+		cache = &groupCache{}
+		g.eng.SetArena(groupArena, cache)
+	}
+	cache.free = append(cache.free, g)
+}
+
 // WorldSize returns the number of ranks.
 func (g *Group) WorldSize() int { return len(g.gpus) }
 
@@ -167,7 +221,18 @@ func (g *Group) AllReduceAsync(rank int, bytes float64) *sim.Signal {
 	g.nextSeq[rank]++
 	o, ok := g.ops[seq]
 	if !ok {
-		o = &op{seq: seq, bytes: bytes, done: sim.NewSignal(g.eng)}
+		if k := len(g.freeOps); k > 0 {
+			o = g.freeOps[k-1]
+			g.freeOps[k-1] = nil
+			g.freeOps = g.freeOps[:k-1]
+			o.seq, o.bytes, o.arrived = seq, bytes, 0
+		} else {
+			o = &op{seq: seq, bytes: bytes}
+		}
+		// Each use gets a fresh done signal: callers may retain the
+		// previous one well past its op's completion (train holds them
+		// until the end-of-iteration drain), so it cannot be re-armed.
+		o.done = sim.NewSignal(g.eng)
 		g.ops[seq] = o
 	}
 	//lint:allow floatcmp ranks must hand in bit-identical sizes; any difference is a caller bug worth a panic
@@ -279,10 +344,22 @@ const (
 	xPSPullAwait        // await pulls; op complete
 )
 
+// init prepares the executor for (re)use, preserving recycled capacity:
+// the bound continuation is minted once per exec lifetime and the flow
+// scratch only grows.
 func (x *exec) init(g *Group) {
 	x.g = g
-	x.cont = x.run
-	x.flows = make([]*simnet.Flow, len(g.gpus))
+	if x.cont == nil {
+		x.cont = x.run
+	}
+	if cap(x.flows) >= len(g.gpus) {
+		x.flows = x.flows[:len(g.gpus)]
+		for i := range x.flows {
+			x.flows[i] = nil
+		}
+	} else {
+		x.flows = make([]*simnet.Flow, len(g.gpus))
+	}
 }
 
 // begin starts executing op o: like the process it replaces, the op's
@@ -346,6 +423,7 @@ func (x *exec) run() {
 			if !x.awaitFlows() {
 				return
 			}
+			x.recycleFlows()
 			x.step++
 			if x.step < 2*(len(g.gpus)-1) {
 				x.state = xRingLaunch
@@ -368,12 +446,14 @@ func (x *exec) run() {
 			if !x.awaitFlows() {
 				return
 			}
+			x.recycleFlows()
 			x.state = xPSPull
 
 		case xPSPullAwait:
 			if !x.awaitFlows() {
 				return
 			}
+			x.recycleFlows()
 			x.finish()
 			return
 		}
@@ -396,15 +476,31 @@ func (x *exec) awaitFlows() bool {
 	return true
 }
 
+// recycleFlows returns the just-awaited batch to the network's free list.
+// Safe because the exec exclusively owns its phase flows and awaitFlows
+// only returns true once every flow has fired (so no waiter, including
+// x.cont itself, is still parked on any of them).
+func (x *exec) recycleFlows() {
+	for i, f := range x.flows {
+		x.g.net.Recycle(f)
+		x.flows[i] = nil
+	}
+}
+
 func (x *exec) finish() {
 	g := x.g
 	g.busyTime += g.eng.Now() - x.start
 	g.opsCompleted++
 	g.bytesReduced += x.o.bytes
 	g.executing = false
-	done := x.o.done
+	o := x.o
+	done := o.done
 	task := x.task
 	x.o, x.task = nil, nil
+	// The op struct is reusable immediately — its callers only ever hold
+	// the done signal, which each use replaces with a fresh one.
+	o.done = nil
+	g.freeOps = append(g.freeOps, o)
 	done.Fire()
 	// maybeStart may re-begin this exec for the next ready op, so the
 	// locals above must be captured before it runs.

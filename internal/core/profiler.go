@@ -30,8 +30,6 @@ import (
 	"stash/internal/cloud"
 	"stash/internal/collective"
 	"stash/internal/pipeline"
-	"stash/internal/sim"
-	"stash/internal/simnet"
 	"stash/internal/topo"
 	"stash/internal/train"
 	"stash/internal/workload"
@@ -88,6 +86,19 @@ func WithParallelism(n int) Option {
 	return func(p *Profiler) { p.parallelism = n }
 }
 
+// WithWarmPrefixFork toggles warm-prefix forking (default on). Synthetic
+// training is lockstep-periodic from iteration zero — every iteration
+// replays the same event schedule — so the warmup prefix is a replica of
+// the measured window and the profiler can skip simulating it, running
+// the measured iterations directly and scaling the one warmup-inclusive
+// statistic (CommBusy) exactly. Real-data scenarios always simulate their
+// warmup: pipeline cache state makes their prefix genuinely different.
+// The audit determinism family validates the forked path byte-identical
+// to the full run.
+func WithWarmPrefixFork(on bool) Option {
+	return func(p *Profiler) { p.warmFork = on }
+}
+
 // Profiler measures DDL stalls on simulated cloud instances. It is safe
 // for concurrent use: each scenario simulates on its own engine, and the
 // memoization cache is single-flight, so concurrent requests for the
@@ -98,6 +109,7 @@ type Profiler struct {
 	seed           int64
 	costEpochs     int
 	parallelism    int
+	warmFork       bool
 	collectiveOpts []collective.Option
 
 	// cache memoizes scenario results: simulations are deterministic, and
@@ -194,6 +206,7 @@ func New(opts ...Option) *Profiler {
 		slicePolicy: cloud.SliceDegraded,
 		seed:        1,
 		costEpochs:  DefaultCostEpochs,
+		warmFork:    true,
 		cache:       make(map[scenarioKey]*cacheEntry),
 	}
 	for _, o := range opts {
@@ -321,15 +334,28 @@ func (p *Profiler) run(ctx context.Context, job workload.Job, sc scenario) (*tra
 	return e.res, e.err
 }
 
-// simulate runs one scenario on a fresh, private engine.
+// simulate runs one scenario on a pooled simContext: the engine, network,
+// and provisioned topology come from the calling worker's arena (reset to
+// a state byte-identical with a fresh build), so per-cell simulation does
+// not pay per-cell construction.
 func (p *Profiler) simulate(job workload.Job, sc scenario) (*train.Result, error) {
-	eng := sim.NewEngine()
-	net := simnet.New(eng)
-	prov := cloud.NewProvisioner(p.slicePolicy, p.seed)
-	top, err := prov.Provision(net, sc.instance, sc.count)
+	// Warm-prefix forking (see WithWarmPrefixFork): synthetic lockstep
+	// periodicity means the warmup prefix adds no information, so skip
+	// simulating it and reconstruct the one warmup-inclusive statistic
+	// below.
+	warmup := profileWarmup
+	fork := p.warmFork && sc.mode == modeSynthetic
+	if fork {
+		warmup = 0
+	}
+
+	c := acquireSimContext()
+	defer releaseSimContext(c)
+	top, err := c.world(p.slicePolicy, p.seed, sc.instance, sc.count)
 	if err != nil {
 		return nil, err
 	}
+	eng, net := c.eng, c.net
 
 	var gpus []*topo.Device
 	if sc.gpusPer > 0 {
@@ -347,7 +373,7 @@ func (p *Profiler) simulate(job workload.Job, sc scenario) (*train.Result, error
 		Topology:          top,
 		GPUs:              gpus,
 		Iterations:        p.iterations,
-		Warmup:            profileWarmup,
+		Warmup:            warmup,
 		Synthetic:         sc.mode == modeSynthetic,
 		CollectiveOptions: p.collectiveOpts,
 		// Transfers that stage through host memory (PCIe peer traffic,
@@ -373,7 +399,19 @@ func (p *Profiler) simulate(job workload.Job, sc scenario) (*train.Result, error
 			cfg.CacheMode = pipeline.CacheWarm
 		}
 	}
-	return train.Run(eng, net, cfg)
+	res, err := train.Run(eng, net, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if fork {
+		// Every other Result field is measured inside the post-warmup
+		// window and is identical by lockstep periodicity; CommBusy alone
+		// counts warmup collectives too. The forked run's CommBusy is
+		// exactly iterations × per-iteration busy time, so this scaling is
+		// exact integer arithmetic, not an approximation.
+		res.CommBusy = res.CommBusy * time.Duration(profileWarmup+p.iterations) / time.Duration(p.iterations)
+	}
+	return res, nil
 }
 
 // ICStall is the interconnect-stall measurement of §IV-B1.

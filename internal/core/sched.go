@@ -22,13 +22,23 @@ func ForEach(workers, n int, fn func(i int) error) error {
 }
 
 // ForEachCtx is ForEach with cancellation: once ctx is done, no further
-// fn calls are dispatched and every undispatched index is charged
-// ctx.Err(). Calls already in flight are never interrupted — fn bodies
-// in this repository are short deterministic simulations — so the
-// cancelled sweep still returns the lowest-index error, which is either
-// a real fn failure that happened before the cut or ctx.Err() itself.
-// This is what threads a server request's deadline through the
-// experiment and recommendation sweeps.
+// fn calls start and every unstarted index is charged ctx.Err(). Calls
+// already in flight are never interrupted — fn bodies in this repository
+// are short deterministic simulations — so the cancelled sweep still
+// returns the lowest-index error, which is either a real fn failure that
+// happened before the cut or ctx.Err() itself. This is what threads a
+// server request's deadline through the experiment and recommendation
+// sweeps.
+//
+// Dispatch is worker-affine static chunking, not a shared feed channel:
+// worker w owns the contiguous index range [w*chunk, (w+1)*chunk). Each
+// goroutine therefore walks adjacent cells — which in the experiment
+// sweeps share scenarios, so single-flight cache hits land on the worker
+// that populated them — and reuses the same pooled simContext for its
+// whole batch (sync.Pool is per-P, and an unpreempted goroutine keeps
+// getting its own context back). Output assembly is unchanged: results
+// land at index i regardless of which worker ran it, keeping rendered
+// tables byte-identical at any parallelism.
 func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -51,35 +61,28 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error
 		return nil
 	}
 	errs := make([]error, n)
-	idx := make(chan int)
+	chunk := (n + workers - 1) / workers
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			break
+		}
 		wg.Add(1)
-		go func() {
+		go func(lo, hi int) {
 			defer wg.Done()
-			for i := range idx {
-				// Re-check per item: the feeder may have handed out this
-				// index just before cancellation landed.
+			for i := lo; i < hi; i++ {
+				// Check per item so a cancelled sweep stops starting new
+				// cells and charges the rest of this batch ctx.Err().
 				if err := ctx.Err(); err != nil {
 					errs[i] = err
 					continue
 				}
 				errs[i] = fn(i)
 			}
-		}()
+		}(lo, hi)
 	}
-feed:
-	for i := 0; i < n; i++ {
-		select {
-		case idx <- i:
-		case <-ctx.Done():
-			for j := i; j < n; j++ {
-				errs[j] = ctx.Err()
-			}
-			break feed
-		}
-	}
-	close(idx)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"sync"
+
+	"stash/internal/cloud"
+	"stash/internal/sim"
+	"stash/internal/simnet"
+	"stash/internal/topo"
+)
+
+// A simContext is one scheduler worker's private simulation arena: a
+// long-lived engine and network reused across every scenario the worker
+// runs, plus a cache of provisioned topologies keyed by everything that
+// determines their shape. Routing each per-cell simulation through a
+// pooled context replaces the old fresh-everything construction
+// (engine + network + provisioner + topology per scenario) with an
+// Engine.Reset/Network.Reset pair, which the sim layer guarantees is
+// byte-identical to building from scratch.
+//
+// Contexts live in a process-wide sync.Pool rather than per-Profiler so
+// the experiments that deliberately build fresh profilers (seed sweeps,
+// clean-allocation comparisons) still reuse engines: correctness comes
+// from the world key, which carries the slice policy and seed, not from
+// which profiler asked.
+type simContext struct {
+	eng    *sim.Engine
+	net    *simnet.Network
+	worlds map[worldKey]*topo.Topology
+}
+
+// worldKey identifies a provisioned topology: provisioning is a pure
+// function of (policy, seed, instance, count) because core always rolls a
+// fresh Provisioner per provision call.
+type worldKey struct {
+	policy   cloud.SlicePolicy
+	seed     int64
+	instance string
+	count    int
+}
+
+// maxWorldsPerContext bounds the topology cache. Links can only be added
+// to a network, never removed, so evicting a single world would strand
+// its links on the shared network forever; instead, hitting the cap
+// rebuilds the whole context (see world).
+const maxWorldsPerContext = 32
+
+// maxLinksPerContext bounds link accumulation from real-data scenarios:
+// each one registers fresh per-machine pipeline links on the shared
+// network, and Network.Reset touches every link, so an unbounded context
+// would slowly make resets more expensive than the fresh build they
+// replace.
+const maxLinksPerContext = 4096
+
+var simContexts = sync.Pool{New: func() any { return newSimContext() }}
+
+func newSimContext() *simContext {
+	c := &simContext{worlds: make(map[worldKey]*topo.Topology)}
+	c.reinit()
+	return c
+}
+
+// reinit rebuilds the context from scratch, dropping every cached world
+// (and with them all accumulated links).
+func (c *simContext) reinit() {
+	//lint:allow hotpath the pool's constructor is the one sanctioned engine-construction site; every per-cell simulate reuses its engines
+	c.eng = sim.NewEngine()
+	c.net = simnet.New(c.eng)
+	clear(c.worlds)
+}
+
+// acquireSimContext returns a context ready for a run: clock at zero, no
+// flows, link statistics zeroed, cached worlds and engine scratch warm.
+func acquireSimContext() *simContext {
+	c := simContexts.Get().(*simContext)
+	if c.net.NumLinks() > maxLinksPerContext {
+		c.reinit() // fresh engine and network; nothing left to reset
+		return c
+	}
+	c.eng.Reset()
+	c.net.Reset()
+	return c
+}
+
+func releaseSimContext(c *simContext) { simContexts.Put(c) }
+
+// world returns the provisioned topology for the key, building and
+// caching it on first use. Callers must read c.eng/c.net after this call:
+// hitting the world cap swaps in a fresh engine and network.
+func (c *simContext) world(policy cloud.SlicePolicy, seed int64, it cloud.InstanceType, count int) (*topo.Topology, error) {
+	key := worldKey{policy: policy, seed: seed, instance: it.Name, count: count}
+	if top, ok := c.worlds[key]; ok {
+		return top, nil
+	}
+	if len(c.worlds) >= maxWorldsPerContext {
+		c.reinit()
+	}
+	top, err := cloud.NewProvisioner(policy, seed).Provision(c.net, it, count)
+	if err != nil {
+		return nil, err
+	}
+	c.worlds[key] = top
+	return top, nil
+}

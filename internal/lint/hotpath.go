@@ -18,6 +18,17 @@ var hotpathPackages = map[string]bool{
 	"fixture/hotpath":           true,
 }
 
+// engineConstructionPackages are the packages whose per-cell paths must
+// acquire pooled simContexts instead of constructing engines: a
+// sim.NewEngine() call there silently reverts the worker-affine arena
+// design back to per-cell construction, the allocator cost the pool
+// exists to remove. The pool's own constructor carries the one annotated
+// allow. The fixture package exercises the analyzer's testdata.
+var engineConstructionPackages = map[string]bool{
+	"stash/internal/core": true,
+	"fixture/hotpathcore": true,
+}
+
 // simEnginePkg is the import path of the simulation engine whose Process
 // API the hot-loop packages must not reintroduce.
 const simEnginePkg = "stash/internal/sim"
@@ -32,12 +43,15 @@ const simEnginePkg = "stash/internal/sim"
 var Hotpath = &Analyzer{
 	Name: "hotpath",
 	Doc: "forbid the coroutine Process API (Engine.Go, *sim.Process parameters) in the " +
-		"converted hot-loop packages (train, collective, simnet): each process step costs " +
-		"two goroutine handoffs where a sim.Task continuation costs one event dispatch",
+		"converted hot-loop packages (train, collective, simnet), and sim.NewEngine() in " +
+		"internal/core's per-cell path (pooled simContexts replace per-cell construction)",
 	Run: runHotpath,
 }
 
 func runHotpath(pass *Pass) {
+	if engineConstructionPackages[pass.Pkg.Path()] {
+		runEngineConstruction(pass)
+	}
 	if !hotpathPackages[pass.Pkg.Path()] {
 		return
 	}
@@ -61,6 +75,25 @@ func runHotpath(pass *Pass) {
 			case *ast.FuncLit:
 				reportProcessParams(pass, v.Type)
 			}
+			return true
+		})
+	}
+}
+
+// runEngineConstruction flags sim.NewEngine calls in the packages that
+// must run cells on pooled simContexts.
+func runEngineConstruction(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			v, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcFor(pass.Info, v)
+			if fn == nil || fn.Name() != "NewEngine" || fn.Pkg() == nil || fn.Pkg().Path() != simEnginePkg {
+				return true
+			}
+			pass.Reportf(v.Pos(), "sim.NewEngine() in a per-cell profiler package defeats the worker-affine engine pool; acquire a pooled simContext or annotate //lint:allow hotpath <reason>")
 			return true
 		})
 	}

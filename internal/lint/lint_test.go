@@ -48,6 +48,7 @@ func TestFixtures(t *testing.T) {
 		{CtxFlow, "ctxflow"},
 		{FloatCmp, "floatcmp"},
 		{Hotpath, "hotpath"},
+		{Hotpath, "hotpathcore"},
 	}
 	l := fixtureLoader(t)
 	for _, c := range cases {

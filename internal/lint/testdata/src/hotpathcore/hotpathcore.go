@@ -1,0 +1,35 @@
+// Package hotpathcore exercises the hotpath analyzer's engine-construction
+// check: in internal/core's per-cell path, calling sim.NewEngine() is
+// flagged (cells must run on pooled simContexts); the pool's annotated
+// constructor and non-engine constructors are not.
+package hotpathcore
+
+import (
+	"stash/internal/sim"
+)
+
+func badPerCell() *sim.Engine {
+	return sim.NewEngine() // want `sim\.NewEngine\(\) in a per-cell profiler package defeats the worker-affine engine pool`
+}
+
+type ctx struct{ eng *sim.Engine }
+
+func badContext() *ctx {
+	c := &ctx{}
+	c.eng = sim.NewEngine() // want `sim\.NewEngine\(\) in a per-cell profiler package defeats the worker-affine engine pool`
+	return c
+}
+
+// goodPoolConstructor mirrors the sanctioned construction site: the
+// pool's own constructor carries the annotated allow.
+func goodPoolConstructor() *ctx {
+	//lint:allow hotpath the pool's constructor is the one sanctioned engine-construction site
+	return &ctx{eng: sim.NewEngine()}
+}
+
+// goodOtherConstructor: same-name functions from other packages are not
+// engine construction.
+func goodOtherConstructor() *sim.Signal {
+	e := goodPoolConstructor().eng
+	return sim.NewSignal(e)
+}

@@ -1,0 +1,47 @@
+package sim
+
+import "sync/atomic"
+
+// The scratch arena gives packages layered on the engine a place to park
+// recycled per-run state (worker structs, op free lists, flow batches)
+// that survives Engine.Reset. Each package registers one ArenaKey at init
+// time and stores whatever it likes under it; because the arena rides on
+// the engine, the stashed state inherits the engine's affinity — a pooled
+// engine reused by one scheduler worker carries its warmed-up scratch
+// with it, and no cross-engine synchronization is ever needed.
+
+// arenaKeys counts registered keys process-wide so every ArenaKey indexes
+// a distinct slot on every engine.
+var arenaKeys atomic.Int64
+
+// ArenaKey identifies one per-engine arena slot. Obtain keys with
+// NewArenaKey (typically in a package-level var) and treat them as
+// opaque; the zero ArenaKey is the first registered key, so always use
+// NewArenaKey rather than a zero value.
+type ArenaKey struct{ idx int }
+
+// NewArenaKey registers a new arena slot and returns its key. Safe for
+// concurrent use; intended to be called once per package from a var
+// initializer.
+func NewArenaKey() ArenaKey {
+	return ArenaKey{idx: int(arenaKeys.Add(1)) - 1}
+}
+
+// Arena returns the value stored under k on this engine, or nil if
+// nothing has been stored yet (or the last SetArena stored nil).
+func (e *Engine) Arena(k ArenaKey) any {
+	if k.idx < len(e.arena) {
+		return e.arena[k.idx]
+	}
+	return nil
+}
+
+// SetArena stores v under k on this engine. The value survives
+// Engine.Reset — the arena exists precisely so recycled engines keep
+// their warmed-up scratch across runs.
+func (e *Engine) SetArena(k ArenaKey, v any) {
+	for len(e.arena) <= k.idx {
+		e.arena = append(e.arena, nil)
+	}
+	e.arena[k.idx] = v
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestResetDropsPendingWork proves Reset restores the initial state: the
+// clock rewinds, every pending event (heap, ring, and tombstoned ring
+// entries alike) is discarded, and handles minted before the Reset are
+// permanently stale.
+func TestResetDropsPendingWork(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(time.Second, func() { fired++ })
+	heapEv := e.Schedule(2*time.Second, func() { fired++ })
+	ringEv := e.Schedule(0, func() { fired++ })
+	dead := e.Schedule(0, func() { fired++ })
+	e.Cancel(dead) // tombstoned in the ring, not yet recycled
+
+	e.Reset()
+	if e.Now() != 0 {
+		t.Errorf("Now() = %v after Reset, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending() = %d after Reset, want 0", e.Pending())
+	}
+	if heapEv.Pending() || ringEv.Pending() {
+		t.Error("pre-Reset handles still report pending")
+	}
+	e.Cancel(heapEv) // stale: must be a no-op, not corruption
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run on reset engine: %v", err)
+	}
+	if fired != 0 {
+		t.Errorf("%d pre-Reset events fired after Reset", fired)
+	}
+
+	// The engine is fully usable again and the clock starts from zero.
+	var at time.Duration
+	e.Schedule(3*time.Millisecond, func() { at = e.Now() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 3*time.Millisecond {
+		t.Errorf("post-Reset event fired at %v, want 3ms", at)
+	}
+}
+
+func TestResetWhileRunningPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Reset inside a callback did not panic")
+			}
+		}()
+		e.Reset()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResetKeepsNodePoolWarm proves the point of Reset over NewEngine: a
+// recycled engine replays a workload without growing its node pool.
+func TestResetKeepsNodePoolWarm(t *testing.T) {
+	e := NewEngine()
+	run := func() {
+		for i := 0; i < 64; i++ {
+			e.Schedule(time.Duration(i)*time.Millisecond, func() {})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		e.Reset()
+	}
+	run() // grow pools once
+	if allocs := testing.AllocsPerRun(10, run); allocs > 1 {
+		t.Errorf("recycled engine allocates %.0f objects per run, want ~0", allocs)
+	}
+}
+
+func TestArenaSurvivesReset(t *testing.T) {
+	k1 := NewArenaKey()
+	k2 := NewArenaKey()
+	e := NewEngine()
+	if e.Arena(k1) != nil {
+		t.Error("unset arena slot not nil")
+	}
+	e.SetArena(k1, "scratch")
+	e.SetArena(k2, 7)
+	e.Reset()
+	if e.Arena(k1) != "scratch" || e.Arena(k2) != 7 {
+		t.Errorf("arena lost across Reset: %v, %v", e.Arena(k1), e.Arena(k2))
+	}
+	// Slots are per-engine, not global.
+	if e2 := NewEngine(); e2.Arena(k1) != nil {
+		t.Error("arena slot leaked across engines")
+	}
+}
+
+func TestSignalRearm(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal(e)
+	s.Fire()
+	if !s.Fired() {
+		t.Fatal("signal not fired")
+	}
+	s.Rearm()
+	if s.Fired() {
+		t.Error("re-armed signal still fired")
+	}
+	ran := false
+	s.OnFire(func() { ran = true })
+	defer func() {
+		if recover() == nil {
+			t.Error("Rearm with parked waiters did not panic")
+		}
+	}()
+	s.Rearm()
+	_ = ran
+}

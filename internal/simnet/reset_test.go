@@ -1,0 +1,99 @@
+package simnet
+
+import (
+	"testing"
+
+	"stash/internal/sim"
+)
+
+// TestRecycleReusesFlowStorage proves the opt-in free list: a recycled
+// flow's storage backs the next StartFlow, with its done signal re-armed.
+func TestRecycleReusesFlowStorage(t *testing.T) {
+	e := sim.NewEngine()
+	n := New(e)
+	l := n.NewLink("l", 1*gb, 0)
+	f1 := n.StartFlow(1e6, []*Link{l})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !f1.Completed() {
+		t.Fatal("flow did not complete")
+	}
+	n.Recycle(f1)
+	f2 := n.StartFlow(2e6, []*Link{l})
+	if f2 != f1 {
+		t.Error("StartFlow after Recycle minted fresh storage")
+	}
+	if f2.Completed() || f2.Done().Fired() {
+		t.Error("recycled flow kept completed state")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !f2.Completed() || !f2.Done().Fired() {
+		t.Error("recycled flow did not complete its second transfer")
+	}
+	if got := f2.Throughput(); !almostEqual(got, 1*gb, 1e-6) {
+		t.Errorf("recycled flow throughput = %v, want %v", got, 1*gb)
+	}
+}
+
+func TestRecycleIncompleteFlowPanics(t *testing.T) {
+	e := sim.NewEngine()
+	n := New(e)
+	l := n.NewLink("l", 1*gb, 0)
+	f := n.StartFlow(1e6, []*Link{l})
+	defer func() {
+		if recover() == nil {
+			t.Error("Recycle of an in-flight flow did not panic")
+		}
+	}()
+	n.Recycle(f)
+}
+
+// TestNetworkResetMatchesFreshBuild is the world-reuse guarantee the core
+// pool depends on: after Engine.Reset + Network.Reset, a transfer over
+// the surviving links behaves exactly like one on a brand-new network,
+// and the link statistics start from zero.
+func TestNetworkResetMatchesFreshBuild(t *testing.T) {
+	run := func(e *sim.Engine, n *Network, l *Link) (float64, float64) {
+		a := n.StartFlow(3e6, []*Link{l})
+		b := n.StartFlow(3e6, []*Link{l})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return a.Throughput(), b.Throughput()
+	}
+
+	fresh := sim.NewEngine()
+	freshNet := New(fresh)
+	freshLink := freshNet.NewLink("l", 1*gb, 0)
+	wantA, wantB := run(fresh, freshNet, freshLink)
+
+	used := sim.NewEngine()
+	usedNet := New(used)
+	usedLink := usedNet.NewLink("l", 1*gb, 0)
+	// Foreign history: an unrelated flow left mid-flight, then the world
+	// is recycled.
+	usedNet.StartFlow(1e12, []*Link{usedLink})
+	if err := used.RunUntil(1e6); err != nil {
+		t.Fatal(err)
+	}
+	used.Reset()
+	usedNet.Reset()
+	//lint:allow floatcmp Reset stores the literal 0; any other bit pattern is a bug
+	if usedLink.BytesCarried() != 0 || usedLink.FlowsCarried() != 0 {
+		t.Errorf("link stats survived Reset: %v bytes, %d flows",
+			usedLink.BytesCarried(), usedLink.FlowsCarried())
+	}
+	if usedNet.NumLinks() != 1 || usedNet.ActiveFlows() != 0 {
+		t.Errorf("Reset network has %d links and %d active flows, want 1 and 0",
+			usedNet.NumLinks(), usedNet.ActiveFlows())
+	}
+	gotA, gotB := run(used, usedNet, usedLink)
+	//lint:allow floatcmp byte-identity is the property under test: recycled worlds must match fresh ones exactly
+	if gotA != wantA || gotB != wantB {
+		t.Errorf("recycled world differs from fresh: got (%v, %v), want (%v, %v)",
+			gotA, gotB, wantA, wantB)
+	}
+}

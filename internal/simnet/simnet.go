@@ -103,6 +103,7 @@ type Network struct {
 	eng        *sim.Engine
 	links      []*Link
 	flows      []*Flow
+	free       []*Flow // recycled flows (see Recycle)
 	lastSettle time.Duration
 	completion sim.Event
 	dirty      bool
@@ -169,16 +170,74 @@ func (n *Network) StartFlowLatency(bytes float64, route []*Link, latency time.Du
 	if latency < 0 {
 		latency = 0
 	}
-	f := &Flow{
-		route:     route,
-		remaining: bytes,
-		bytes:     bytes,
-		index:     -1,
-		started:   n.eng.Now(),
-		done:      sim.MakeSignal(n.eng),
+	var f *Flow
+	if k := len(n.free); k > 0 {
+		// Reuse recycled storage; the done signal was re-armed at Recycle
+		// time. index is already -1 (finish/activate leave it there).
+		f = n.free[k-1]
+		n.free[k-1] = nil
+		n.free = n.free[:k-1]
+		f.route = route
+		f.remaining = bytes
+		f.bytes = bytes
+		f.rate = 0
+		f.frozen = false
+		f.completed = false
+		f.started = n.eng.Now()
+		f.finished = 0
+	} else {
+		f = &Flow{
+			route:     route,
+			remaining: bytes,
+			bytes:     bytes,
+			index:     -1,
+			started:   n.eng.Now(),
+			done:      sim.MakeSignal(n.eng),
+		}
 	}
 	n.eng.ScheduleArg(latency, n.activateFn, f)
 	return f
+}
+
+// Recycle returns a completed flow's storage to the network for reuse by
+// a later StartFlow, re-arming its done signal. Recycling is strictly
+// opt-in: only call it when you exclusively own the flow and every
+// observer of its completion has run — a retained *Flow or Done() pointer
+// becomes a handle to an unrelated future transfer the moment the storage
+// is reused. Callers that read Duration/Throughput after the run (probes,
+// link-stat tests) simply never recycle. Panics if the flow has not
+// completed or if waiters are still parked on its signal.
+func (n *Network) Recycle(f *Flow) {
+	if !f.completed || f.index != -1 {
+		panic("simnet: Recycle of an incomplete flow")
+	}
+	f.done.Rearm()
+	f.route = nil
+	n.free = append(n.free, f)
+}
+
+// Reset returns the network to its just-constructed state while keeping
+// what is expensive to rebuild: the links (with statistics and
+// progressive-filling scratch zeroed) and the flow free list. Active and
+// latency-phase flows are dropped, not recycled — their completion state
+// is undefined once their events are gone. Reset must be paired with a
+// Reset of the owning engine (the network's pending settle/activate/
+// completion events have to die with it); the pair makes a pooled
+// (engine, network, topology) world byte-identical to a fresh build.
+func (n *Network) Reset() {
+	for i := range n.flows {
+		n.flows[i] = nil
+	}
+	n.flows = n.flows[:0]
+	n.lastSettle = 0
+	n.dirty = false
+	n.completion = sim.Event{}
+	for _, l := range n.links {
+		l.residual = 0
+		l.unfrozen = 0
+		l.bytesCarried = 0
+		l.flowsCarried = 0
+	}
 }
 
 // Transfer starts a flow and blocks the process until it completes.
@@ -391,3 +450,8 @@ func (n *Network) onCompletion() {
 // ActiveFlows reports the number of flows currently competing for
 // bandwidth (excludes flows still in their latency phase).
 func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// NumLinks reports the number of links registered on the network. Links
+// are never removed, so pooled-network owners use this to decide when
+// accumulated links make a rebuild cheaper than another Reset.
+func (n *Network) NumLinks() int { return len(n.links) }

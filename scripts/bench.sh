@@ -86,6 +86,13 @@ BEGIN { n = 0 }
     }
     key = pkg "/" name
     if (!(key in seen)) { seen[key] = 1; extra = extra ", \"warmup\": true" }
+    else if (pkg == "stash") {
+        # Steady-state suite minima feed the derived parallel_speedup
+        # field (SuiteSerial / SuiteParallel ns), the tentpole headline
+        # metric benchcmp tracks across snapshots.
+        if (name == "BenchmarkSuiteSerial" && (!serialMin || $3 + 0 < serialMin)) serialMin = $3 + 0
+        if (name == "BenchmarkSuiteParallel" && (!parallelMin || $3 + 0 < parallelMin)) parallelMin = $3 + 0
+    }
     line = sprintf("    {\"name\": \"%s\", \"package\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s%s}",
                    name, pkg, $2, $3, extra)
     lines[n++] = line
@@ -99,6 +106,8 @@ END {
     printf "  \"benchtime\": \"%s\",\n", benchtime
     printf "  \"micro_benchtime\": \"%s\",\n", microbenchtime
     printf "  \"count\": %s,\n", count
+    if (serialMin && parallelMin)
+        printf "  \"parallel_speedup\": %.4f,\n", serialMin / parallelMin
     printf "  \"benchmarks\": [\n"
     for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n - 1 ? "," : "")
     printf "  ]\n"
