@@ -1,28 +1,40 @@
 // Command stashd is the long-running Stash profiling service: the
 // profiler, the recommendation engine and all 25 paper artifacts served
-// over a versioned JSON API (see docs/API.md for the full contract).
+// over a versioned JSON API (see docs/API.md for the API contract and
+// docs/OPERATIONS.md for the operator guide).
 //
 // Usage:
 //
 //	stashd [-addr :8321] [-iters N] [-exp-iters N] [-seed S]
 //	       [-parallel N] [-max-concurrent N]
 //	       [-request-timeout D] [-drain-timeout D]
+//	       [-job-workers N] [-job-ttl D] [-max-jobs N]
+//	       [-tenant-quota N] [-tenant-weights name=w,...]
 //
 // Endpoints:
 //
-//	POST /v1/profile              four stalls + epoch cost for one workload
-//	POST /v1/recommend            ranked configurations under constraints
-//	GET  /v1/experiments          the paper-artifact registry
-//	GET  /v1/experiments/{id}     run one artifact, tables as JSON
-//	GET  /healthz                 liveness probe
-//	GET  /healthz?deep=1          bounded invariant audit + live pool checks
-//	GET  /metrics                 Prometheus text counters
+//	POST   /v1/profile              four stalls + epoch cost for one workload
+//	POST   /v1/recommend            ranked configurations under constraints
+//	GET    /v1/experiments          the paper-artifact registry
+//	GET    /v1/experiments/{id}     run one artifact, tables as JSON
+//	POST   /v2/jobs                 submit an asynchronous job (202 + id)
+//	GET    /v2/jobs                 list the tenant's jobs (?state= filter)
+//	GET    /v2/jobs/{id}            job status snapshot with progress
+//	GET    /v2/jobs/{id}/result     replay a terminal job's exact result
+//	GET    /v2/jobs/{id}/events     SSE progress stream to the terminal event
+//	DELETE /v2/jobs/{id}            cancel a queued or running job
+//	GET    /healthz                 liveness probe
+//	GET    /healthz?deep=1          bounded invariant audit + live pool checks
+//	GET    /metrics                 Prometheus text counters
 //
 // All requests share one single-flight memoized profiler, so repeated
 // and concurrent requests for overlapping scenarios simulate each
-// distinct scenario exactly once. On SIGTERM/SIGINT the server stops
-// accepting connections and drains in-flight profiles for up to
-// -drain-timeout before exiting.
+// distinct scenario exactly once. Jobs are scoped to the tenant named
+// by the X-Stash-Tenant header and scheduled by a two-level weighted
+// fair queue on a worker pool separate from the v1 concurrency gate.
+// On SIGTERM/SIGINT the server rejects new jobs, cancels queued ones,
+// gives running jobs and in-flight requests up to -drain-timeout to
+// settle, then exits.
 package main
 
 import (
@@ -36,6 +48,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -64,18 +78,35 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	maxConc := fs.Int("max-concurrent", runtime.GOMAXPROCS(0), "concurrent heavy requests (profile/recommend/experiment)")
 	reqTimeout := fs.Duration("request-timeout", api.DefaultRequestTimeout, "per-request deadline")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain window")
+	jobWorkers := fs.Int("job-workers", api.DefaultJobWorkers, "v2 job executor pool size")
+	jobTTL := fs.Duration("job-ttl", api.DefaultJobTTL, "retention window for terminal v2 jobs")
+	maxJobs := fs.Int("max-jobs", api.DefaultJobStoreMax, "v2 job store capacity (live + retained terminal jobs)")
+	tenantQuota := fs.Int("tenant-quota", api.DefaultTenantQuota, "concurrent live (queued+running) v2 jobs per tenant")
+	tenantWeights := fs.String("tenant-weights", "", "fair-queue tenant weights as name=w,name=w (default weight 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	weights, err := parseTenantWeights(*tenantWeights)
+	if err != nil {
+		return err
+	}
 
-	srv := api.New(
+	opts := []api.Option{
 		api.WithIterations(*iters),
 		api.WithExperimentIterations(*expIters),
 		api.WithSeed(*seed),
 		api.WithParallelism(*parallel),
 		api.WithMaxConcurrent(*maxConc),
 		api.WithRequestTimeout(*reqTimeout),
-	)
+		api.WithJobWorkers(*jobWorkers),
+		api.WithJobTTL(*jobTTL),
+		api.WithJobStoreMax(*maxJobs),
+		api.WithTenantQuota(*tenantQuota),
+	}
+	for _, tw := range weights {
+		opts = append(opts, api.WithTenantWeight(tw.name, tw.weight))
+	}
+	srv := api.New(opts...)
 	hs := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
@@ -99,10 +130,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	case <-ctx.Done():
 	}
 
-	fmt.Fprintln(out, "stashd: shutting down, draining in-flight requests")
+	fmt.Fprintln(out, "stashd: shutting down, draining jobs and in-flight requests")
 	//lint:allow ctxflow the serve ctx is already cancelled here; the drain deadline must outlive it
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	// Drain jobs while the listener still serves status polls and SSE
+	// streams, then stop accepting connections.
+	srv.Drain(dctx)
 	if err := hs.Shutdown(dctx); err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}
@@ -111,4 +145,30 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	fmt.Fprintln(out, "stashd: drained, exiting")
 	return nil
+}
+
+// tenantWeight is one -tenant-weights entry.
+type tenantWeight struct {
+	name   string
+	weight int
+}
+
+// parseTenantWeights parses "name=w,name=w" into ordered entries.
+func parseTenantWeights(s string) ([]tenantWeight, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []tenantWeight
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("tenant-weights: %q is not name=weight", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("tenant-weights: %q needs a positive integer weight", part)
+		}
+		out = append(out, tenantWeight{name: name, weight: w})
+	}
+	return out, nil
 }

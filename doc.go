@@ -64,7 +64,10 @@
 //     (-recommend);
 //   - cmd/characterize: regenerate any or all paper artifacts;
 //   - cmd/stashd: the same capabilities as a long-running HTTP service
-//     with a versioned JSON API (internal/api; contract in docs/API.md);
+//     with a versioned JSON API — synchronous /v1 calls plus async
+//     /v2 jobs with SSE progress and per-tenant fair queueing
+//     (internal/api; contract in docs/API.md, operator guide in
+//     docs/OPERATIONS.md);
 //   - cmd/microbench, cmd/bwtest: Fig 16 and Fig 7 probes;
 //   - examples/: runnable walkthroughs of the public API.
 //

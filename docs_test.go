@@ -16,6 +16,7 @@ var userDocs = []string{
 	"DESIGN.md",
 	"EXPERIMENTS.md",
 	"docs/API.md",
+	"docs/OPERATIONS.md",
 }
 
 var (

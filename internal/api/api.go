@@ -30,10 +30,10 @@ package api
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -90,6 +90,44 @@ func WithExperimentIterations(n int) Option {
 	return func(s *Server) { s.expIterations = n }
 }
 
+// WithJobWorkers sets the v2 job executor pool size (default
+// DefaultJobWorkers). The pool is separate from the v1 concurrency
+// gate by design: queued jobs can never starve synchronous calls.
+func WithJobWorkers(n int) Option {
+	return func(s *Server) { s.jobWorkers = n }
+}
+
+// WithJobTTL sets how long terminal job results stay replayable before
+// they become evictable (default DefaultJobTTL). Eviction is lazy.
+func WithJobTTL(d time.Duration) Option {
+	return func(s *Server) { s.jobTTL = d }
+}
+
+// WithJobStoreMax caps how many jobs the store retains (default
+// DefaultJobStoreMax); admissions beyond it evict the oldest terminal
+// job, or fail with store_full when every retained job is active.
+func WithJobStoreMax(n int) Option {
+	return func(s *Server) { s.jobStoreMax = n }
+}
+
+// WithTenantQuota caps one tenant's active (queued + running) jobs
+// (default DefaultTenantQuota).
+func WithTenantQuota(n int) Option {
+	return func(s *Server) { s.tenantQuota = n }
+}
+
+// WithTenantWeight assigns a fair-queueing weight to a tenant (default
+// 1): a weight-3 tenant's jobs dispatch three times as often as a
+// weight-1 tenant's while both are backlogged.
+func WithTenantWeight(name string, w int) Option {
+	return func(s *Server) {
+		if s.tenantWeights == nil {
+			s.tenantWeights = make(map[string]int64)
+		}
+		s.tenantWeights[name] = int64(w)
+	}
+}
+
 // Server is the stashd HTTP service. Create with New, mount with
 // Handler; it is safe for concurrent use.
 type Server struct {
@@ -99,12 +137,18 @@ type Server struct {
 	parallelism   int
 	timeout       time.Duration
 	maxConcurrent int
+	jobWorkers    int
+	jobTTL        time.Duration
+	jobStoreMax   int
+	tenantQuota   int
+	tenantWeights map[string]int64
 
-	profiler *core.Profiler
-	expCfg   experiments.Config
-	sem      chan struct{}
-	metrics  *metrics
-	mux      *http.ServeMux
+	profiler  *core.Profiler
+	expCfg    experiments.Config
+	sem       chan struct{}
+	metrics   *metrics
+	jobsStore *jobStore
+	mux       *http.ServeMux
 }
 
 // New builds a stashd server with the given options.
@@ -115,6 +159,10 @@ func New(opts ...Option) *Server {
 		seed:          1,
 		timeout:       DefaultRequestTimeout,
 		maxConcurrent: runtime.GOMAXPROCS(0),
+		jobWorkers:    DefaultJobWorkers,
+		jobTTL:        DefaultJobTTL,
+		jobStoreMax:   DefaultJobStoreMax,
+		tenantQuota:   DefaultTenantQuota,
 	}
 	for _, o := range opts {
 		o(s)
@@ -136,7 +184,9 @@ func New(opts ...Option) *Server {
 		Parallelism: s.parallelism,
 	}
 	s.sem = make(chan struct{}, s.maxConcurrent)
-	s.metrics = newMetrics(s.profiler, s.expCfg)
+	s.jobsStore = newJobStore(s.jobWorkers, s.jobTTL, s.jobStoreMax, s.tenantQuota, s.tenantWeights)
+	s.metrics = newMetrics(s.profiler, s.expCfg, s.jobsStore)
+	s.jobsStore.start(s.executeJob)
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.route("healthz", false, s.handleHealthz))
@@ -145,7 +195,22 @@ func New(opts ...Option) *Server {
 	s.mux.HandleFunc("POST /v1/recommend", s.route("recommend", true, s.handleRecommend))
 	s.mux.HandleFunc("GET /v1/experiments", s.route("experiments", false, s.handleExperimentList))
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.route("experiment", true, s.handleExperimentRun))
+	s.mux.HandleFunc("POST /v2/jobs", s.route("job-create", false, s.handleJobCreate))
+	s.mux.HandleFunc("GET /v2/jobs", s.route("job-list", false, s.handleJobList))
+	s.mux.HandleFunc("GET /v2/jobs/{id}", s.route("job-get", false, s.handleJobGet))
+	s.mux.HandleFunc("GET /v2/jobs/{id}/result", s.route("job-result", false, s.handleJobResult))
+	s.mux.HandleFunc("GET /v2/jobs/{id}/events", s.routeStream("job-events", s.handleJobEvents))
+	s.mux.HandleFunc("DELETE /v2/jobs/{id}", s.route("job-cancel", false, s.handleJobCancel))
 	return s
+}
+
+// Drain gracefully stops the v2 job subsystem: new submissions are
+// rejected with 503 draining, queued jobs are cancelled, and running
+// jobs get until ctx's deadline to finish before being cancelled too.
+// Call before http.Server.Shutdown so in-flight jobs settle while the
+// listener still serves status polls and SSE streams.
+func (s *Server) Drain(ctx context.Context) {
+	s.jobsStore.drain(ctx)
 }
 
 // Handler returns the server's root handler: the /v1 API plus /healthz
@@ -173,7 +238,7 @@ func (s *Server) Handler() http.Handler {
 // pathExists reports whether the request path is served under some
 // other method (drives 405 vs 404).
 func (s *Server) pathExists(r *http.Request) bool {
-	for _, m := range []string{http.MethodGet, http.MethodPost} {
+	for _, m := range []string{http.MethodGet, http.MethodPost, http.MethodDelete} {
 		if m == r.Method {
 			continue
 		}
@@ -206,6 +271,14 @@ func (w *statusWriter) status() int {
 	return w.code
 }
 
+// Flush forwards to the underlying writer so SSE streams flush frames
+// through the metrics wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // route wraps a handler with the server's cross-cutting behavior:
 // per-request timeout, the bounded-concurrency gate for heavy
 // endpoints, and request/latency metrics.
@@ -218,6 +291,13 @@ func (s *Server) route(endpoint string, heavy bool, h http.HandlerFunc) http.Han
 
 		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 		defer cancel()
+		// Attribute the request's scenario activity to its tenant so the
+		// per-tenant conservation counters cover v1 traffic too; an
+		// invalid header just leaves the request unattributed here (the
+		// v2 handlers reject it).
+		if tenant, aerr := tenantOf(r); aerr == nil {
+			ctx = core.WithTenant(ctx, tenant)
+		}
 		r = r.WithContext(ctx)
 
 		if heavy {
@@ -244,6 +324,26 @@ func (s *Server) route(endpoint string, heavy bool, h http.HandlerFunc) http.Han
 			defer func() { <-s.sem }()
 		}
 		h(sw, r)
+		//lint:allow wallclock request-latency metric for /metrics, never enters a stall table
+		s.metrics.observe(endpoint, sw.status(), time.Since(start))
+	}
+}
+
+// routeStream wraps a streaming handler (SSE) with metrics and tenant
+// attribution but no per-request timeout and no concurrency gate: the
+// stream lives until the job settles or the client disconnects, and it
+// must never occupy a slot a simulation could use.
+func (s *Server) routeStream(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now() //lint:allow wallclock request-latency metric for /metrics, never enters a stall table
+		sw := &statusWriter{ResponseWriter: w}
+		s.metrics.inflight.Add(1)
+		defer s.metrics.inflight.Add(-1)
+		ctx := r.Context()
+		if tenant, aerr := tenantOf(r); aerr == nil {
+			ctx = core.WithTenant(ctx, tenant)
+		}
+		h(sw, r.WithContext(ctx))
 		//lint:allow wallclock request-latency metric for /metrics, never enters a stall table
 		s.metrics.observe(endpoint, sw.status(), time.Since(start))
 	}
@@ -277,6 +377,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		res.Checks += live.Checks
 		res.Violations = append(res.Violations, live.Violations...)
 	}
+	// Per-tenant conservation, one layer per family: the scenario
+	// counters of each pool (mirrored by core.WithTenant) and the job
+	// lifecycle counters of the v2 store. A fresh server has no tenants
+	// and adds no checks here.
+	for _, pool := range []map[string]core.Stats{s.profiler.TenantStats(), experiments.SchedulerTenantStats(s.expCfg)} {
+		for _, name := range sortedKeys(pool) {
+			live := audit.CheckStatsLive(pool[name])
+			res.Checks += live.Checks
+			res.Violations = append(res.Violations, live.Violations...)
+		}
+	}
+	jc := s.jobsStore.counters()
+	for _, name := range sortedKeys(jc) {
+		jres := audit.CheckJobCounters(name, jc[name])
+		res.Checks += jres.Checks
+		res.Violations = append(res.Violations, jres.Violations...)
+	}
 	s.metrics.auditChecks.Add(int64(res.Checks))
 	s.metrics.auditViolations.Add(int64(len(res.Violations)))
 	if !res.Ok() {
@@ -297,6 +414,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, s.metrics.render())
 }
 
+// sortedKeys returns a string-keyed map's keys in sorted order — the
+// repo-wide idiom for deterministic iteration over maps.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // decode parses a JSON request body into dst, rejecting unknown fields
 // so client typos surface as 400s instead of silently ignored options.
 func decode(r *http.Request, dst any) error {
@@ -309,20 +437,8 @@ func decode(r *http.Request, dst any) error {
 }
 
 // fail maps an error from the profiling stack to the API error
-// contract: expired deadlines are 504, OOM and infeasible constraints
-// are 422 (the request was well-formed but cannot be satisfied),
-// everything else is a 500.
+// contract via errToAPI (dto.go).
 func (s *Server) fail(w http.ResponseWriter, err error) {
-	var oom *core.OOMError
-	switch {
-	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
-		writeError(w, http.StatusGatewayTimeout, errTimeout,
-			"request deadline expired during simulation: "+err.Error())
-	case errors.As(err, &oom):
-		writeError(w, http.StatusUnprocessableEntity, errOOM, err.Error())
-	case errors.Is(err, core.ErrNoFeasibleConfig):
-		writeError(w, http.StatusUnprocessableEntity, errInfeasible, err.Error())
-	default:
-		writeError(w, http.StatusInternalServerError, errInternal, err.Error())
-	}
+	aerr := errToAPI(err)
+	writeJSON(w, aerr.status, aerr.envelope())
 }

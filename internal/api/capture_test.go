@@ -2,27 +2,27 @@ package api
 
 import (
 	"encoding/json"
-	"io"
-	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
-	"strings"
 	"testing"
 )
 
-// TestCaptureDocExamples regenerates the verified example bodies that
-// docs/API.md embeds. It is skipped unless STASHD_CAPTURE is set to a
-// directory; then it writes one pretty-printed JSON file per example:
+// TestCaptureDocExamples regenerates the verified example bodies the
+// shipped docs embed. It is skipped unless STASHD_CAPTURE is set to a
+// directory; then it writes one pretty-printed JSON file per example
+// (.txt for raw transcripts like the SSE stream):
 //
 //	STASHD_CAPTURE=/tmp/captures go test ./internal/api -run CaptureDocExamples
 //
-// Paste the refreshed bodies into docs/API.md whenever the simulator's
-// calibration changes; docs_test.go fails until docs and server agree.
+// Paste the refreshed bodies into docs/API.md / docs/OPERATIONS.md
+// whenever the simulator's calibration changes; docs_test.go fails
+// until docs and server agree. ci.sh also runs this against a throwaway
+// directory, so the regenerator itself can't rot.
 func TestCaptureDocExamples(t *testing.T) {
 	dir := os.Getenv("STASHD_CAPTURE")
 	if dir == "" {
-		t.Skip("set STASHD_CAPTURE=<dir> to regenerate docs/API.md example bodies")
+		t.Skip("set STASHD_CAPTURE=<dir> to regenerate the documented example bodies")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		t.Fatal(err)
@@ -32,25 +32,20 @@ func TestCaptureDocExamples(t *testing.T) {
 	defer ts.Close()
 
 	for _, ex := range docExamples {
-		var (
-			resp *http.Response
-			err  error
-		)
-		if ex.method == http.MethodGet {
-			resp, err = http.Get(ts.URL + ex.path)
-		} else {
-			resp, err = http.Post(ts.URL+ex.path, "application/json", strings.NewReader(ex.request))
+		code, body := runDocExample(t, ts.URL, ex)
+		if code != ex.wantStatus {
+			t.Fatalf("%s: status %d, want %d", ex.name, code, ex.wantStatus)
 		}
-		if err != nil {
-			t.Fatalf("%s: %v", ex.name, err)
+		if ex.hidden {
+			continue
 		}
-		body, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			t.Fatalf("%s: %v", ex.name, err)
-		}
-		if resp.StatusCode != ex.wantStatus {
-			t.Fatalf("%s: status %d, want %d", ex.name, resp.StatusCode, ex.wantStatus)
+		if ex.raw {
+			out := filepath.Join(dir, ex.name+"-response.txt")
+			if err := os.WriteFile(out, body, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("wrote %s", out)
+			continue
 		}
 		var v any
 		if err := json.Unmarshal(body, &v); err != nil {

@@ -9,9 +9,10 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+	"time"
 )
 
-// docExample is one request docs/API.md documents with a verified
+// docExample is one request a shipped document records as a verified
 // example. The request string here is the source of truth the doc's
 // `<name>-request` block must match; the live response must match the
 // doc's `<name>-response` block.
@@ -19,21 +20,76 @@ type docExample struct {
 	name       string
 	method     string
 	path       string
-	request    string // empty for GET
+	request    string // empty for GET/DELETE
 	wantStatus int
+
+	// doc is the markdown file carrying this example's verify blocks;
+	// empty means docs/API.md.
+	doc string
+
+	// raw marks a non-JSON response (the SSE transcript): the comparison
+	// is trimmed text, and capture writes a .txt file.
+	raw bool
+
+	// settle names a job id to poll to a terminal state before issuing
+	// the request, so examples observing a job's final state are
+	// deterministic.
+	settle string
+
+	// hidden examples execute for their side effects on the shared
+	// server (advancing the job sequence, freeing workers) but are not
+	// documented.
+	hidden bool
 }
 
+const opsDoc = "../../docs/OPERATIONS.md"
+
 // docExamples drives both docs_test.go (verification) and
-// capture_test.go (regeneration). One entry per verified example in
-// docs/API.md.
+// capture_test.go (regeneration). Examples run in order against one
+// shared server, so the v2 job ids below are the server's global
+// sequence: job-1 is the profile job, job-2/job-3 the sweeps that
+// saturate both default workers (which is what keeps job-4 queued until
+// its cancel), job-4 the prioritized job the cancel example removes.
 var docExamples = []docExample{
-	{"healthz", http.MethodGet, "/healthz", "", http.StatusOK},
-	{"healthz-deep", http.MethodGet, "/healthz?deep=1", "", http.StatusOK},
-	{"profile", http.MethodPost, "/v1/profile", `{"model":"resnet18","instance":"p3.16xlarge","batch":32}`, http.StatusOK},
-	{"profile-error", http.MethodPost, "/v1/profile", `{"model":"resnet9000","instance":"p3.16xlarge"}`, http.StatusBadRequest},
-	{"recommend", http.MethodPost, "/v1/recommend", `{"model":"vgg11","batch":32,"families":["P3"],"max_epoch_seconds":2400}`, http.StatusOK},
-	{"experiments", http.MethodGet, "/v1/experiments", "", http.StatusOK},
-	{"table2", http.MethodGet, "/v1/experiments/table2", "", http.StatusOK},
+	{name: "healthz", method: http.MethodGet, path: "/healthz", wantStatus: http.StatusOK},
+	{name: "healthz-deep", method: http.MethodGet, path: "/healthz?deep=1", wantStatus: http.StatusOK},
+	{name: "profile", method: http.MethodPost, path: "/v1/profile",
+		request: `{"model":"resnet18","instance":"p3.16xlarge","batch":32}`, wantStatus: http.StatusOK},
+	{name: "profile-error", method: http.MethodPost, path: "/v1/profile",
+		request: `{"model":"resnet9000","instance":"p3.16xlarge"}`, wantStatus: http.StatusBadRequest},
+	{name: "recommend", method: http.MethodPost, path: "/v1/recommend",
+		request: `{"model":"vgg11","batch":32,"families":["P3"],"max_epoch_seconds":2400}`, wantStatus: http.StatusOK},
+	{name: "experiments", method: http.MethodGet, path: "/v1/experiments", wantStatus: http.StatusOK},
+	{name: "table2", method: http.MethodGet, path: "/v1/experiments/table2", wantStatus: http.StatusOK},
+
+	// v2 jobs: one deterministic lifecycle. The job-1 profile repeats
+	// the v1 profile example, so its persisted result replays the exact
+	// same bytes — the byte-identity contract, visible in the docs.
+	{name: "jobs-create", method: http.MethodPost, path: "/v2/jobs",
+		request:    `{"type":"profile","profile":{"model":"resnet18","instance":"p3.16xlarge","batch":32}}`,
+		wantStatus: http.StatusAccepted},
+	{name: "jobs-status", method: http.MethodGet, path: "/v2/jobs/job-1",
+		wantStatus: http.StatusOK, settle: "job-1"},
+	{name: "jobs-result", method: http.MethodGet, path: "/v2/jobs/job-1/result", wantStatus: http.StatusOK},
+	{name: "jobs-events", method: http.MethodGet, path: "/v2/jobs/job-1/events",
+		wantStatus: http.StatusOK, raw: true},
+	{name: "jobs-sweep", method: http.MethodPost, path: "/v2/jobs",
+		request: `{"type":"experiments","experiments":{}}`, wantStatus: http.StatusAccepted},
+	{name: "sweep-saturate", method: http.MethodPost, path: "/v2/jobs",
+		request: `{"type":"experiments","experiments":{}}`, wantStatus: http.StatusAccepted, hidden: true},
+	{name: "jobs-queued", method: http.MethodPost, path: "/v2/jobs",
+		request:    `{"type":"profile","profile":{"model":"resnet18","instance":"p3.2xlarge"},"priority":7}`,
+		wantStatus: http.StatusAccepted},
+	{name: "jobs-cancel", method: http.MethodDelete, path: "/v2/jobs/job-4", wantStatus: http.StatusOK},
+	{name: "sweep-cancel", method: http.MethodDelete, path: "/v2/jobs/job-2",
+		wantStatus: http.StatusOK, hidden: true},
+	{name: "sweep-cancel2", method: http.MethodDelete, path: "/v2/jobs/job-3",
+		wantStatus: http.StatusOK, hidden: true},
+	{name: "jobs-list", method: http.MethodGet, path: "/v2/jobs?state=done", wantStatus: http.StatusOK},
+
+	// Operator-guide examples live in docs/OPERATIONS.md.
+	{name: "ops-health", method: http.MethodGet, path: "/healthz",
+		wantStatus: http.StatusOK, doc: opsDoc},
 }
 
 var verifyMarker = regexp.MustCompile(`<!--\s*verify:([a-z0-9-]+)\s*-->`)
@@ -91,65 +147,168 @@ func canonicalJSON(t *testing.T, s string) string {
 	return string(b)
 }
 
-// TestAPIDocExamplesVerified replays every example docs/API.md marks
-// with a verify comment against a default server and fails on any
+// settleJob polls one job to a terminal state on the shared doc server.
+func settleJob(t *testing.T, base, id string) {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v2/jobs/" + id)
+		if err != nil {
+			t.Fatalf("settle %s: %v", id, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("settle %s: status %d, err %v", id, resp.StatusCode, err)
+		}
+		var js JobStatus
+		if err := json.Unmarshal(body, &js); err != nil {
+			t.Fatalf("settle %s: %v", id, err)
+		}
+		if terminalState(js.State) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("settle %s: stuck in %s", id, js.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// runDocExample performs one example against the shared doc server,
+// honoring its settle step, and returns status and body.
+func runDocExample(t *testing.T, base string, ex docExample) (int, []byte) {
+	t.Helper()
+	if ex.settle != "" {
+		settleJob(t, base, ex.settle)
+	}
+	var rd io.Reader
+	if ex.request != "" {
+		rd = strings.NewReader(ex.request)
+	}
+	req, err := http.NewRequest(ex.method, base+ex.path, rd)
+	if err != nil {
+		t.Fatalf("%s %s: %v", ex.method, ex.path, err)
+	}
+	if ex.request != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", ex.method, ex.path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("%s %s: read body: %v", ex.method, ex.path, err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestAPIDocExamplesVerified replays every example the shipped docs
+// mark with a verify comment against a default server and fails on any
 // drift, in either direction: an undocumented example entry, a stale
 // documented body, or a verify marker no example exercises. This is
 // the "docs can't rot" gate — if the simulator's calibration or the
 // wire format changes, regenerate with capture_test.go.
 func TestAPIDocExamplesVerified(t *testing.T) {
-	blocks := parseVerifiedBlocks(t, "../../docs/API.md")
+	docBlocks := map[string]map[string]string{}
+	used := map[string]map[string]bool{}
+	blocksFor := func(doc string) (map[string]string, map[string]bool) {
+		if doc == "" {
+			doc = "../../docs/API.md"
+		}
+		if docBlocks[doc] == nil {
+			docBlocks[doc] = parseVerifiedBlocks(t, doc)
+			used[doc] = map[string]bool{}
+		}
+		return docBlocks[doc], used[doc]
+	}
+
 	s := New()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	used := make(map[string]bool)
 	for _, ex := range docExamples {
 		t.Run(ex.name, func(t *testing.T) {
+			if ex.hidden {
+				if code, body := runDocExample(t, ts.URL, ex); code != ex.wantStatus {
+					t.Fatalf("status = %d, want %d (body %s)", code, ex.wantStatus, body)
+				}
+				return
+			}
+			blocks, usedHere := blocksFor(ex.doc)
 			if ex.request != "" {
 				reqBlock, ok := blocks[ex.name+"-request"]
 				if !ok {
-					t.Fatalf("docs/API.md missing verify:%s-request", ex.name)
+					t.Fatalf("missing verify:%s-request", ex.name)
 				}
-				used[ex.name+"-request"] = true
+				usedHere[ex.name+"-request"] = true
 				if canonicalJSON(t, reqBlock) != canonicalJSON(t, ex.request) {
 					t.Errorf("documented request drifted:\ndoc:  %s\ntest: %s", reqBlock, ex.request)
 				}
 			}
 			respBlock, ok := blocks[ex.name+"-response"]
 			if !ok {
-				t.Fatalf("docs/API.md missing verify:%s-response", ex.name)
+				t.Fatalf("missing verify:%s-response", ex.name)
 			}
-			used[ex.name+"-response"] = true
+			usedHere[ex.name+"-response"] = true
 
-			var (
-				resp *http.Response
-				err  error
-			)
-			if ex.method == http.MethodGet {
-				resp, err = http.Get(ts.URL + ex.path)
-			} else {
-				resp, err = http.Post(ts.URL+ex.path, "application/json", strings.NewReader(ex.request))
+			code, body := runDocExample(t, ts.URL, ex)
+			if code != ex.wantStatus {
+				t.Fatalf("status = %d, want %d (body %s)", code, ex.wantStatus, body)
 			}
-			if err != nil {
-				t.Fatalf("%s %s: %v", ex.method, ex.path, err)
-			}
-			body, err := io.ReadAll(resp.Body)
-			resp.Body.Close()
-			if err != nil {
-				t.Fatal(err)
-			}
-			if resp.StatusCode != ex.wantStatus {
-				t.Fatalf("status = %d, want %d (body %s)", resp.StatusCode, ex.wantStatus, body)
+			if ex.raw {
+				if got, want := strings.TrimSpace(string(body)), strings.TrimSpace(respBlock); got != want {
+					t.Errorf("documented transcript drifted from the live server:\nlive:\n%s\ndoc:\n%s", got, want)
+				}
+				return
 			}
 			if got, want := canonicalJSON(t, string(body)), canonicalJSON(t, respBlock); got != want {
 				t.Errorf("documented response drifted from the live server:\nlive: %s\ndoc:  %s", got, want)
 			}
 		})
 	}
-	for name := range blocks {
-		if !used[name] {
-			t.Errorf("docs/API.md block verify:%s is not exercised by any docExample", name)
+	for doc, blocks := range docBlocks {
+		for name := range blocks {
+			if !used[doc][name] {
+				t.Errorf("%s: block verify:%s is not exercised by any docExample", doc, name)
+			}
+		}
+	}
+}
+
+// TestMetricsDocumented renders /metrics after representative traffic
+// and checks that every stashd_ series family it emits is described in
+// docs/OPERATIONS.md — a new counter can't ship undocumented.
+func TestMetricsDocumented(t *testing.T) {
+	opsData, err := os.ReadFile(opsDoc)
+	if err != nil {
+		t.Fatalf("read %s: %v", opsDoc, err)
+	}
+	ops := string(opsData)
+
+	_, ts := newTestServer(t)
+	if code, _ := postJSON(t, ts.URL+"/v1/profile", `{"model":"resnet18","instance":"p3.2xlarge"}`); code != http.StatusOK {
+		t.Fatalf("profile = %d", code)
+	}
+	if code, _ := getBody(t, ts.URL+"/healthz?deep=1"); code != http.StatusOK {
+		t.Fatal("deep healthz failed")
+	}
+	id := submitJob(t, ts.URL, "acme", `{"type":"profile","profile":{"model":"resnet18","instance":"p3.2xlarge"}}`)
+	waitTerminal(t, ts.URL, "acme", id)
+
+	code, body := getBody(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics = %d", code)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if !strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		name := strings.Fields(line)[2]
+		if !strings.Contains(ops, name) {
+			t.Errorf("docs/OPERATIONS.md does not document metric %s", name)
 		}
 	}
 }

@@ -1,7 +1,10 @@
 package api
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"time"
 
@@ -22,6 +25,13 @@ const (
 	errOverloaded       = "overloaded"
 	errAuditFailed      = "audit_failed"
 	errInternal         = "internal"
+
+	// v2 job API codes.
+	errQuotaExceeded = "quota_exceeded" // 429: tenant at its active-job quota
+	errStoreFull     = "store_full"     // 429: job store full of non-evictable (active) jobs
+	errDraining      = "draining"       // 503: server drain in progress, not accepting jobs
+	errJobNotReady   = "job_not_ready"  // 409: result requested before the job is terminal
+	errCancelled     = "cancelled"      // job error body for cancelled jobs
 )
 
 // ErrorBody is the error envelope every non-2xx response carries.
@@ -202,6 +212,83 @@ type ExperimentResponse struct {
 	Tables []*report.Table `json:"tables"`
 }
 
+// JobCreateRequest is POST /v2/jobs's body: one asynchronous unit of
+// work. Exactly the spec matching "type" must be present.
+type JobCreateRequest struct {
+	// Type selects the job class: "profile", "recommend" or
+	// "experiments". Required.
+	Type string `json:"type"`
+
+	// Profile is the workload for a profile job — the same body as
+	// POST /v1/profile.
+	Profile *ProfileRequest `json:"profile,omitempty"`
+
+	// Recommend is the workload for a recommend job — the same body as
+	// POST /v1/recommend.
+	Recommend *RecommendRequest `json:"recommend,omitempty"`
+
+	// Experiments selects artifacts for an experiments job.
+	Experiments *ExperimentsJobSpec `json:"experiments,omitempty"`
+
+	// Priority orders jobs within one tenant and class: 0 (lowest) to
+	// 9 (highest), default 5. Higher-priority jobs dispatch first;
+	// equal priorities dispatch in submission order.
+	Priority *int `json:"priority,omitempty"`
+}
+
+// ExperimentsJobSpec selects which paper artifacts an experiments job
+// runs. An empty/omitted ids list means the full registry sweep (all
+// 26 artifacts — the paper's complete scenario grid).
+type ExperimentsJobSpec struct {
+	IDs []string `json:"ids,omitempty"`
+}
+
+// JobProgress is the cells-completed accounting of one job. Done is
+// monotonically non-decreasing; Total grows as sweeps announce their
+// cell counts (an experiments job learns each panel's size as the
+// panel starts), so Done == Total only on a completed job.
+type JobProgress struct {
+	CellsDone  int64 `json:"cells_done"`
+	CellsTotal int64 `json:"cells_total"`
+}
+
+// JobStatus is the v2 job resource: POST /v2/jobs and
+// GET /v2/jobs/{id} bodies, and the SSE "status" event payload. It
+// deliberately carries no wall-clock timestamps, keeping every body
+// byte-stable for the docs verifier.
+type JobStatus struct {
+	ID       string      `json:"id"`
+	Tenant   string      `json:"tenant"`
+	Type     string      `json:"type"`
+	State    string      `json:"state"`
+	Priority int         `json:"priority"`
+	Progress JobProgress `json:"progress"`
+
+	// Partials lists the labels of partial results that have settled so
+	// far (experiment ids, in completion order). The full payloads
+	// replay over GET /v2/jobs/{id}/events.
+	Partials []string `json:"partials,omitempty"`
+
+	// Error is set on failed and cancelled jobs; its code/message are
+	// exactly what the synchronous v1 call would have returned (or
+	// "cancelled" for cancellations).
+	Error *ErrorBody `json:"error,omitempty"`
+}
+
+// JobListResponse is GET /v2/jobs's body: the requesting tenant's
+// jobs, oldest first.
+type JobListResponse struct {
+	Jobs []JobStatus `json:"jobs"`
+}
+
+// JobExperimentsResult is a done experiments job's terminal result:
+// every requested artifact's response, in request order. Each entry is
+// byte-identical to the synchronous GET /v1/experiments/{id} body for
+// the same server configuration.
+type JobExperimentsResult struct {
+	Experiments []*ExperimentResponse `json:"experiments"`
+}
+
 // secs converts a duration to float seconds for the wire format.
 func secs(d time.Duration) float64 { return d.Seconds() }
 
@@ -254,16 +341,67 @@ func toEpochJSON(e core.EpochEstimate) EpochJSON {
 	}
 }
 
+// encodeJSON renders v exactly as writeJSON would put it on the wire
+// (compact, HTML escaping off, trailing newline). The v2 job store
+// persists these bytes as a job's replayable result, which is what
+// makes a job's output byte-identical to the synchronous v1 response
+// for the same request.
+func encodeJSON(v any) []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+	return buf.Bytes()
+}
+
 // writeJSON writes v as a JSON response with the given status.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+	_, _ = w.Write(encodeJSON(v))
 }
 
 // writeError writes the API's JSON error envelope.
 func writeError(w http.ResponseWriter, status int, code, message string) {
 	writeJSON(w, status, ErrorResponse{Error: ErrorBody{Code: code, Message: message}})
+}
+
+// apiError is a handler-layer error carrying the HTTP status and the
+// stable error code of the envelope. The shared compute functions
+// return it so the v1 handlers and the v2 job executor map failures
+// identically.
+type apiError struct {
+	status  int
+	code    string
+	message string
+}
+
+func newAPIError(status int, code, message string) *apiError {
+	return &apiError{status: status, code: code, message: message}
+}
+
+// envelope renders the error as the wire-format ErrorResponse.
+func (e *apiError) envelope() ErrorResponse {
+	return ErrorResponse{Error: ErrorBody{Code: e.code, Message: e.message}}
+}
+
+// errToAPI maps an error from the profiling stack to the API error
+// contract: expired deadlines are 504, OOM and infeasible constraints
+// are 422 (the request was well-formed but cannot be satisfied),
+// everything else is a 500. Both the v1 handlers and the v2 job
+// executor map through here, so a job that fails persists exactly the
+// error body its synchronous twin would have returned.
+func errToAPI(err error) *apiError {
+	var oom *core.OOMError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		return newAPIError(http.StatusGatewayTimeout, errTimeout,
+			"request deadline expired during simulation: "+err.Error())
+	case errors.As(err, &oom):
+		return newAPIError(http.StatusUnprocessableEntity, errOOM, err.Error())
+	case errors.Is(err, core.ErrNoFeasibleConfig):
+		return newAPIError(http.StatusUnprocessableEntity, errInfeasible, err.Error())
+	default:
+		return newAPIError(http.StatusInternalServerError, errInternal, err.Error())
+	}
 }

@@ -1,6 +1,7 @@
 package api
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"time"
@@ -16,48 +17,45 @@ import (
 // matching the cmd/stash CLI default.
 const defaultBatch = 32
 
-// handleProfile serves POST /v1/profile: the full Stash pipeline
-// (steps 1-5) for one workload on one instance type.
-func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
-	var req ProfileRequest
-	if err := decode(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, errInvalidRequest, err.Error())
-		return
-	}
+// The compute* functions below are the single implementation behind
+// both surfaces: the synchronous /v1 handlers call them with the
+// request context, and the /v2 job executor calls them with the job's
+// context. Sharing the functions — validation, defaults, error mapping
+// and all — is what makes a job's persisted result byte-identical to
+// the v1 response for the same request, which the docs verifier and
+// TestJobResultMatchesV1 both pin.
+
+// computeProfile validates and runs one profile request: the full
+// Stash pipeline (steps 1-5) for one workload on one instance type.
+func (s *Server) computeProfile(ctx context.Context, req ProfileRequest) (*ProfileResponse, *apiError) {
 	if req.Model == "" || req.Instance == "" {
-		writeError(w, http.StatusBadRequest, errInvalidRequest, `"model" and "instance" are required`)
-		return
+		return nil, newAPIError(http.StatusBadRequest, errInvalidRequest, `"model" and "instance" are required`)
 	}
 	if req.Batch == 0 {
 		req.Batch = defaultBatch
 	}
 	model, err := dnn.Resolve(req.Model)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, errInvalidRequest, err.Error())
-		return
+		return nil, newAPIError(http.StatusBadRequest, errInvalidRequest, err.Error())
 	}
 	it, err := cloud.ByName(req.Instance)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, errInvalidRequest, err.Error())
-		return
+		return nil, newAPIError(http.StatusBadRequest, errInvalidRequest, err.Error())
 	}
 	job, err := workload.NewJob(model, req.Batch)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, errInvalidRequest, err.Error())
-		return
+		return nil, newAPIError(http.StatusBadRequest, errInvalidRequest, err.Error())
 	}
 	if req.Nodes != 0 && (req.Nodes < 2 || it.NGPUs%req.Nodes != 0) {
-		writeError(w, http.StatusBadRequest, errInvalidRequest,
+		return nil, newAPIError(http.StatusBadRequest, errInvalidRequest,
 			fmt.Sprintf(`"nodes" must be >= 2 and divide %s's %d GPUs, got %d`, it.Name, it.NGPUs, req.Nodes))
-		return
 	}
 
-	rep, err := s.profiler.ProfileContext(r.Context(), job, it)
+	rep, err := s.profiler.ProfileContext(ctx, job, it)
 	if err != nil {
-		s.fail(w, err)
-		return
+		return nil, errToAPI(err)
 	}
-	resp := ProfileResponse{
+	resp := &ProfileResponse{
 		Model:                   rep.Model,
 		Instance:                rep.Instance,
 		Batch:                   rep.Batch,
@@ -74,58 +72,48 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	// A non-default split re-measures step 5 at the requested node
 	// count, exactly like cmd/stash -nodes.
 	if req.Nodes > 2 {
-		nw, err := s.profiler.NetworkStallContext(r.Context(), job, it, req.Nodes)
+		nw, err := s.profiler.NetworkStallContext(ctx, job, it, req.Nodes)
 		if err != nil {
-			s.fail(w, err)
-			return
+			return nil, errToAPI(err)
 		}
 		j := toNWStallJSON(nw)
 		resp.Network = &j
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
-// handleRecommend serves POST /v1/recommend: rank every allowed catalog
-// configuration for a workload under deadline/budget constraints.
-func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
-	var req RecommendRequest
-	if err := decode(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, errInvalidRequest, err.Error())
-		return
-	}
+// computeRecommend validates and runs one recommend request: rank
+// every allowed catalog configuration for a workload under
+// deadline/budget constraints.
+func (s *Server) computeRecommend(ctx context.Context, req RecommendRequest) (*RecommendResponse, *apiError) {
 	if req.Model == "" {
-		writeError(w, http.StatusBadRequest, errInvalidRequest, `"model" is required`)
-		return
+		return nil, newAPIError(http.StatusBadRequest, errInvalidRequest, `"model" is required`)
 	}
 	if req.Batch == 0 {
 		req.Batch = defaultBatch
 	}
 	if req.MaxEpochSeconds < 0 || req.MaxCostPerEpoch < 0 || req.MaxNodes < 0 {
-		writeError(w, http.StatusBadRequest, errInvalidRequest, "constraints must be non-negative")
-		return
+		return nil, newAPIError(http.StatusBadRequest, errInvalidRequest, "constraints must be non-negative")
 	}
 	model, err := dnn.Resolve(req.Model)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, errInvalidRequest, err.Error())
-		return
+		return nil, newAPIError(http.StatusBadRequest, errInvalidRequest, err.Error())
 	}
 	job, err := workload.NewJob(model, req.Batch)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, errInvalidRequest, err.Error())
-		return
+		return nil, newAPIError(http.StatusBadRequest, errInvalidRequest, err.Error())
 	}
 
-	rec, err := s.profiler.RecommendContext(r.Context(), job, core.Constraints{
+	rec, err := s.profiler.RecommendContext(ctx, job, core.Constraints{
 		MaxEpochTime:    time.Duration(req.MaxEpochSeconds * float64(time.Second)),
 		MaxCostPerEpoch: req.MaxCostPerEpoch,
 		Families:        req.Families,
 		MaxNodes:        req.MaxNodes,
 	})
 	if err != nil {
-		s.fail(w, err)
-		return
+		return nil, errToAPI(err)
 	}
-	resp := RecommendResponse{
+	resp := &RecommendResponse{
 		Model:       job.Model.Name,
 		Batch:       job.BatchPerGPU,
 		Candidates:  make([]CandidateJSON, len(rec.Candidates)),
@@ -143,11 +131,56 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 			Notes:      c.Notes,
 		}
 	}
+	return resp, nil
+}
+
+// computeExperiment runs one paper artifact and returns its tables as
+// structured data. The simulator is deterministic, so a given server
+// configuration always returns identical bytes for the same id.
+func (s *Server) computeExperiment(ctx context.Context, id string) (*ExperimentResponse, *apiError) {
+	exp, err := experiments.ByID(id)
+	if err != nil {
+		return nil, newAPIError(http.StatusNotFound, errNotFound, err.Error())
+	}
+	tables, err := exp.Run(s.expCfg.WithContext(ctx))
+	if err != nil {
+		return nil, errToAPI(err)
+	}
+	return &ExperimentResponse{ID: exp.ID, Title: exp.Title, Tables: tables}, nil
+}
+
+// handleProfile serves POST /v1/profile.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	var req ProfileRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, errInvalidRequest, err.Error())
+		return
+	}
+	resp, aerr := s.computeProfile(r.Context(), req)
+	if aerr != nil {
+		writeJSON(w, aerr.status, aerr.envelope())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRecommend serves POST /v1/recommend.
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	var req RecommendRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, errInvalidRequest, err.Error())
+		return
+	}
+	resp, aerr := s.computeRecommend(r.Context(), req)
+	if aerr != nil {
+		writeJSON(w, aerr.status, aerr.envelope())
+		return
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleExperimentList serves GET /v1/experiments: the registry of the
-// 25 paper artifacts, in paper order.
+// paper artifacts, in paper order.
 func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
 	reg := experiments.Registry()
 	resp := ExperimentListResponse{Experiments: make([]ExperimentInfo, len(reg))}
@@ -157,21 +190,12 @@ func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleExperimentRun serves GET /v1/experiments/{id}: run one paper
-// artifact on demand and return its tables as structured data. The
-// simulator is deterministic, so a given server configuration always
-// returns identical bytes for the same id.
+// handleExperimentRun serves GET /v1/experiments/{id}.
 func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	exp, err := experiments.ByID(id)
-	if err != nil {
-		writeError(w, http.StatusNotFound, errNotFound, err.Error())
+	resp, aerr := s.computeExperiment(r.Context(), r.PathValue("id"))
+	if aerr != nil {
+		writeJSON(w, aerr.status, aerr.envelope())
 		return
 	}
-	tables, err := exp.Run(s.expCfg.WithContext(r.Context()))
-	if err != nil {
-		s.fail(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, ExperimentResponse{ID: exp.ID, Title: exp.Title, Tables: tables})
+	writeJSON(w, http.StatusOK, resp)
 }

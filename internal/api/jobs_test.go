@@ -1,0 +1,747 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// doJSON issues one request with an optional tenant header and returns
+// status and body.
+func doJSON(t *testing.T, method, url, tenant, body string) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if tenant != "" {
+		req.Header.Set(tenantHeader, tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, b
+}
+
+// submitJob posts one job and returns its id, asserting the 202
+// contract: the snapshot always reads queued with zeroed progress.
+func submitJob(t *testing.T, base, tenant, body string) string {
+	t.Helper()
+	code, b := doJSON(t, http.MethodPost, base+"/v2/jobs", tenant, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d, body %s", code, b)
+	}
+	var js JobStatus
+	if err := json.Unmarshal(b, &js); err != nil {
+		t.Fatalf("unmarshal 202 body %s: %v", b, err)
+	}
+	if js.State != jobStateQueued || js.Progress.CellsDone != 0 || js.Progress.CellsTotal != 0 {
+		t.Fatalf("202 snapshot not queued/0/0: %+v", js)
+	}
+	return js.ID
+}
+
+// waitTerminal polls the job until it reaches a terminal state.
+func waitTerminal(t *testing.T, base, tenant, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		code, b := doJSON(t, http.MethodGet, base+"/v2/jobs/"+id, tenant, "")
+		if code != http.StatusOK {
+			t.Fatalf("status %s = %d, body %s", id, code, b)
+		}
+		var js JobStatus
+		if err := json.Unmarshal(b, &js); err != nil {
+			t.Fatalf("unmarshal status %s: %v", b, err)
+		}
+		if terminalState(js.State) {
+			return js
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, js.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestJobProfileByteIdentity is the core v2 contract: a profile job's
+// persisted result is byte-identical to the synchronous v1 response for
+// the same request.
+func TestJobProfileByteIdentity(t *testing.T) {
+	_, ts := newTestServer(t)
+	const spec = `{"model":"resnet18","instance":"p3.16xlarge","batch":32}`
+	v1Code, v1Body := postJSON(t, ts.URL+"/v1/profile", spec)
+	if v1Code != http.StatusOK {
+		t.Fatalf("v1 profile = %d", v1Code)
+	}
+
+	id := submitJob(t, ts.URL, "", `{"type":"profile","profile":`+spec+`}`)
+	js := waitTerminal(t, ts.URL, "", id)
+	if js.State != jobStateDone {
+		t.Fatalf("job state = %s, error %+v", js.State, js.Error)
+	}
+	// 4 measurement stages on an 8-GPU instance: interconnect, data,
+	// network, epoch.
+	if js.Progress.CellsDone != 4 || js.Progress.CellsTotal != 4 {
+		t.Errorf("progress = %d/%d, want 4/4", js.Progress.CellsDone, js.Progress.CellsTotal)
+	}
+
+	code, body := doJSON(t, http.MethodGet, ts.URL+"/v2/jobs/"+id+"/result", "", "")
+	if code != http.StatusOK {
+		t.Fatalf("result = %d, body %s", code, body)
+	}
+	if string(body) != string(v1Body) {
+		t.Errorf("job result differs from v1 response:\njob: %s\nv1:  %s", body, v1Body)
+	}
+	// Replay is idempotent: fetching again returns the same bytes.
+	_, again := doJSON(t, http.MethodGet, ts.URL+"/v2/jobs/"+id+"/result", "", "")
+	if string(again) != string(body) {
+		t.Error("result replay not byte-stable")
+	}
+}
+
+// TestJobExperimentsSweepByteIdentity runs a two-artifact sweep: each
+// settled partial is labelled in request order, and the final result
+// wraps responses byte-identical to the synchronous v1 endpoints.
+func TestJobExperimentsSweepByteIdentity(t *testing.T) {
+	_, ts := newTestServer(t)
+	ids := []string{"table2", "fig5"}
+	v1 := make(map[string]string, len(ids))
+	for _, id := range ids {
+		code, b := getBody(t, ts.URL+"/v1/experiments/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("v1 %s = %d", id, code)
+		}
+		v1[id] = strings.TrimSuffix(string(b), "\n")
+	}
+
+	jobID := submitJob(t, ts.URL, "", `{"type":"experiments","experiments":{"ids":["table2","fig5"]}}`)
+	js := waitTerminal(t, ts.URL, "", jobID)
+	if js.State != jobStateDone {
+		t.Fatalf("job state = %s, error %+v", js.State, js.Error)
+	}
+	if len(js.Partials) != 2 || js.Partials[0] != "table2" || js.Partials[1] != "fig5" {
+		t.Errorf("partial labels = %v, want [table2 fig5]", js.Partials)
+	}
+
+	code, body := doJSON(t, http.MethodGet, ts.URL+"/v2/jobs/"+jobID+"/result", "", "")
+	if code != http.StatusOK {
+		t.Fatalf("result = %d", code)
+	}
+	var out struct {
+		Experiments []json.RawMessage `json:"experiments"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("unmarshal result: %v", err)
+	}
+	if len(out.Experiments) != 2 {
+		t.Fatalf("result carries %d experiments, want 2", len(out.Experiments))
+	}
+	for i, id := range ids {
+		if string(out.Experiments[i]) != v1[id] {
+			t.Errorf("%s result differs from v1:\njob: %s\nv1:  %s", id, out.Experiments[i], v1[id])
+		}
+	}
+}
+
+// TestJobFailureReplaysV1Error pins the failed path: the job persists
+// the exact v1 error envelope and replays it with the mapped status.
+func TestJobFailureReplaysV1Error(t *testing.T) {
+	_, ts := newTestServer(t)
+	const spec = `{"model":"bert-large","instance":"p3.2xlarge","batch":64}` // OOM
+	v1Code, v1Body := postJSON(t, ts.URL+"/v1/profile", spec)
+	if v1Code != http.StatusUnprocessableEntity {
+		t.Fatalf("v1 oom = %d", v1Code)
+	}
+
+	id := submitJob(t, ts.URL, "", `{"type":"profile","profile":`+spec+`}`)
+	js := waitTerminal(t, ts.URL, "", id)
+	if js.State != jobStateFailed {
+		t.Fatalf("job state = %s, want failed", js.State)
+	}
+	if js.Error == nil || js.Error.Code != errOOM {
+		t.Fatalf("job error = %+v, want %s", js.Error, errOOM)
+	}
+	code, body := doJSON(t, http.MethodGet, ts.URL+"/v2/jobs/"+id+"/result", "", "")
+	if code != http.StatusUnprocessableEntity || string(body) != string(v1Body) {
+		t.Errorf("failed replay = %d %s, want %d %s", code, body, v1Code, v1Body)
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name, body string
+	}{
+		{"unknown type", `{"type":"sweep"}`},
+		{"missing spec", `{"type":"profile"}`},
+		{"mismatched spec", `{"type":"profile","recommend":{"model":"resnet18"}}`},
+		{"two specs", `{"type":"profile","profile":{"model":"resnet18","instance":"p3.2xlarge"},"recommend":{"model":"resnet18"}}`},
+		{"priority out of range", `{"type":"profile","profile":{"model":"resnet18","instance":"p3.2xlarge"},"priority":10}`},
+		{"malformed JSON", `{"type":`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			code, b := doJSON(t, http.MethodPost, ts.URL+"/v2/jobs", "", c.body)
+			if code != http.StatusBadRequest || errCode(t, b) != errInvalidRequest {
+				t.Errorf("got %d %s", code, b)
+			}
+		})
+	}
+	t.Run("invalid tenant header", func(t *testing.T) {
+		code, b := doJSON(t, http.MethodPost, ts.URL+"/v2/jobs", "no spaces allowed",
+			`{"type":"profile","profile":{"model":"resnet18","instance":"p3.2xlarge"}}`)
+		if code != http.StatusBadRequest || errCode(t, b) != errInvalidRequest {
+			t.Errorf("got %d %s", code, b)
+		}
+	})
+	t.Run("bad state filter", func(t *testing.T) {
+		code, b := doJSON(t, http.MethodGet, ts.URL+"/v2/jobs?state=paused", "", "")
+		if code != http.StatusBadRequest || errCode(t, b) != errInvalidRequest {
+			t.Errorf("got %d %s", code, b)
+		}
+	})
+}
+
+// TestJobTenantScoping: a job is invisible to other tenants — status,
+// result, events and cancel all 404.
+func TestJobTenantScoping(t *testing.T) {
+	_, ts := newTestServer(t)
+	id := submitJob(t, ts.URL, "acme", `{"type":"profile","profile":{"model":"resnet18","instance":"p3.2xlarge"}}`)
+	waitTerminal(t, ts.URL, "acme", id)
+	for _, path := range []string{"/v2/jobs/" + id, "/v2/jobs/" + id + "/result", "/v2/jobs/" + id + "/events"} {
+		code, b := doJSON(t, http.MethodGet, ts.URL+path, "globex", "")
+		if code != http.StatusNotFound {
+			t.Errorf("GET %s as globex = %d %s", path, code, b)
+		}
+	}
+	code, _ := doJSON(t, http.MethodDelete, ts.URL+"/v2/jobs/"+id, "globex", "")
+	if code != http.StatusNotFound {
+		t.Errorf("DELETE as globex = %d", code)
+	}
+	// The owner still sees it, and list scoping holds.
+	var list JobListResponse
+	_, b := doJSON(t, http.MethodGet, ts.URL+"/v2/jobs", "acme", "")
+	if err := json.Unmarshal(b, &list); err != nil || len(list.Jobs) != 1 {
+		t.Errorf("acme list = %s (err %v)", b, err)
+	}
+	_, b = doJSON(t, http.MethodGet, ts.URL+"/v2/jobs", "globex", "")
+	if err := json.Unmarshal(b, &list); err != nil || len(list.Jobs) != 0 {
+		t.Errorf("globex list = %s (err %v)", b, err)
+	}
+}
+
+// TestJobQuotaExceeded pins per-tenant admission: with quota 1 the
+// second submission bounces 429 without touching other tenants.
+func TestJobQuotaExceeded(t *testing.T) {
+	s, ts := newTestServer(t, WithTenantQuota(1), WithJobWorkers(1))
+	// A full-registry sweep keeps the tenant's one slot active.
+	sweep := submitJob(t, ts.URL, "acme", `{"type":"experiments","experiments":{}}`)
+	code, b := doJSON(t, http.MethodPost, ts.URL+"/v2/jobs", "acme",
+		`{"type":"profile","profile":{"model":"resnet18","instance":"p3.2xlarge"}}`)
+	if code != http.StatusTooManyRequests || errCode(t, b) != errQuotaExceeded {
+		t.Fatalf("over-quota submit = %d %s", code, b)
+	}
+	// Another tenant is unaffected by acme's quota.
+	other := submitJob(t, ts.URL, "globex", `{"type":"profile","profile":{"model":"resnet18","instance":"p3.2xlarge"}}`)
+
+	// The rejection is accounted but outside the lifecycle balance.
+	jc := s.jobsStore.counters()
+	if jc["acme"].Rejected != 1 || jc["acme"].Accepted != 1 || jc["acme"].Balance() != 0 {
+		t.Errorf("acme counters = %+v", jc["acme"])
+	}
+
+	doJSON(t, http.MethodDelete, ts.URL+"/v2/jobs/"+sweep, "acme", "")
+	waitTerminal(t, ts.URL, "globex", other)
+	// After the cancel frees the slot, acme can submit again.
+	id := submitJob(t, ts.URL, "acme", `{"type":"profile","profile":{"model":"resnet18","instance":"p3.2xlarge"}}`)
+	waitTerminal(t, ts.URL, "acme", id)
+}
+
+// TestJobCancel covers both cancellation paths: a queued job leaves the
+// queue immediately; a running job is cancelled mid-flight and its
+// computed result discarded. Both replay 410 Gone.
+func TestJobCancel(t *testing.T) {
+	_, ts := newTestServer(t, WithJobWorkers(1))
+	running := submitJob(t, ts.URL, "", `{"type":"experiments","experiments":{}}`) // occupies the only worker
+	queued := submitJob(t, ts.URL, "", `{"type":"profile","profile":{"model":"resnet18","instance":"p3.2xlarge"}}`)
+
+	// Cancel the queued job: synchronously terminal.
+	code, b := doJSON(t, http.MethodDelete, ts.URL+"/v2/jobs/"+queued, "", "")
+	var js JobStatus
+	if code != http.StatusOK {
+		t.Fatalf("cancel queued = %d %s", code, b)
+	}
+	if err := json.Unmarshal(b, &js); err != nil || js.State != jobStateCancelled {
+		t.Fatalf("cancel queued state = %s (err %v)", b, err)
+	}
+	code, b = doJSON(t, http.MethodGet, ts.URL+"/v2/jobs/"+queued+"/result", "", "")
+	if code != http.StatusGone || errCode(t, b) != errCancelled {
+		t.Errorf("cancelled result = %d %s", code, b)
+	}
+
+	// Cancel the running sweep: also synchronously terminal, worker freed.
+	code, b = doJSON(t, http.MethodDelete, ts.URL+"/v2/jobs/"+running, "", "")
+	if code != http.StatusOK {
+		t.Fatalf("cancel running = %d %s", code, b)
+	}
+	if err := json.Unmarshal(b, &js); err != nil || js.State != jobStateCancelled {
+		t.Fatalf("cancel running state = %s (err %v)", b, err)
+	}
+	// Cancelling again is a no-op returning the terminal state.
+	code, b = doJSON(t, http.MethodDelete, ts.URL+"/v2/jobs/"+running, "", "")
+	if err := json.Unmarshal(b, &js); code != http.StatusOK || err != nil || js.State != jobStateCancelled {
+		t.Errorf("re-cancel = %d %s", code, b)
+	}
+	// Unknown job: 404.
+	if code, _ := doJSON(t, http.MethodDelete, ts.URL+"/v2/jobs/job-99", "", ""); code != http.StatusNotFound {
+		t.Errorf("cancel unknown = %d", code)
+	}
+
+	// The freed worker still serves new jobs.
+	id := submitJob(t, ts.URL, "", `{"type":"profile","profile":{"model":"resnet18","instance":"p3.2xlarge"}}`)
+	if js := waitTerminal(t, ts.URL, "", id); js.State != jobStateDone {
+		t.Errorf("post-cancel job = %s", js.State)
+	}
+}
+
+// TestJobResultNotReady: fetching a non-terminal job's result is 409.
+func TestJobResultNotReady(t *testing.T) {
+	_, ts := newTestServer(t, WithJobWorkers(1))
+	running := submitJob(t, ts.URL, "", `{"type":"experiments","experiments":{}}`)
+	queued := submitJob(t, ts.URL, "", `{"type":"profile","profile":{"model":"resnet18","instance":"p3.2xlarge"}}`)
+	code, b := doJSON(t, http.MethodGet, ts.URL+"/v2/jobs/"+queued+"/result", "", "")
+	if code != http.StatusConflict || errCode(t, b) != errJobNotReady {
+		t.Errorf("queued result = %d %s", code, b)
+	}
+	doJSON(t, http.MethodDelete, ts.URL+"/v2/jobs/"+running, "", "")
+	doJSON(t, http.MethodDelete, ts.URL+"/v2/jobs/"+queued, "", "")
+}
+
+// TestJobWFQTenantFairness drives dispatchLocked directly (no workers):
+// a weight-2 tenant with a deep backlog dispatches twice as often as a
+// weight-1 tenant, with ties broken lexicographically — the full order
+// is a pure function of the submission history.
+func TestJobWFQTenantFairness(t *testing.T) {
+	st := newJobStore(1, time.Minute, 64, 32, map[string]int64{"a": 2, "b": 1})
+	spec := JobCreateRequest{Type: "profile"}
+	for i := 0; i < 4; i++ {
+		if _, aerr := st.submit("a", spec, "profile", defaultJobPriority); aerr != nil {
+			t.Fatal(aerr.message)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, aerr := st.submit("b", spec, "profile", defaultJobPriority); aerr != nil {
+			t.Fatal(aerr.message)
+		}
+	}
+	var order []string
+	for {
+		st.mu.Lock()
+		j := st.dispatchLocked()
+		st.mu.Unlock()
+		if j == nil {
+			break
+		}
+		order = append(order, j.tenant)
+		st.finish(j, []byte("{}\n"), http.StatusOK, nil)
+	}
+	want := "a b a a b a" // weight 2:1 interleave, lexicographic tie-break
+	if got := strings.Join(order, " "); got != want {
+		t.Errorf("dispatch order = %q, want %q", got, want)
+	}
+}
+
+// TestJobWFQClassWeights: within one tenant, classes dispatch by their
+// 4:2:1 strides with class-order tie-breaks.
+func TestJobWFQClassWeights(t *testing.T) {
+	st := newJobStore(1, time.Minute, 64, 32, nil)
+	for i := 0; i < 3; i++ {
+		if _, aerr := st.submit("t", JobCreateRequest{Type: "profile"}, "profile", defaultJobPriority); aerr != nil {
+			t.Fatal(aerr.message)
+		}
+	}
+	if _, aerr := st.submit("t", JobCreateRequest{Type: "recommend"}, "recommend", defaultJobPriority); aerr != nil {
+		t.Fatal(aerr.message)
+	}
+	if _, aerr := st.submit("t", JobCreateRequest{Type: "experiments"}, "experiments", defaultJobPriority); aerr != nil {
+		t.Fatal(aerr.message)
+	}
+	var order []string
+	for {
+		st.mu.Lock()
+		j := st.dispatchLocked()
+		st.mu.Unlock()
+		if j == nil {
+			break
+		}
+		order = append(order, j.class)
+		st.finish(j, []byte("{}\n"), http.StatusOK, nil)
+	}
+	want := "profile recommend experiments profile profile"
+	if got := strings.Join(order, " "); got != want {
+		t.Errorf("class dispatch order = %q, want %q", got, want)
+	}
+}
+
+// TestJobPriorityWithinClass: priority reorders one (tenant, class)
+// queue; equal priorities keep submission order.
+func TestJobPriorityWithinClass(t *testing.T) {
+	st := newJobStore(1, time.Minute, 64, 32, nil)
+	ids := make(map[string]string) // label -> job id
+	for _, c := range []struct {
+		label string
+		prio  int
+	}{{"low", 3}, {"mid1", 5}, {"high", 9}, {"mid2", 5}} {
+		snap, aerr := st.submit("t", JobCreateRequest{Type: "profile"}, "profile", c.prio)
+		if aerr != nil {
+			t.Fatal(aerr.message)
+		}
+		ids[c.label] = snap.ID
+	}
+	var order []string
+	for {
+		st.mu.Lock()
+		j := st.dispatchLocked()
+		st.mu.Unlock()
+		if j == nil {
+			break
+		}
+		for label, id := range ids {
+			if id == j.id {
+				order = append(order, label)
+			}
+		}
+		st.finish(j, []byte("{}\n"), http.StatusOK, nil)
+	}
+	if got := strings.Join(order, " "); got != "high mid1 mid2 low" {
+		t.Errorf("priority order = %q, want %q", got, "high mid1 mid2 low")
+	}
+}
+
+// TestJobStoreEvictionTTLAndLRU pins both eviction paths at the store
+// level: a full store evicts its oldest-finished terminal job to admit
+// a new one, refuses when everything is live, and TTL-expired results
+// vanish on the next touch.
+func TestJobStoreEvictionTTLAndLRU(t *testing.T) {
+	st := newJobStore(1, 50*time.Millisecond, 2, 32, nil)
+	finishOne := func() string {
+		t.Helper()
+		snap, aerr := st.submit("t", JobCreateRequest{Type: "profile"}, "profile", defaultJobPriority)
+		if aerr != nil {
+			t.Fatal(aerr.message)
+		}
+		st.mu.Lock()
+		j := st.dispatchLocked()
+		st.mu.Unlock()
+		if j == nil || j.id != snap.ID {
+			t.Fatalf("dispatch returned %v, want %s", j, snap.ID)
+		}
+		st.finish(j, []byte("{}\n"), http.StatusOK, nil)
+		return snap.ID
+	}
+	first := finishOne()
+	second := finishOne()
+	// Store is at max 2 with two terminal jobs: admitting a third evicts
+	// the oldest-finished (first).
+	third, aerr := st.submit("t", JobCreateRequest{Type: "profile"}, "profile", defaultJobPriority)
+	if aerr != nil {
+		t.Fatal(aerr.message)
+	}
+	if st.get("t", first) != nil {
+		t.Error("oldest terminal job not LRU-evicted")
+	}
+	if st.get("t", second) == nil {
+		t.Error("newer terminal job evicted out of order")
+	}
+	// Now both slots are an active job + a terminal one; cancel nothing:
+	// a fourth submission evicts `second`, a fifth finds only live jobs
+	// and bounces store_full.
+	if _, aerr := st.submit("t", JobCreateRequest{Type: "profile"}, "profile", defaultJobPriority); aerr != nil {
+		t.Fatalf("fourth submit: %s", aerr.message)
+	}
+	if _, aerr := st.submit("t", JobCreateRequest{Type: "profile"}, "profile", defaultJobPriority); aerr == nil || aerr.code != errStoreFull {
+		t.Fatalf("fifth submit should bounce store_full, got %v", aerr)
+	}
+	// TTL: run the live jobs to terminal, let them expire, and any read
+	// path evicts them.
+	for {
+		st.mu.Lock()
+		j := st.dispatchLocked()
+		st.mu.Unlock()
+		if j == nil {
+			break
+		}
+		st.finish(j, []byte("{}\n"), http.StatusOK, nil)
+	}
+	time.Sleep(80 * time.Millisecond)
+	if got := st.list("t", ""); len(got) != 0 {
+		t.Errorf("TTL-expired jobs still listed: %v", got)
+	}
+	if st.size() != 0 {
+		t.Errorf("store retains %d jobs after TTL", st.size())
+	}
+	_ = third
+	// Lifecycle conservation survived all the eviction churn.
+	for tenant, c := range st.counters() {
+		if c.Balance() != 0 {
+			t.Errorf("tenant %s leaks: %+v", tenant, c)
+		}
+	}
+}
+
+// TestJobStoreEvictionRace hammers a tiny store (capacity 4, 1ms TTL)
+// from concurrent submitters, readers and cancellers; the race detector
+// checks synchronization and the conservation audit checks accounting.
+func TestJobStoreEvictionRace(t *testing.T) {
+	s, ts := newTestServer(t, WithJobStoreMax(4), WithJobTTL(time.Millisecond), WithTenantQuota(4))
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			tenant := []string{"acme", "globex"}[g%2]
+			for i := 0; i < 12; i++ {
+				code, b := doJSON(t, http.MethodPost, ts.URL+"/v2/jobs", tenant,
+					`{"type":"profile","profile":{"model":"resnet18","instance":"p3.2xlarge"}}`)
+				switch code {
+				case http.StatusAccepted:
+					var js JobStatus
+					if err := json.Unmarshal(b, &js); err != nil {
+						t.Errorf("unmarshal: %v", err)
+						return
+					}
+					switch rng.Intn(3) {
+					case 0:
+						doJSON(t, http.MethodDelete, ts.URL+"/v2/jobs/"+js.ID, tenant, "")
+					case 1:
+						doJSON(t, http.MethodGet, ts.URL+"/v2/jobs/"+js.ID, tenant, "")
+					default:
+						doJSON(t, http.MethodGet, ts.URL+"/v2/jobs", tenant, "")
+					}
+				case http.StatusTooManyRequests:
+					// quota or store_full under pressure: expected.
+				default:
+					t.Errorf("submit = %d %s", code, b)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Quiesce: every remaining live job runs or was cancelled.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		live := false
+		for _, c := range s.jobsStore.counters() {
+			if c.Queued+c.Running > 0 {
+				live = true
+			}
+		}
+		if !live {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("jobs never quiesced")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for tenant, c := range s.jobsStore.counters() {
+		if c.Balance() != 0 {
+			t.Errorf("tenant %s leaks after churn: %+v", tenant, c)
+		}
+	}
+	// The deep health probe agrees.
+	code, b := getBody(t, ts.URL+"/healthz?deep=1")
+	if code != http.StatusOK {
+		t.Errorf("healthz deep after churn = %d %s", code, b)
+	}
+}
+
+// TestFullRegistrySweepAcceptance is the acceptance scenario from the
+// issue, in one pass over a single full-registry sweep: (1) the SSE
+// stream reports monotonic progress and one partial per artifact, (2) a
+// synchronous /v1/profile completes through its reserved lane while the
+// sweep holds the job workers, and (3) every persisted partial is
+// byte-identical to the corresponding synchronous /v1/experiments/{id}
+// response (fetched afterwards — the shared single-flight cache makes
+// those replays, so the comparison costs no second simulation).
+func TestFullRegistrySweepAcceptance(t *testing.T) {
+	_, ts := newTestServer(t)
+	id := submitJob(t, ts.URL, "", `{"type":"experiments","experiments":{}}`)
+
+	type stream struct {
+		events []sseEvent
+	}
+	streamed := make(chan stream, 1)
+	go func() {
+		_, events := readStream(t, ts.URL, "", id)
+		streamed <- stream{events}
+	}()
+
+	// The sweep is live; the v1 lane must answer anyway.
+	code, b := doJSON(t, http.MethodGet, ts.URL+"/v2/jobs/"+id, "", "")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var before JobStatus
+	if err := json.Unmarshal(b, &before); err != nil || terminalState(before.State) {
+		t.Fatalf("sweep already terminal before the v1 call: %s (err %v)", b, err)
+	}
+	code, body := postJSON(t, ts.URL+"/v1/profile", `{"model":"vgg11","instance":"p3.2xlarge"}`)
+	if code != http.StatusOK {
+		t.Fatalf("v1 profile while the sweep holds the workers = %d, body %s", code, body)
+	}
+
+	js := waitTerminal(t, ts.URL, "", id)
+	if js.State != jobStateDone {
+		t.Fatalf("sweep = %s, error %+v", js.State, js.Error)
+	}
+
+	// SSE stream: monotonic progress, ends with the result event.
+	st := <-streamed
+	var lastDone, lastTotal int64 = -1, -1
+	partials := 0
+	for _, ev := range st.events {
+		switch ev.typ {
+		case ssePartial:
+			partials++
+		case sseProgress:
+			var p JobProgress
+			if err := json.Unmarshal([]byte(ev.data), &p); err != nil {
+				t.Fatalf("progress %s: %v", ev.data, err)
+			}
+			if p.CellsDone < lastDone || p.CellsTotal < lastTotal || p.CellsDone > p.CellsTotal {
+				t.Errorf("progress not monotonic: %d/%d after %d/%d", p.CellsDone, p.CellsTotal, lastDone, lastTotal)
+			}
+			lastDone, lastTotal = p.CellsDone, p.CellsTotal
+		}
+	}
+	if partials != len(js.Partials) {
+		t.Errorf("stream carried %d partials, status lists %d", partials, len(js.Partials))
+	}
+	if last := st.events[len(st.events)-1]; last.typ != sseResult {
+		t.Errorf("stream ends with %s, want result", last.typ)
+	}
+
+	// Byte-identity of the persisted sweep against the synchronous API,
+	// artifact by artifact across the whole registry.
+	code, resBody := doJSON(t, http.MethodGet, ts.URL+"/v2/jobs/"+id+"/result", "", "")
+	if code != http.StatusOK {
+		t.Fatalf("result = %d", code)
+	}
+	var out struct {
+		Experiments []json.RawMessage `json:"experiments"`
+	}
+	if err := json.Unmarshal(resBody, &out); err != nil {
+		t.Fatalf("unmarshal result: %v", err)
+	}
+	if len(out.Experiments) != len(js.Partials) || len(out.Experiments) == 0 {
+		t.Fatalf("result carries %d experiments, partial labels %d", len(out.Experiments), len(js.Partials))
+	}
+	for i, label := range js.Partials {
+		v1Code, v1Body := getBody(t, ts.URL+"/v1/experiments/"+label)
+		if v1Code != http.StatusOK {
+			t.Fatalf("v1 %s = %d", label, v1Code)
+		}
+		if string(out.Experiments[i]) != strings.TrimSuffix(string(v1Body), "\n") {
+			t.Errorf("%s: sweep result differs from v1 response", label)
+		}
+	}
+}
+
+// TestJobDrain: drain rejects new submissions, cancels queued jobs and
+// force-cancels running jobs past the deadline; conservation holds.
+func TestJobDrain(t *testing.T) {
+	s, ts := newTestServer(t, WithJobWorkers(1))
+	running := submitJob(t, ts.URL, "", `{"type":"experiments","experiments":{}}`)
+	queued := submitJob(t, ts.URL, "", `{"type":"profile","profile":{"model":"resnet18","instance":"p3.2xlarge"}}`)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	s.Drain(ctx)
+
+	if js := waitTerminal(t, ts.URL, "", queued); js.State != jobStateCancelled {
+		t.Errorf("queued job after drain = %s", js.State)
+	}
+	if js := waitTerminal(t, ts.URL, "", running); js.State != jobStateCancelled {
+		t.Errorf("running job after short-deadline drain = %s", js.State)
+	}
+	code, b := doJSON(t, http.MethodPost, ts.URL+"/v2/jobs", "",
+		`{"type":"profile","profile":{"model":"resnet18","instance":"p3.2xlarge"}}`)
+	if code != http.StatusServiceUnavailable || errCode(t, b) != errDraining {
+		t.Errorf("submit while draining = %d %s", code, b)
+	}
+	// Drain is idempotent.
+	s.Drain(ctx)
+	for tenant, c := range s.jobsStore.counters() {
+		if c.Balance() != 0 {
+			t.Errorf("tenant %s leaks after drain: %+v", tenant, c)
+		}
+	}
+}
+
+// TestJobMetrics: the per-tenant job and scenario series appear in
+// /metrics with conserving values.
+func TestJobMetrics(t *testing.T) {
+	_, ts := newTestServer(t)
+	id := submitJob(t, ts.URL, "acme", `{"type":"profile","profile":{"model":"resnet18","instance":"p3.2xlarge"}}`)
+	waitTerminal(t, ts.URL, "acme", id)
+	code, body := getBody(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics = %d", code)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`stashd_jobs_accepted_total{tenant="acme"} 1`,
+		`stashd_jobs_terminal_total{tenant="acme",outcome="done"} 1`,
+		`stashd_jobs_queued{tenant="acme"} 0`,
+		`stashd_jobs_running{tenant="acme"} 0`,
+		`stashd_job_cells_completed_total{tenant="acme"} 3`,
+		`stashd_job_store_jobs 1`,
+		`stashd_tenant_scenario_requests_total{pool="profile",tenant="acme"}`,
+		`stashd_tenant_scenario_outcomes_total{pool="profile",tenant="acme",outcome="simulated"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestTenantHeaderValidation(t *testing.T) {
+	// tenantOf accepts valid names and the default.
+	req, _ := http.NewRequest(http.MethodGet, "/", nil)
+	if tenant, aerr := tenantOf(req); aerr != nil || tenant != defaultTenant {
+		t.Errorf("default tenant = %q, %v", tenant, aerr)
+	}
+	req.Header.Set(tenantHeader, "team-a.prod_1")
+	if tenant, aerr := tenantOf(req); aerr != nil || tenant != "team-a.prod_1" {
+		t.Errorf("valid tenant = %q, %v", tenant, aerr)
+	}
+	for _, bad := range []string{"-leading", "has space", strings.Repeat("x", 65), "ünïcode"} {
+		req.Header.Set(tenantHeader, bad)
+		if _, aerr := tenantOf(req); aerr == nil {
+			t.Errorf("tenant %q accepted", bad)
+		}
+	}
+}

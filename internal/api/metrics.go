@@ -25,6 +25,7 @@ type reqKey struct {
 type metrics struct {
 	profiler *core.Profiler
 	expCfg   experiments.Config
+	jobs     *jobStore
 
 	inflight atomic.Int64
 
@@ -39,10 +40,11 @@ type metrics struct {
 	latCount map[string]int64
 }
 
-func newMetrics(p *core.Profiler, expCfg experiments.Config) *metrics {
+func newMetrics(p *core.Profiler, expCfg experiments.Config, jobs *jobStore) *metrics {
 	return &metrics{
 		profiler: p,
 		expCfg:   expCfg,
+		jobs:     jobs,
 		requests: make(map[reqKey]int64),
 		latSum:   make(map[string]float64),
 		latCount: make(map[string]int64),
@@ -137,5 +139,83 @@ func (m *metrics) render() string {
 	b.WriteString("# HELP stashd_audit_violations_total Invariant violations reported by deep health probes.\n")
 	b.WriteString("# TYPE stashd_audit_violations_total counter\n")
 	fmt.Fprintf(&b, "stashd_audit_violations_total %d\n", m.auditViolations.Load())
+
+	// Per-tenant scenario counters (core.Profiler.TenantStats): the
+	// same conservation family as the pool counters above, split by the
+	// tenant core.WithTenant attributed. Tenants render sorted.
+	tenantPools := []struct {
+		name  string
+		stats map[string]core.Stats
+	}{
+		{"profile", m.profiler.TenantStats()},
+		{"experiments", experiments.SchedulerTenantStats(m.expCfg)},
+	}
+	b.WriteString("# HELP stashd_tenant_scenario_requests_total Scenario requests admitted, by tenant.\n")
+	b.WriteString("# TYPE stashd_tenant_scenario_requests_total counter\n")
+	for _, p := range tenantPools {
+		for _, tenant := range sortedKeys(p.stats) {
+			fmt.Fprintf(&b, "stashd_tenant_scenario_requests_total{pool=%q,tenant=%q} %d\n",
+				p.name, tenant, p.stats[tenant].Requests)
+		}
+	}
+	b.WriteString("# HELP stashd_tenant_scenario_outcomes_total Scenario request outcomes, by tenant (conserves against requests).\n")
+	b.WriteString("# TYPE stashd_tenant_scenario_outcomes_total counter\n")
+	for _, p := range tenantPools {
+		for _, tenant := range sortedKeys(p.stats) {
+			s := p.stats[tenant]
+			for _, oc := range []struct {
+				name string
+				n    int64
+			}{
+				{"cache_hit", s.CacheHits},
+				{"cancelled", s.Cancelled},
+				{"simulated", s.Simulated},
+				{"wait", s.Waits},
+			} {
+				fmt.Fprintf(&b, "stashd_tenant_scenario_outcomes_total{pool=%q,tenant=%q,outcome=%q} %d\n",
+					p.name, tenant, oc.name, oc.n)
+			}
+		}
+	}
+
+	// v2 job store counters (audit.JobCounters): accepted conserves
+	// against the five lifecycle states per tenant.
+	jc := m.jobs.counters()
+	tenants := sortedKeys(jc)
+	b.WriteString("# HELP stashd_jobs_accepted_total Jobs admitted past quota and capacity checks, by tenant.\n")
+	b.WriteString("# TYPE stashd_jobs_accepted_total counter\n")
+	for _, t := range tenants {
+		fmt.Fprintf(&b, "stashd_jobs_accepted_total{tenant=%q} %d\n", t, jc[t].Accepted)
+	}
+	b.WriteString("# HELP stashd_jobs_rejected_total Job submissions bounced at admission (quota, store full, draining), by tenant.\n")
+	b.WriteString("# TYPE stashd_jobs_rejected_total counter\n")
+	for _, t := range tenants {
+		fmt.Fprintf(&b, "stashd_jobs_rejected_total{tenant=%q} %d\n", t, jc[t].Rejected)
+	}
+	b.WriteString("# HELP stashd_jobs_terminal_total Jobs reaching a terminal state, by tenant and outcome.\n")
+	b.WriteString("# TYPE stashd_jobs_terminal_total counter\n")
+	for _, t := range tenants {
+		fmt.Fprintf(&b, "stashd_jobs_terminal_total{tenant=%q,outcome=\"cancelled\"} %d\n", t, jc[t].Cancelled)
+		fmt.Fprintf(&b, "stashd_jobs_terminal_total{tenant=%q,outcome=\"done\"} %d\n", t, jc[t].Done)
+		fmt.Fprintf(&b, "stashd_jobs_terminal_total{tenant=%q,outcome=\"failed\"} %d\n", t, jc[t].Failed)
+	}
+	b.WriteString("# HELP stashd_jobs_queued Jobs waiting in the fair queue, by tenant.\n")
+	b.WriteString("# TYPE stashd_jobs_queued gauge\n")
+	for _, t := range tenants {
+		fmt.Fprintf(&b, "stashd_jobs_queued{tenant=%q} %d\n", t, jc[t].Queued)
+	}
+	b.WriteString("# HELP stashd_jobs_running Jobs executing on the job worker pool, by tenant.\n")
+	b.WriteString("# TYPE stashd_jobs_running gauge\n")
+	for _, t := range tenants {
+		fmt.Fprintf(&b, "stashd_jobs_running{tenant=%q} %d\n", t, jc[t].Running)
+	}
+	b.WriteString("# HELP stashd_job_cells_completed_total Scenario cells completed by jobs, by tenant.\n")
+	b.WriteString("# TYPE stashd_job_cells_completed_total counter\n")
+	for _, t := range tenants {
+		fmt.Fprintf(&b, "stashd_job_cells_completed_total{tenant=%q} %d\n", t, jc[t].Cells)
+	}
+	b.WriteString("# HELP stashd_job_store_jobs Jobs currently retained by the store (live + replayable terminal).\n")
+	b.WriteString("# TYPE stashd_job_store_jobs gauge\n")
+	fmt.Fprintf(&b, "stashd_job_store_jobs %d\n", m.jobs.size())
 	return b.String()
 }

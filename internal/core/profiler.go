@@ -129,6 +129,20 @@ type Profiler struct {
 	hits      atomic.Int64
 	waits     atomic.Int64
 	cancelled atomic.Int64
+
+	// Per-tenant mirrors of the scheduler counters, keyed by the tenant
+	// attached to the request context (WithTenant). Every increment of a
+	// global counter is mirrored into the requesting tenant's entry, so
+	// the conservation law holds per tenant too. tmu guards only the map;
+	// the counters themselves are atomics with the same load ordering
+	// discipline as the globals.
+	tmu     sync.Mutex
+	tenants map[string]*tenantCounters
+}
+
+// tenantCounters is one tenant's mirror of the scheduler counters.
+type tenantCounters struct {
+	requests, simulated, hits, waits, cancelled atomic.Int64
 }
 
 // cacheEntry is one scenario's single-flight slot: res and err are
@@ -199,6 +213,45 @@ func (p *Profiler) Stats() Stats {
 	return s
 }
 
+// TenantStats snapshots the per-tenant scheduler counters for every
+// tenant that has made at least one scenario request under WithTenant.
+// Each snapshot follows the same ordering discipline as Stats (outcomes
+// loaded before Requests), so per-tenant Balance is >= 0 even
+// mid-flight and exactly 0 at quiescence.
+func (p *Profiler) TenantStats() map[string]Stats {
+	p.tmu.Lock()
+	defer p.tmu.Unlock()
+	out := make(map[string]Stats, len(p.tenants))
+	for name, tc := range p.tenants {
+		s := Stats{
+			Simulated: tc.simulated.Load(),
+			CacheHits: tc.hits.Load(),
+			Waits:     tc.waits.Load(),
+			Cancelled: tc.cancelled.Load(),
+		}
+		s.Requests = tc.requests.Load()
+		out[name] = s
+	}
+	return out
+}
+
+// tenantFor resolves the request context's tenant mirror, creating it
+// on first use; nil when the context carries no tenant.
+func (p *Profiler) tenantFor(ctx context.Context) *tenantCounters {
+	name := TenantFrom(ctx)
+	if name == "" {
+		return nil
+	}
+	p.tmu.Lock()
+	defer p.tmu.Unlock()
+	tc := p.tenants[name]
+	if tc == nil {
+		tc = &tenantCounters{}
+		p.tenants[name] = tc
+	}
+	return tc
+}
+
 // New returns a Stash profiler with the given options.
 func New(opts ...Option) *Profiler {
 	p := &Profiler{
@@ -208,6 +261,7 @@ func New(opts ...Option) *Profiler {
 		costEpochs:  DefaultCostEpochs,
 		warmFork:    true,
 		cache:       make(map[scenarioKey]*cacheEntry),
+		tenants:     make(map[string]*tenantCounters),
 	}
 	for _, o := range opts {
 		o(p)
@@ -293,9 +347,16 @@ func (p *Profiler) run(ctx context.Context, job workload.Job, sc scenario) (*tra
 	if err := checkFit(job, sc.instance); err != nil {
 		return nil, err
 	}
+	tc := p.tenantFor(ctx)
 	p.requests.Add(1)
+	if tc != nil {
+		tc.requests.Add(1)
+	}
 	if err := ctx.Err(); err != nil {
 		p.cancelled.Add(1)
+		if tc != nil {
+			tc.cancelled.Add(1)
+		}
 		return nil, err
 	}
 	key := scenarioKey{
@@ -312,15 +373,24 @@ func (p *Profiler) run(ctx context.Context, job workload.Job, sc scenario) (*tra
 		select {
 		case <-e.done:
 			p.hits.Add(1)
+			if tc != nil {
+				tc.hits.Add(1)
+			}
 			return e.res, e.err
 		default:
 		}
 		select {
 		case <-e.done:
 			p.waits.Add(1)
+			if tc != nil {
+				tc.waits.Add(1)
+			}
 			return e.res, e.err
 		case <-ctx.Done():
 			p.cancelled.Add(1)
+			if tc != nil {
+				tc.cancelled.Add(1)
+			}
 			return nil, ctx.Err()
 		}
 	}
@@ -330,6 +400,9 @@ func (p *Profiler) run(ctx context.Context, job workload.Job, sc scenario) (*tra
 
 	e.res, e.err = p.simulate(job, sc)
 	p.simulated.Add(1)
+	if tc != nil {
+		tc.simulated.Add(1)
+	}
 	close(e.done)
 	return e.res, e.err
 }
@@ -679,23 +752,45 @@ func (p *Profiler) Profile(job workload.Job, it cloud.InstanceType) (*Report, er
 // scenario) and returns ctx.Err(). This is what bounds a stashd
 // request's time on the server.
 func (p *Profiler) ProfileContext(ctx context.Context, job workload.Job, it cloud.InstanceType) (*Report, error) {
+	// Progress hook (WithProgress): the pipeline has three or four
+	// measurement stages (IC, data, optional NW, epoch); announce the
+	// total up front and tick one per stage, mirroring what ForEachCtx
+	// does per cell for grid sweeps.
+	progress := progressFrom(ctx)
+	hasNW := it.NGPUs >= 2 && it.NGPUs%2 == 0
+	if progress != nil {
+		stages := 3
+		if hasNW {
+			stages = 4
+		}
+		progress(0, stages)
+	}
+	stageDone := func() {
+		if progress != nil {
+			progress(1, 0)
+		}
+	}
 	r := &Report{Instance: it.Name, Model: job.Model.Name, Batch: job.BatchPerGPU}
 	var err error
 	if r.IC, err = p.clusterCommStall(ctx, job, it, 1); err != nil {
 		return nil, err
 	}
+	stageDone()
 	if r.Data, err = p.clusterDataStalls(ctx, job, it, 1); err != nil {
 		return nil, err
 	}
-	if it.NGPUs >= 2 && it.NGPUs%2 == 0 {
+	stageDone()
+	if hasNW {
 		nw, err := p.NetworkStallContext(ctx, job, it, 2)
 		if err != nil {
 			return nil, err
 		}
 		r.NW = &nw
+		stageDone()
 	}
 	if r.Epoch, err = p.EpochContext(ctx, job, it, 1); err != nil {
 		return nil, err
 	}
+	stageDone()
 	return r, nil
 }

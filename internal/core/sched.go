@@ -43,6 +43,15 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error
 	if n <= 0 {
 		return nil
 	}
+	// Progress hook (WithProgress): announce the sweep's size up front,
+	// then report each cell as it completes. Cells that never start
+	// because ctx expired are not reported — a cancelled sweep's done
+	// count stays below its announced total, which is how an observer
+	// distinguishes "cancelled mid-sweep" from "finished".
+	progress := progressFrom(ctx)
+	if progress != nil {
+		progress(0, n)
+	}
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -54,7 +63,11 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			err := fn(i)
+			if progress != nil {
+				progress(1, 0)
+			}
+			if err != nil {
 				return err
 			}
 		}
@@ -80,6 +93,9 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error
 					continue
 				}
 				errs[i] = fn(i)
+				if progress != nil {
+					progress(1, 0)
+				}
 			}
 		}(lo, hi)
 	}

@@ -179,6 +179,18 @@ func SchedulerStats(cfg Config) core.Stats {
 	return p.Stats()
 }
 
+// SchedulerTenantStats reports the shared profiler's per-tenant
+// scenario counters for this configuration (core.Profiler.TenantStats).
+// Like SchedulerStats it is a pure read: no profiler is allocated and
+// the LRU is untouched; nil when no sweep has built the profiler yet.
+func SchedulerTenantStats(cfg Config) map[string]core.Stats {
+	p, ok := cfg.peekProfiler()
+	if !ok {
+		return nil
+	}
+	return p.TenantStats()
+}
+
 // Experiment is a runnable reproduction of one paper artifact.
 type Experiment struct {
 	// ID is the short handle ("fig5", "table1", ...).

@@ -30,9 +30,12 @@ for d in ./cmd/* ./examples/*; do
   go build -o /dev/null "$d"
 done
 
-echo "==> documentation checks (API examples + markdown links)"
-go test ./internal/api -run 'TestAPIDocExamplesVerified'
+echo "==> documentation checks (API examples + metrics reference + markdown links)"
+go test ./internal/api -run 'TestAPIDocExamplesVerified|TestMetricsDocumented'
 go test . -run 'TestDocs'
+
+echo "==> documentation capture regenerator (verify mode, throwaway dir)"
+STASHD_CAPTURE="$(mktemp -d)" go test ./internal/api -run 'TestCaptureDocExamples'
 
 echo "==> go test ./..."
 go test ./...
