@@ -15,7 +15,10 @@
 // enforce the stable micro benches while leaving the noisier suite
 // benches advisory. The derived parallel_speedup field (SuiteSerial /
 // SuiteParallel, emitted by bench.sh) is diffed informationally whenever
-// either file carries it.
+// either file carries it — unless a file records "gomaxprocs" below 2,
+// in which case the comparison is skipped with a note: on a single-P
+// host the parallel suite degenerates to serial execution and the ratio
+// is noise, not a speedup (bench.sh omits the field there too).
 //
 // Exit status: 0 when no matched benchmark regressed by more than
 // -threshold percent, 1 when at least one did, 2 on usage or parse
@@ -38,8 +41,21 @@ type benchFile struct {
 	Benchmarks []sample `json:"benchmarks"`
 
 	// ParallelSpeedup is bench.sh's derived SuiteSerial/SuiteParallel
-	// steady-state ns ratio; nil in files from before the field existed.
+	// steady-state ns ratio; nil in files from before the field existed
+	// and in files recorded on single-P hosts, where the ratio would be
+	// noise.
 	ParallelSpeedup *float64 `json:"parallel_speedup"`
+
+	// GoMaxProcs is the host's scheduler width at record time; nil in
+	// files from before the field existed (treated as multi-P, the
+	// historical assumption).
+	GoMaxProcs *int `json:"gomaxprocs"`
+}
+
+// singleP reports whether a file was recorded on a host without real
+// parallelism, making its parallel_speedup (if any) meaningless.
+func singleP(f *benchFile) bool {
+	return f.GoMaxProcs != nil && *f.GoMaxProcs < 2
 }
 
 type sample struct {
@@ -213,6 +229,9 @@ func main() {
 	// The headline tentpole metric rides along informationally: suite
 	// variance makes it a trajectory signal, not a gate.
 	switch {
+	case singleP(before) || singleP(after):
+		fmt.Printf("%-55s skipped: recorded with GOMAXPROCS < 2, ratio would be noise\n",
+			"parallel_speedup (serial/parallel ns)")
 	case before.ParallelSpeedup != nil && after.ParallelSpeedup != nil:
 		fmt.Printf("%-55s %14.2fx %13.2fx %+8.1f%%\n", "parallel_speedup (serial/parallel ns)",
 			*before.ParallelSpeedup, *after.ParallelSpeedup,

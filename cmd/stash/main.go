@@ -6,12 +6,22 @@
 // Usage:
 //
 //	stash -model resnet18 -instance p3.16xlarge [-batch 32] [-nodes 2] [-iters N]
+//	stash -blame [-straggler RANK [-straggler-scale F]] -model M -instance I
 //	stash -selfcheck [-seed N] [-parallel N]
+//
+// -blame runs frontier blame attribution instead of the stall
+// pipeline: one traced training run where, for every all-reduce
+// barrier, the last-arriving worker is charged the comm-wait it caused
+// the others — naming the rank responsible for each stall rather than
+// just measuring it. -straggler injects a synthetic slow rank
+// (-straggler-scale its compute slowdown, default 1.5) to calibrate
+// the attribution; the injected rank must come out on top.
 //
 // -selfcheck runs the cross-layer invariant auditor (internal/audit)
 // instead of profiling: physical time orderings, scheduler-counter
-// conservation and registry determinism, exiting non-zero on any
-// violation. scripts/ci.sh runs it as a gate.
+// conservation, registry determinism and blame-attribution
+// conservation, exiting non-zero on any violation. scripts/ci.sh runs
+// it as a gate.
 //
 // Models: the Table II zoo (alexnet, mobilenet_v2, squeezenet1_1,
 // shufflenet_v2, resnet18, resnet50, vgg11, bert-large) plus resnet<N>,
@@ -51,6 +61,9 @@ func run(args []string) error {
 	iters := fs.Int("iters", core.DefaultIterations, "profiling iterations per step")
 	clean := fs.Bool("clean-slice", false, "assume a whole NVLink crossbar (lucky p3.8xlarge tenant)")
 	recommend := fs.Bool("recommend", false, "rank every catalog configuration instead of profiling one")
+	blame := fs.Bool("blame", false, "run frontier blame attribution instead of the stall pipeline")
+	straggler := fs.Int("straggler", -1, "with -blame: inject a synthetic straggler at this rank (-1 = none)")
+	stragglerScale := fs.Float64("straggler-scale", core.DefaultStragglerScale, "with -blame -straggler: the straggler's compute slowdown (> 1)")
 	deadline := fs.Duration("deadline", 0, "with -recommend: max epoch time")
 	budget := fs.Float64("budget", 0, "with -recommend: max epoch cost in USD")
 	parallel := fs.Int("parallel", 0, "worker-pool size for -recommend and -selfcheck (0 or negative = GOMAXPROCS, 1 = serial)")
@@ -99,6 +112,18 @@ func run(args []string) error {
 		})
 	}
 
+	if *blame {
+		// -nodes keeps its network-stall default of 2; a blame run stays
+		// on one instance unless the split is requested explicitly.
+		blameNodes := 0
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "nodes" {
+				blameNodes = *nodes
+			}
+		})
+		return runBlame(p, job, it, blameNodes, *straggler, *stragglerScale)
+	}
+
 	fmt.Printf("profiling %s (batch %d/GPU, %.1fM gradients, %d sync points) on %s (%dx %s)\n\n",
 		model.Name, *batch, float64(model.TotalParams())/1e6, model.NumParamLayers(),
 		it.Name, it.NGPUs, it.GPU.Name)
@@ -137,6 +162,25 @@ func runSelfcheck(iters int, seed int64, parallel int) error {
 	if !res.Ok() {
 		return fmt.Errorf("selfcheck: %d invariant violations", len(res.Violations))
 	}
+	return nil
+}
+
+// runBlame runs one traced training and prints the ranked frontier
+// blame table; the output is byte-identical to the "rendered" field of
+// stashd's POST /v1/blame for the same workload.
+func runBlame(p *core.Profiler, job workload.Job, it cloud.InstanceType, nodes, straggler int, scale float64) error {
+	opt := core.BlameOptions{Nodes: nodes, StragglerRank: straggler}
+	if straggler >= 0 {
+		if scale <= 1 {
+			return fmt.Errorf("-straggler-scale must be > 1, got %v", scale)
+		}
+		opt.StragglerScale = scale
+	}
+	rep, err := p.Blame(job, it, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep)
 	return nil
 }
 

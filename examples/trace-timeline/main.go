@@ -66,11 +66,12 @@ func main() {
 
 	busy := recorder.WorkerBusy(0)
 	denom := res.Elapsed.Seconds()
-	// Hook spans nest inside the backward span; subtract to decompose.
-	backward := busy[trace.KindBackward] - busy[trace.KindHook]
+	// Backward spans cover only the compute segments between sync
+	// points; hooks and blocking comm-waits are recorded as their own
+	// non-overlapping kinds, so the kinds sum without double counting.
 	fmt.Printf("\nworker 0 breakdown: forward %.0f%%, backward %.0f%%, hooks %.0f%%, comm wait %.0f%%\n",
 		100*busy[trace.KindForward].Seconds()/denom,
-		100*backward.Seconds()/denom,
+		100*busy[trace.KindBackward].Seconds()/denom,
 		100*busy[trace.KindHook].Seconds()/denom,
 		100*busy[trace.KindCommWait].Seconds()/denom)
 

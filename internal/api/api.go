@@ -18,8 +18,9 @@
 //   - every request runs under a per-request timeout (WithRequestTimeout)
 //     whose context is threaded through core and experiments, so an
 //     expired request stops at the next scenario boundary;
-//   - heavy endpoints (/v1/profile, /v1/recommend, /v1/experiments/{id})
-//     pass through a bounded-concurrency gate (WithMaxConcurrent);
+//   - heavy endpoints (/v1/profile, /v1/recommend, /v1/blame,
+//     /v1/experiments/{id}) pass through a bounded-concurrency gate
+//     (WithMaxConcurrent);
 //     within a request, sweeps fan out on core.ForEach's worker pool
 //     (WithParallelism);
 //   - graceful shutdown is the caller's http.Server.Shutdown, which
@@ -193,6 +194,7 @@ func New(opts ...Option) *Server {
 	s.mux.HandleFunc("GET /metrics", s.route("metrics", false, s.handleMetrics))
 	s.mux.HandleFunc("POST /v1/profile", s.route("profile", true, s.handleProfile))
 	s.mux.HandleFunc("POST /v1/recommend", s.route("recommend", true, s.handleRecommend))
+	s.mux.HandleFunc("POST /v1/blame", s.route("blame", true, s.handleBlame))
 	s.mux.HandleFunc("GET /v1/experiments", s.route("experiments", false, s.handleExperimentList))
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.route("experiment", true, s.handleExperimentRun))
 	s.mux.HandleFunc("POST /v2/jobs", s.route("job-create", false, s.handleJobCreate))

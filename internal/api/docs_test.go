@@ -59,6 +59,9 @@ var docExamples = []docExample{
 		request: `{"model":"resnet9000","instance":"p3.16xlarge"}`, wantStatus: http.StatusBadRequest},
 	{name: "recommend", method: http.MethodPost, path: "/v1/recommend",
 		request: `{"model":"vgg11","batch":32,"families":["P3"],"max_epoch_seconds":2400}`, wantStatus: http.StatusOK},
+	{name: "blame", method: http.MethodPost, path: "/v1/blame",
+		request:    `{"model":"resnet18","instance":"p3.8xlarge","batch":32,"straggler_rank":3,"straggler_scale":1.5}`,
+		wantStatus: http.StatusOK},
 	{name: "experiments", method: http.MethodGet, path: "/v1/experiments", wantStatus: http.StatusOK},
 	{name: "table2", method: http.MethodGet, path: "/v1/experiments/table2", wantStatus: http.StatusOK},
 
@@ -86,6 +89,15 @@ var docExamples = []docExample{
 	{name: "sweep-cancel2", method: http.MethodDelete, path: "/v2/jobs/job-3",
 		wantStatus: http.StatusOK, hidden: true},
 	{name: "jobs-list", method: http.MethodGet, path: "/v2/jobs?state=done", wantStatus: http.StatusOK},
+
+	// job-5: a blame job repeating the v1 blame example, so its settled
+	// result replays the exact v1 bytes (same byte-identity contract as
+	// job-1).
+	{name: "jobs-blame-create", method: http.MethodPost, path: "/v2/jobs",
+		request:    `{"type":"blame","blame":{"model":"resnet18","instance":"p3.8xlarge","batch":32,"straggler_rank":3,"straggler_scale":1.5}}`,
+		wantStatus: http.StatusAccepted},
+	{name: "jobs-blame-result", method: http.MethodGet, path: "/v2/jobs/job-5/result",
+		wantStatus: http.StatusOK, settle: "job-5"},
 
 	// Operator-guide examples live in docs/OPERATIONS.md.
 	{name: "ops-health", method: http.MethodGet, path: "/healthz",

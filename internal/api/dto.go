@@ -147,6 +147,72 @@ type ProfileResponse struct {
 	Rendered string `json:"rendered"`
 }
 
+// BlameRequest is POST /v1/blame's body: one workload to trace and
+// attribute — for every all-reduce barrier, the last-arriving worker is
+// charged the comm-wait it caused the others (core.BlameContext).
+type BlameRequest struct {
+	// Model is any name dnn.Resolve accepts. Required.
+	Model string `json:"model"`
+
+	// Instance is a Table I catalog name (cloud.ByName). Required.
+	Instance string `json:"instance"`
+
+	// Batch is the per-GPU batch size; 0 defaults to 32.
+	Batch int `json:"batch,omitempty"`
+
+	// Nodes spreads the GPUs across network-connected machines (must
+	// divide the instance's GPU count); 0 runs a single instance.
+	Nodes int `json:"nodes,omitempty"`
+
+	// StragglerRank, when set, injects a synthetic straggler at that
+	// rank, slowed by StragglerScale (default 1.5 when 0). Omitting the
+	// rank attributes the uninstrumented run; setting a scale > 1
+	// without a rank is an error.
+	StragglerRank  *int    `json:"straggler_rank,omitempty"`
+	StragglerScale float64 `json:"straggler_scale,omitempty"`
+}
+
+// WorkerBlameJSON is one rank's row of the blame table, worst offender
+// first, mirroring core.WorkerBlameRow with durations in seconds.
+type WorkerBlameJSON struct {
+	Rank             int     `json:"rank"`
+	BlamedSeconds    float64 `json:"blamed_seconds"`
+	BlamedPct        float64 `json:"blamed_pct"`
+	SelfWaitSeconds  float64 `json:"self_wait_seconds"`
+	FrontierBarriers int     `json:"frontier_barriers"`
+}
+
+// BlameResponse is POST /v1/blame's body: the attribution totals (which
+// conserve exactly: attributed + unattributed == total) and the ranked
+// per-worker table, plus the same rendered text cmd/stash -blame
+// prints.
+type BlameResponse struct {
+	Model    string `json:"model"`
+	Instance string `json:"instance"`
+	Batch    int    `json:"batch"`
+	Nodes    int    `json:"nodes"`
+
+	WorldSize  int `json:"world_size"`
+	Iterations int `json:"iterations"`
+
+	// StragglerRank is -1 when no straggler was injected.
+	StragglerRank  int     `json:"straggler_rank"`
+	StragglerScale float64 `json:"straggler_scale"`
+
+	Barriers     int `json:"barriers"`
+	TiedBarriers int `json:"tied_barriers"`
+
+	TotalCommWaitSeconds float64 `json:"total_comm_wait_seconds"`
+	AttributedSeconds    float64 `json:"attributed_seconds"`
+	UnattributedSeconds  float64 `json:"unattributed_seconds"`
+
+	Workers []WorkerBlameJSON `json:"workers"`
+
+	// Rendered is core.BlameReport's plain-text rendering,
+	// byte-identical to cmd/stash -blame output for the same workload.
+	Rendered string `json:"rendered"`
+}
+
 // RecommendRequest is POST /v1/recommend's body: a workload plus the
 // constraints of core.Constraints, durations expressed in seconds.
 type RecommendRequest struct {
@@ -215,7 +281,7 @@ type ExperimentResponse struct {
 // JobCreateRequest is POST /v2/jobs's body: one asynchronous unit of
 // work. Exactly the spec matching "type" must be present.
 type JobCreateRequest struct {
-	// Type selects the job class: "profile", "recommend" or
+	// Type selects the job class: "profile", "recommend", "blame" or
 	// "experiments". Required.
 	Type string `json:"type"`
 
@@ -226,6 +292,10 @@ type JobCreateRequest struct {
 	// Recommend is the workload for a recommend job — the same body as
 	// POST /v1/recommend.
 	Recommend *RecommendRequest `json:"recommend,omitempty"`
+
+	// Blame is the workload for a blame job — the same body as
+	// POST /v1/blame.
+	Blame *BlameRequest `json:"blame,omitempty"`
 
 	// Experiments selects artifacts for an experiments job.
 	Experiments *ExperimentsJobSpec `json:"experiments,omitempty"`

@@ -82,6 +82,93 @@ func (s *Server) computeProfile(ctx context.Context, req ProfileRequest) (*Profi
 	return resp, nil
 }
 
+// computeBlame validates and runs one blame request: a traced
+// synthetic training run whose per-barrier frontier attribution names
+// the worker responsible for every other worker's comm-wait.
+func (s *Server) computeBlame(ctx context.Context, req BlameRequest) (*BlameResponse, *apiError) {
+	if req.Model == "" || req.Instance == "" {
+		return nil, newAPIError(http.StatusBadRequest, errInvalidRequest, `"model" and "instance" are required`)
+	}
+	if req.Batch == 0 {
+		req.Batch = defaultBatch
+	}
+	model, err := dnn.Resolve(req.Model)
+	if err != nil {
+		return nil, newAPIError(http.StatusBadRequest, errInvalidRequest, err.Error())
+	}
+	it, err := cloud.ByName(req.Instance)
+	if err != nil {
+		return nil, newAPIError(http.StatusBadRequest, errInvalidRequest, err.Error())
+	}
+	job, err := workload.NewJob(model, req.Batch)
+	if err != nil {
+		return nil, newAPIError(http.StatusBadRequest, errInvalidRequest, err.Error())
+	}
+	if req.Nodes != 0 && (req.Nodes < 2 || it.NGPUs%req.Nodes != 0) {
+		return nil, newAPIError(http.StatusBadRequest, errInvalidRequest,
+			fmt.Sprintf(`"nodes" must be >= 2 and divide %s's %d GPUs, got %d`, it.Name, it.NGPUs, req.Nodes))
+	}
+	opt := core.BlameOptions{Nodes: req.Nodes, StragglerRank: -1}
+	switch {
+	case req.StragglerRank != nil:
+		opt.StragglerRank = *req.StragglerRank
+		if opt.StragglerRank < 0 || opt.StragglerRank >= it.NGPUs {
+			return nil, newAPIError(http.StatusBadRequest, errInvalidRequest,
+				fmt.Sprintf(`"straggler_rank" must be in [0,%d) on %s, got %d`, it.NGPUs, it.Name, opt.StragglerRank))
+		}
+		opt.StragglerScale = req.StragglerScale
+		//lint:allow floatcmp 0 is the omitted-field sentinel, not a computed value
+		if opt.StragglerScale == 0 {
+			opt.StragglerScale = core.DefaultStragglerScale
+		}
+		if opt.StragglerScale <= 1 {
+			return nil, newAPIError(http.StatusBadRequest, errInvalidRequest,
+				fmt.Sprintf(`"straggler_scale" must be > 1, got %v`, opt.StragglerScale))
+		}
+	//lint:allow floatcmp 0 is the omitted-field sentinel, not a computed value
+	case req.StragglerScale != 0:
+		return nil, newAPIError(http.StatusBadRequest, errInvalidRequest,
+			`"straggler_scale" requires "straggler_rank"`)
+	}
+
+	rep, err := s.profiler.BlameContext(ctx, job, it, opt)
+	if err != nil {
+		return nil, errToAPI(err)
+	}
+	s.metrics.blameRuns.Add(1)
+	s.metrics.blameBarriers.Add(int64(rep.Barriers))
+	if rep.Unattributed > 0 {
+		s.metrics.blameUnattributed.Add(1)
+	}
+	resp := &BlameResponse{
+		Model:                rep.Model,
+		Instance:             rep.Instance,
+		Batch:                rep.Batch,
+		Nodes:                rep.Nodes,
+		WorldSize:            rep.WorldSize,
+		Iterations:           rep.Iterations,
+		StragglerRank:        rep.StragglerRank,
+		StragglerScale:       rep.StragglerScale,
+		Barriers:             rep.Barriers,
+		TiedBarriers:         rep.TiedBarriers,
+		TotalCommWaitSeconds: secs(rep.TotalCommWait),
+		AttributedSeconds:    secs(rep.Attributed),
+		UnattributedSeconds:  secs(rep.Unattributed),
+		Workers:              make([]WorkerBlameJSON, len(rep.Workers)),
+		Rendered:             rep.String(),
+	}
+	for i, w := range rep.Workers {
+		resp.Workers[i] = WorkerBlameJSON{
+			Rank:             w.Rank,
+			BlamedSeconds:    secs(w.Blamed),
+			BlamedPct:        w.BlamedPct,
+			SelfWaitSeconds:  secs(w.SelfWait),
+			FrontierBarriers: w.FrontierBarriers,
+		}
+	}
+	return resp, nil
+}
+
 // computeRecommend validates and runs one recommend request: rank
 // every allowed catalog configuration for a workload under
 // deadline/budget constraints.
@@ -157,6 +244,21 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp, aerr := s.computeProfile(r.Context(), req)
+	if aerr != nil {
+		writeJSON(w, aerr.status, aerr.envelope())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleBlame serves POST /v1/blame.
+func (s *Server) handleBlame(w http.ResponseWriter, r *http.Request) {
+	var req BlameRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, errInvalidRequest, err.Error())
+		return
+	}
+	resp, aerr := s.computeBlame(r.Context(), req)
 	if aerr != nil {
 		writeJSON(w, aerr.status, aerr.envelope())
 		return

@@ -33,13 +33,15 @@ func terminalState(s string) bool {
 
 // jobClasses are the job types in fixed dispatch order, with their
 // fair-queueing weights: a backlogged tenant's interactive profiles
-// dispatch 4x as often as its experiment sweeps, 2x as often as its
-// recommendations. The array index is the class id everywhere below.
+// and blame attributions dispatch 4x as often as its experiment
+// sweeps, 2x as often as its recommendations. The array index is the
+// class id everywhere below.
 var jobClasses = [...]struct {
 	name   string
 	weight int64
 }{
 	{"profile", 4},
+	{"blame", 4},
 	{"recommend", 2},
 	{"experiments", 1},
 }
@@ -160,7 +162,7 @@ type classQueue struct {
 }
 
 // tenantSched is one tenant's scheduler node: a stride pass among
-// tenants, and a nested stride schedule across its three class queues.
+// tenants, and a nested stride schedule across its class queues.
 type tenantSched struct {
 	name    string
 	stride  int64
@@ -821,6 +823,9 @@ func validateJobCreate(req JobCreateRequest) (class string, priority int, aerr *
 	if req.Recommend != nil {
 		specs++
 	}
+	if req.Blame != nil {
+		specs++
+	}
 	if req.Experiments != nil {
 		specs++
 	}
@@ -836,12 +841,16 @@ func validateJobCreate(req JobCreateRequest) (class string, priority int, aerr *
 		if req.Recommend == nil || specs != 1 {
 			return bad(`"recommend" jobs carry exactly the "recommend" spec`)
 		}
+	case "blame":
+		if req.Blame == nil || specs != 1 {
+			return bad(`"blame" jobs carry exactly the "blame" spec`)
+		}
 	case "experiments":
 		if req.Experiments == nil || specs != 1 {
 			return bad(`"experiments" jobs carry exactly the "experiments" spec`)
 		}
 	default:
-		return bad(`"type" must be "profile", "recommend" or "experiments"`)
+		return bad(`"type" must be "profile", "recommend", "blame" or "experiments"`)
 	}
 	priority = defaultJobPriority
 	if req.Priority != nil {
@@ -877,6 +886,13 @@ func (s *Server) executeJob(j *job) {
 		s.jobsStore.finish(j, encodeJSON(resp), http.StatusOK, nil)
 	case "recommend":
 		resp, aerr := s.computeRecommend(ctx, *j.req.Recommend)
+		if aerr != nil {
+			fail(aerr)
+			return
+		}
+		s.jobsStore.finish(j, encodeJSON(resp), http.StatusOK, nil)
+	case "blame":
+		resp, aerr := s.computeBlame(ctx, *j.req.Blame)
 		if aerr != nil {
 			fail(aerr)
 			return

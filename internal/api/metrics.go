@@ -34,6 +34,14 @@ type metrics struct {
 	auditChecks     atomic.Int64
 	auditViolations atomic.Int64
 
+	// Blame attribution counters (POST /v1/blame and "blame" jobs):
+	// runs completed, barriers attributed across them, and runs where
+	// any comm-wait stayed unattributed (should stay 0 — the audit pins
+	// attribution lossless when per-rank barrier spans are recorded).
+	blameRuns         atomic.Int64
+	blameBarriers     atomic.Int64
+	blameUnattributed atomic.Int64
+
 	mu       sync.Mutex
 	requests map[reqKey]int64
 	latSum   map[string]float64
@@ -139,6 +147,15 @@ func (m *metrics) render() string {
 	b.WriteString("# HELP stashd_audit_violations_total Invariant violations reported by deep health probes.\n")
 	b.WriteString("# TYPE stashd_audit_violations_total counter\n")
 	fmt.Fprintf(&b, "stashd_audit_violations_total %d\n", m.auditViolations.Load())
+	b.WriteString("# HELP stashd_blame_runs_total Frontier blame attributions completed (POST /v1/blame and blame jobs).\n")
+	b.WriteString("# TYPE stashd_blame_runs_total counter\n")
+	fmt.Fprintf(&b, "stashd_blame_runs_total %d\n", m.blameRuns.Load())
+	b.WriteString("# HELP stashd_blame_barriers_total All-reduce barriers attributed to a frontier worker, across blame runs.\n")
+	b.WriteString("# TYPE stashd_blame_barriers_total counter\n")
+	fmt.Fprintf(&b, "stashd_blame_barriers_total %d\n", m.blameBarriers.Load())
+	b.WriteString("# HELP stashd_blame_unattributed_runs_total Blame runs where some comm-wait could not be attributed to any barrier frontier.\n")
+	b.WriteString("# TYPE stashd_blame_unattributed_runs_total counter\n")
+	fmt.Fprintf(&b, "stashd_blame_unattributed_runs_total %d\n", m.blameUnattributed.Load())
 
 	// Per-tenant scenario counters (core.Profiler.TenantStats): the
 	// same conservation family as the pool counters above, split by the

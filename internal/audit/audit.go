@@ -26,6 +26,12 @@
 //     (a result simulated from a cold cache equals one from a warmed
 //     cache).
 //
+// The frontier blame attribution (core.BlameContext) is audited across
+// all three families: attribution must conserve the measured comm-wait
+// total exactly (lossless, per-worker rows summing back), an injected
+// straggler must rank first, and the rendered table must be
+// byte-identical run-vs-rerun and serial-vs-parallel.
+//
 // Entry points: Run executes the full suite (cmd/stash -selfcheck,
 // cmd/characterize -audit, the scripts/ci.sh gate); Quick executes a
 // bounded slice cheap enough for a liveness probe (stashd's
@@ -244,6 +250,9 @@ func run(ctx context.Context, opts Options) (*Result, error) {
 		return nil, err
 	}
 	if err := auditDeterminism(ctx, opts, res); err != nil {
+		return nil, err
+	}
+	if err := auditBlame(ctx, opts, res); err != nil {
 		return nil, err
 	}
 	return res, nil

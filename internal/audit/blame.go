@@ -1,0 +1,109 @@
+package audit
+
+import (
+	"context"
+	"time"
+
+	"stash/internal/cloud"
+	"stash/internal/core"
+	"stash/internal/workload"
+)
+
+// auditStragglerScale is the synthetic straggler injected by the blame
+// audit: pronounced enough that the slowed rank must dominate the table
+// on any multi-GPU cell.
+const auditStragglerScale = 1.5
+
+// blameCell picks the first multi-GPU cell of the options' matrix that
+// fits in memory — frontier attribution needs at least two ranks to
+// have a frontier.
+func blameCell(opts Options) (workload.Job, cloud.InstanceType, bool) {
+	for _, cell := range opts.Profiles {
+		sub := opts
+		sub.Profiles = []ProfileCell{cell}
+		if job, it, ok := fittingCell(sub); ok && it.NGPUs >= 2 {
+			return job, it, true
+		}
+	}
+	return workload.Job{}, cloud.InstanceType{}, false
+}
+
+// auditBlame checks the frontier blame attribution (core.BlameContext):
+//
+//   - conservation: attributed + unattributed comm-wait equals the
+//     measured KindCommWait total exactly, and with per-rank barrier
+//     spans recorded nothing stays unattributed;
+//   - the per-worker table itself sums to the attributed total;
+//   - physical: an injected straggler must rank first with a positive
+//     blame score;
+//   - determinism: the rendered blame table is byte-identical run vs
+//     rerun and on a serial vs parallel profiler.
+func auditBlame(ctx context.Context, opts Options, res *Result) error {
+	job, it, ok := blameCell(opts)
+	if !ok {
+		// No multi-GPU cell in the matrix; nothing to attribute.
+		return nil
+	}
+	mk := func(par int) *core.Profiler {
+		return core.New(
+			core.WithIterations(opts.Iterations),
+			core.WithSeed(opts.Seed),
+			core.WithParallelism(par),
+		)
+	}
+	opt := core.BlameOptions{StragglerRank: it.NGPUs - 1, StragglerScale: auditStragglerScale}
+	rep, err := mk(1).BlameContext(ctx, job, it, opt)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		res.check(FamilyConservation, "blame-runs", false, "%s on %s: %v", job.Model.Name, it.Name, err)
+		return nil
+	}
+
+	res.check(FamilyConservation, "blame-conservation",
+		rep.Attributed+rep.Unattributed == rep.TotalCommWait,
+		"%s on %s: attributed %v + unattributed %v != comm-wait total %v",
+		job.Model.Name, it.Name, rep.Attributed, rep.Unattributed, rep.TotalCommWait)
+	res.check(FamilyConservation, "blame-lossless", rep.Unattributed == 0,
+		"%s on %s: %v comm-wait not attributed to any barrier frontier",
+		job.Model.Name, it.Name, rep.Unattributed)
+	var sum time.Duration
+	for _, w := range rep.Workers {
+		sum += w.Blamed
+	}
+	res.check(FamilyConservation, "blame-table-sums", sum == rep.Attributed,
+		"%s on %s: per-worker blame sums to %v, attributed total is %v",
+		job.Model.Name, it.Name, sum, rep.Attributed)
+
+	top := core.WorkerBlameRow{Rank: -1}
+	if len(rep.Workers) > 0 {
+		top = rep.Workers[0]
+	}
+	res.check(FamilyPhysical, "blame-straggler-first",
+		top.Rank == opt.StragglerRank && top.Blamed > 0,
+		"%s on %s: injected straggler rank %d, top blamed rank %d (%v)",
+		job.Model.Name, it.Name, opt.StragglerRank, top.Rank, top.Blamed)
+
+	rerun, err := mk(1).BlameContext(ctx, job, it, opt)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		res.check(FamilyDeterminism, "blame-rerun-runs", false, "%v", err)
+		return nil
+	}
+	res.check(FamilyDeterminism, "blame-run-vs-rerun", rep.String() == rerun.String(),
+		"%s on %s: blame table differs between identical runs", job.Model.Name, it.Name)
+	parallel, err := mk(8).BlameContext(ctx, job, it, opt)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		res.check(FamilyDeterminism, "blame-parallel-runs", false, "%v", err)
+		return nil
+	}
+	res.check(FamilyDeterminism, "blame-serial-vs-parallel", rep.String() == parallel.String(),
+		"%s on %s: blame table differs between serial and parallel profilers", job.Model.Name, it.Name)
+	return nil
+}

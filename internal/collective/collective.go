@@ -12,6 +12,7 @@ import (
 	"stash/internal/sim"
 	"stash/internal/simnet"
 	"stash/internal/topo"
+	"stash/internal/trace"
 )
 
 // Algorithm selects the synchronization strategy.
@@ -59,6 +60,15 @@ func WithCallOverhead(d time.Duration) Option {
 	return func(g *Group) { g.callOverhead = d }
 }
 
+// WithTrace records the group's synchronization timeline on r: one
+// per-rank KindBarrier span per completed collective (that rank's
+// arrival to global completion) and one group-level KindCollective span
+// (execution start to completion, Worker = -1). These feed the frontier
+// blame pass (trace.Attribute).
+func WithTrace(r *trace.Recorder) Option {
+	return func(g *Group) { g.tr = r }
+}
+
 // Group is a set of GPU ranks that synchronize gradients together.
 type Group struct {
 	eng          *sim.Engine
@@ -67,6 +77,7 @@ type Group struct {
 	gpus         []*topo.Device
 	algorithm    Algorithm
 	callOverhead time.Duration
+	tr           *trace.Recorder
 
 	nextSeq   []int // per-rank counter of issued collectives
 	ops       map[int]*op
@@ -93,6 +104,10 @@ type op struct {
 	bytes   float64
 	arrived int
 	done    *sim.Signal
+
+	// arrivals[rank] is when that rank issued this op; populated (and
+	// sized) only when the group records a trace.
+	arrivals []time.Duration
 }
 
 // groupArena holds released groups on each engine's scratch arena, so a
@@ -126,6 +141,7 @@ func NewGroup(eng *sim.Engine, net *simnet.Network, t *topo.Topology, gpus []*to
 	}
 	g.algorithm = Ring
 	g.callOverhead = DefaultCallOverhead
+	g.tr = nil
 	for _, o := range opts {
 		o(g)
 	}
@@ -233,7 +249,17 @@ func (g *Group) AllReduceAsync(rank int, bytes float64) *sim.Signal {
 		// previous one well past its op's completion (train holds them
 		// until the end-of-iteration drain), so it cannot be re-armed.
 		o.done = sim.NewSignal(g.eng)
+		if g.tr != nil {
+			if cap(o.arrivals) >= len(g.gpus) {
+				o.arrivals = o.arrivals[:len(g.gpus)]
+			} else {
+				o.arrivals = make([]time.Duration, len(g.gpus))
+			}
+		}
 		g.ops[seq] = o
+	}
+	if g.tr != nil {
+		o.arrivals[rank] = g.eng.Now()
 	}
 	//lint:allow floatcmp ranks must hand in bit-identical sizes; any difference is a caller bug worth a panic
 	if o.bytes != bytes {
@@ -496,6 +522,17 @@ func (x *exec) finish() {
 	o := x.o
 	done := o.done
 	task := x.task
+	// Barrier spans go out before the op struct is recycled: per rank,
+	// arrival to global completion — the raw material of frontier blame
+	// attribution — plus the group-level execution span on its own row.
+	if g.tr != nil {
+		now := g.eng.Now()
+		name := fmt.Sprintf("op%d", o.seq)
+		for rank := range g.gpus {
+			g.tr.Add(trace.Span{Worker: rank, Kind: trace.KindBarrier, Name: name, Start: o.arrivals[rank], End: now})
+		}
+		g.tr.Add(trace.Span{Worker: -1, Kind: trace.KindCollective, Name: name, Start: x.start, End: now})
+	}
 	x.o, x.task = nil, nil
 	// The op struct is reusable immediately — its callers only ever hold
 	// the done signal, which each use replaces with a fresh one.

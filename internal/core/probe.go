@@ -102,6 +102,9 @@ func (r *Report) String() string {
 		s += fmt.Sprintf("  %v\n", *r.NW)
 	}
 	s += fmt.Sprintf("  %v\n", r.Epoch)
+	if r.Blame != nil {
+		s += r.Blame.String()
+	}
 	return s
 }
 

@@ -86,6 +86,14 @@ func WithParallelism(n int) Option {
 	return func(p *Profiler) { p.parallelism = n }
 }
 
+// WithBlameAttribution makes ProfileContext run the frontier blame pass
+// as an extra stage (a traced re-run of the all-GPU synthetic scenario)
+// and attach the ranked per-worker table to Report.Blame. Default off:
+// the stall characterization itself never needs a trace.
+func WithBlameAttribution(on bool) Option {
+	return func(p *Profiler) { p.blame = on }
+}
+
 // WithWarmPrefixFork toggles warm-prefix forking (default on). Synthetic
 // training is lockstep-periodic from iteration zero — every iteration
 // replays the same event schedule — so the warmup prefix is a replica of
@@ -110,6 +118,7 @@ type Profiler struct {
 	costEpochs     int
 	parallelism    int
 	warmFork       bool
+	blame          bool
 	collectiveOpts []collective.Option
 
 	// cache memoizes scenario results: simulations are deterministic, and
@@ -738,6 +747,10 @@ type Report struct {
 	// even GPU count (step 5 splits it across two machines).
 	NW    *NWStall
 	Epoch EpochEstimate
+
+	// Blame is the frontier blame attribution of the all-GPU scenario,
+	// populated only under WithBlameAttribution.
+	Blame *BlameReport
 }
 
 // Profile runs the complete Stash pipeline (steps 1-5) for a job on an
@@ -761,7 +774,10 @@ func (p *Profiler) ProfileContext(ctx context.Context, job workload.Job, it clou
 	if progress != nil {
 		stages := 3
 		if hasNW {
-			stages = 4
+			stages++
+		}
+		if p.blame {
+			stages++
 		}
 		progress(0, stages)
 	}
@@ -792,5 +808,11 @@ func (p *Profiler) ProfileContext(ctx context.Context, job workload.Job, it clou
 		return nil, err
 	}
 	stageDone()
+	if p.blame {
+		if r.Blame, err = p.BlameContext(ctx, job, it, BlameOptions{StragglerRank: -1}); err != nil {
+			return nil, err
+		}
+		stageDone()
+	}
 	return r, nil
 }

@@ -1,0 +1,188 @@
+// Frontier-style blame attribution (after StageFrontier): for every
+// synchronization barrier the last-arriving rank — the frontier — is the
+// one every other rank was actually waiting for, so each slice of
+// recorded comm-wait time is charged to the frontier of the barrier that
+// ended it. Summed across iterations this turns "how much time went to
+// communication waits" into "whose fault they were": a persistent
+// straggler (or the rank behind a degraded link) accumulates blame.
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// WorkerBlame is one worker's row of an Attribution.
+type WorkerBlame struct {
+	// Worker is the GPU rank.
+	Worker int
+
+	// Blamed is the comm-wait time (this worker's own and everyone
+	// else's) attributed to this worker being the frontier — the last
+	// arrival — of the barrier that the wait ended at.
+	Blamed time.Duration
+
+	// SelfWait is the worker's own recorded comm-wait time, for
+	// contrast: a culprit has high Blamed and low SelfWait.
+	SelfWait time.Duration
+
+	// FrontierCount is the number of barriers this worker arrived last
+	// at.
+	FrontierCount int
+}
+
+// Attribution is the result of the frontier blame pass.
+type Attribution struct {
+	// Barriers is the number of distinct barriers seen.
+	Barriers int
+
+	// TiedBarriers counts barriers where every rank arrived at the same
+	// instant. Their blame falls to rank 0 (the deterministic
+	// lowest-rank tie-break), so on a perfectly lockstep run the table
+	// measures barrier wait, not a culprit; a high tie share says
+	// "no straggler to name".
+	TiedBarriers int
+
+	// Workers is the blame table, sorted by Blamed descending (ties by
+	// rank ascending).
+	Workers []WorkerBlame
+
+	// TotalCommWait is the sum of all recorded KindCommWait span
+	// durations; Attributed is the portion charged to some frontier and
+	// Unattributed the remainder (comm-wait time not ending at any
+	// recorded barrier). Attribution is conservative:
+	//
+	//	Attributed + Unattributed == TotalCommWait
+	//
+	// and on a timeline with per-worker barrier spans (KindBarrier)
+	// recorded by the collective layer, Unattributed is zero — the
+	// audit's blame-conservation family enforces both.
+	TotalCommWait time.Duration
+	Attributed    time.Duration
+	Unattributed  time.Duration
+}
+
+// Attribute runs the frontier blame pass over the recorded timeline.
+//
+// For each barrier (KindBarrier spans sharing a Name), the frontier is
+// the rank with the latest Start (arrival); ties resolve to the lowest
+// rank. Each worker's KindCommWait spans are then partitioned at that
+// worker's own barrier departures (span Ends) falling inside them, and
+// every slice is charged to the frontier of the barrier it ends at.
+// Safe on a nil or empty recorder (returns an empty attribution).
+func (r *Recorder) Attribute() *Attribution {
+	a := &Attribution{}
+	if r == nil {
+		return a
+	}
+
+	// Pass 1: resolve each barrier's frontier and arrival spread.
+	type barrier struct {
+		frontier   int
+		maxArrival time.Duration
+		minArrival time.Duration
+	}
+	bars := make(map[string]*barrier)
+	var order []*barrier // creation order, so no map iteration below
+	maxRank := -1
+	for _, s := range r.spans {
+		if s.Worker < 0 {
+			continue
+		}
+		if (s.Kind == KindBarrier || s.Kind == KindCommWait) && s.Worker > maxRank {
+			maxRank = s.Worker
+		}
+		if s.Kind != KindBarrier {
+			continue
+		}
+		b := bars[s.Name]
+		if b == nil {
+			b = &barrier{frontier: s.Worker, maxArrival: s.Start, minArrival: s.Start}
+			bars[s.Name] = b
+			order = append(order, b)
+			continue
+		}
+		if s.Start > b.maxArrival || (s.Start == b.maxArrival && s.Worker < b.frontier) {
+			b.frontier = s.Worker
+			b.maxArrival = s.Start
+		}
+		if s.Start < b.minArrival {
+			b.minArrival = s.Start
+		}
+	}
+	if maxRank < 0 {
+		return a
+	}
+	n := maxRank + 1
+	a.Barriers = len(bars)
+
+	blamed := make([]time.Duration, n)
+	self := make([]time.Duration, n)
+	fcount := make([]int, n)
+	for _, b := range order {
+		fcount[b.frontier]++
+		if b.maxArrival == b.minArrival {
+			a.TiedBarriers++
+		}
+	}
+
+	// Pass 2: per worker, its barrier departures and comm-wait spans.
+	type departure struct {
+		at       time.Duration
+		frontier int
+	}
+	depts := make([][]departure, n)
+	comm := make([][]Span, n)
+	for _, s := range r.spans {
+		if s.Worker < 0 || s.Worker >= n {
+			continue
+		}
+		switch s.Kind {
+		case KindBarrier:
+			depts[s.Worker] = append(depts[s.Worker], departure{at: s.End, frontier: bars[s.Name].frontier})
+		case KindCommWait:
+			comm[s.Worker] = append(comm[s.Worker], s)
+		}
+	}
+
+	// Pass 3: partition each worker's comm-wait spans at its own barrier
+	// departures. A departure exactly at a span's start contributed
+	// nothing to it (half-open slices), and a worker's comm-wait spans
+	// never overlap, so the departure cursor advances monotonically.
+	for w := 0; w < n; w++ {
+		d := depts[w]
+		sort.SliceStable(d, func(i, j int) bool { return d[i].at < d[j].at })
+		cs := comm[w]
+		sort.SliceStable(cs, func(i, j int) bool { return cs[i].Start < cs[j].Start })
+		i := 0
+		for _, c := range cs {
+			a.TotalCommWait += c.Duration()
+			self[w] += c.Duration()
+			for i < len(d) && d[i].at <= c.Start {
+				i++
+			}
+			prev := c.Start
+			for i < len(d) && d[i].at <= c.End {
+				blamed[d[i].frontier] += d[i].at - prev
+				prev = d[i].at
+				i++
+			}
+			a.Unattributed += c.End - prev
+		}
+	}
+
+	for _, b := range blamed {
+		a.Attributed += b
+	}
+	a.Workers = make([]WorkerBlame, n)
+	for w := 0; w < n; w++ {
+		a.Workers[w] = WorkerBlame{Worker: w, Blamed: blamed[w], SelfWait: self[w], FrontierCount: fcount[w]}
+	}
+	sort.SliceStable(a.Workers, func(i, j int) bool {
+		if a.Workers[i].Blamed != a.Workers[j].Blamed {
+			return a.Workers[i].Blamed > a.Workers[j].Blamed
+		}
+		return a.Workers[i].Worker < a.Workers[j].Worker
+	})
+	return a
+}

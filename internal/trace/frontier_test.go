@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+const ms = time.Millisecond
+
+// straggledTimeline builds a two-barrier timeline where rank 2 arrives
+// last at both barriers and ranks 0/1 wait on it.
+func straggledTimeline() *Recorder {
+	r := New()
+	// Barrier op0: ranks 0,1 arrive at 10ms, rank 2 at 30ms; completes 35ms.
+	r.Add(Span{Worker: 0, Kind: KindBarrier, Name: "op0", Start: 10 * ms, End: 35 * ms})
+	r.Add(Span{Worker: 1, Kind: KindBarrier, Name: "op0", Start: 10 * ms, End: 35 * ms})
+	r.Add(Span{Worker: 2, Kind: KindBarrier, Name: "op0", Start: 30 * ms, End: 35 * ms})
+	// Matching comm-wait spans (blocking mode: wait = arrival..completion).
+	r.Add(Span{Worker: 0, Kind: KindCommWait, Name: "bucket0", Start: 10 * ms, End: 35 * ms})
+	r.Add(Span{Worker: 1, Kind: KindCommWait, Name: "bucket0", Start: 10 * ms, End: 35 * ms})
+	r.Add(Span{Worker: 2, Kind: KindCommWait, Name: "bucket0", Start: 30 * ms, End: 35 * ms})
+	// Barrier op1: ranks 0,1 arrive at 40ms, rank 2 at 50ms; completes 55ms.
+	r.Add(Span{Worker: 0, Kind: KindBarrier, Name: "op1", Start: 40 * ms, End: 55 * ms})
+	r.Add(Span{Worker: 1, Kind: KindBarrier, Name: "op1", Start: 40 * ms, End: 55 * ms})
+	r.Add(Span{Worker: 2, Kind: KindBarrier, Name: "op1", Start: 50 * ms, End: 55 * ms})
+	r.Add(Span{Worker: 0, Kind: KindCommWait, Name: "bucket0", Start: 40 * ms, End: 55 * ms})
+	r.Add(Span{Worker: 1, Kind: KindCommWait, Name: "bucket0", Start: 40 * ms, End: 55 * ms})
+	r.Add(Span{Worker: 2, Kind: KindCommWait, Name: "bucket0", Start: 50 * ms, End: 55 * ms})
+	return r
+}
+
+func TestAttributeStragglerRanksFirst(t *testing.T) {
+	a := straggledTimeline().Attribute()
+	if a.Barriers != 2 {
+		t.Fatalf("Barriers = %d, want 2", a.Barriers)
+	}
+	if a.TiedBarriers != 0 {
+		t.Errorf("TiedBarriers = %d, want 0", a.TiedBarriers)
+	}
+	if got := a.Workers[0].Worker; got != 2 {
+		t.Fatalf("top blamed worker = %d, want the straggler 2", got)
+	}
+	// All wait ends at barriers rank 2 fronted, so everything is blamed
+	// on it: 25+15 (ranks 0,1, twice each is 25+15 per rank) plus its own
+	// 5+5.
+	want := 2*(25+15)*ms + 10*ms
+	if a.Workers[0].Blamed != want {
+		t.Errorf("straggler blame = %v, want %v", a.Workers[0].Blamed, want)
+	}
+	if a.Workers[0].FrontierCount != 2 {
+		t.Errorf("straggler FrontierCount = %d, want 2", a.Workers[0].FrontierCount)
+	}
+	if a.Workers[0].SelfWait != 10*ms {
+		t.Errorf("straggler SelfWait = %v, want 10ms", a.Workers[0].SelfWait)
+	}
+}
+
+func TestAttributeConservation(t *testing.T) {
+	a := straggledTimeline().Attribute()
+	if a.Attributed+a.Unattributed != a.TotalCommWait {
+		t.Errorf("Attributed %v + Unattributed %v != TotalCommWait %v",
+			a.Attributed, a.Unattributed, a.TotalCommWait)
+	}
+	if a.Unattributed != 0 {
+		t.Errorf("Unattributed = %v, want 0 (every wait ends at a barrier)", a.Unattributed)
+	}
+	var sum time.Duration
+	for _, w := range a.Workers {
+		sum += w.Blamed
+	}
+	if sum != a.Attributed {
+		t.Errorf("per-worker blame sums to %v, want Attributed %v", sum, a.Attributed)
+	}
+	if want := 2*(25+15)*ms + 10*ms; a.TotalCommWait != want {
+		t.Errorf("TotalCommWait = %v, want %v", a.TotalCommWait, want)
+	}
+}
+
+func TestAttributeTieBreaksToLowestRank(t *testing.T) {
+	r := New()
+	for w := 0; w < 3; w++ {
+		r.Add(Span{Worker: w, Kind: KindBarrier, Name: "op0", Start: 10 * ms, End: 20 * ms})
+		r.Add(Span{Worker: w, Kind: KindCommWait, Name: "bucket0", Start: 10 * ms, End: 20 * ms})
+	}
+	a := r.Attribute()
+	if a.TiedBarriers != 1 {
+		t.Errorf("TiedBarriers = %d, want 1", a.TiedBarriers)
+	}
+	if a.Workers[0].Worker != 0 || a.Workers[0].Blamed != 30*ms {
+		t.Errorf("tied barrier blamed %v on rank %d, want 30ms on rank 0",
+			a.Workers[0].Blamed, a.Workers[0].Worker)
+	}
+}
+
+func TestAttributeUnattributedWait(t *testing.T) {
+	r := New()
+	// A comm-wait with no barrier inside it at all (group-level tracing
+	// only, the pre-per-rank-span world) stays unattributed instead of
+	// being charged to an arbitrary rank.
+	r.Add(Span{Worker: 0, Kind: KindCommWait, Name: "iter0", Start: 10 * ms, End: 30 * ms})
+	// And a wait that extends past its last barrier keeps the tail
+	// unattributed.
+	r.Add(Span{Worker: 1, Kind: KindBarrier, Name: "op0", Start: 40 * ms, End: 45 * ms})
+	r.Add(Span{Worker: 1, Kind: KindCommWait, Name: "iter0", Start: 40 * ms, End: 50 * ms})
+	a := r.Attribute()
+	if a.Unattributed != 20*ms+5*ms {
+		t.Errorf("Unattributed = %v, want 25ms", a.Unattributed)
+	}
+	if a.Attributed != 5*ms {
+		t.Errorf("Attributed = %v, want 5ms", a.Attributed)
+	}
+	if a.Attributed+a.Unattributed != a.TotalCommWait {
+		t.Errorf("conservation broken: %v + %v != %v", a.Attributed, a.Unattributed, a.TotalCommWait)
+	}
+}
+
+func TestAttributeEmptyAndNil(t *testing.T) {
+	var nilRec *Recorder
+	for _, r := range []*Recorder{nilRec, New()} {
+		a := r.Attribute()
+		if a.Barriers != 0 || len(a.Workers) != 0 || a.TotalCommWait != 0 {
+			t.Errorf("empty attribution = %+v", a)
+		}
+	}
+}
+
+// BenchmarkBlameAttribute is the enforced micro-benchmark for the
+// frontier pass: 8 workers, 240 barriers, one comm-wait per worker per
+// barrier.
+func BenchmarkBlameAttribute(b *testing.B) {
+	const workers, barriers = 8, 240
+	r := New()
+	for bi := 0; bi < barriers; bi++ {
+		base := time.Duration(bi) * 10 * ms
+		end := base + 8*ms
+		name := fmt.Sprintf("op%d", bi)
+		for w := 0; w < workers; w++ {
+			arrive := base + time.Duration(w)*ms/2
+			r.Add(Span{Worker: w, Kind: KindBarrier, Name: name, Start: arrive, End: end})
+			r.Add(Span{Worker: w, Kind: KindCommWait, Name: "bucket0", Start: arrive, End: end})
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Attribute()
+	}
+}

@@ -27,6 +27,13 @@ const (
 	KindCommWait
 	KindOptimizer
 	KindCollective
+
+	// KindBarrier marks one worker's passage through a synchronization
+	// barrier: Start is the instant the rank arrived (issued the
+	// collective), End the instant the collective completed globally.
+	// Barrier spans annotate the same intervals the worker's KindCommWait
+	// spans cover, so exclude them when summing exclusive busy time.
+	KindBarrier
 )
 
 // String returns the kind name.
@@ -46,6 +53,8 @@ func (k Kind) String() string {
 		return "optimizer"
 	case KindCollective:
 		return "collective"
+	case KindBarrier:
+		return "barrier"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -162,27 +171,65 @@ func (r *Recorder) Summary() string {
 
 // chromeEvent is one entry of the Chrome trace-event ("catapult") format.
 type chromeEvent struct {
-	Name      string  `json:"name"`
-	Category  string  `json:"cat"`
-	Phase     string  `json:"ph"`
-	TsMicros  float64 `json:"ts"`
-	DurMicros float64 `json:"dur"`
-	PID       int     `json:"pid"`
-	TID       int     `json:"tid"`
+	Name      string            `json:"name"`
+	Category  string            `json:"cat,omitempty"`
+	Phase     string            `json:"ph"`
+	TsMicros  float64           `json:"ts"`
+	DurMicros float64           `json:"dur"`
+	PID       int               `json:"pid"`
+	TID       int               `json:"tid"`
+	Args      map[string]string `json:"args,omitempty"`
 }
+
+// groupTID is the reserved thread ID group-level (Worker < 0) spans are
+// exported on: negative tids confuse Perfetto's track sorting, so the
+// group timeline gets its own named row instead.
+const groupTID = 1000
 
 // ChromeTrace serializes the timeline as a Chrome trace-event JSON array
 // loadable in chrome://tracing or https://ui.perfetto.dev. Workers map to
-// thread IDs; group-level spans go to tid 1000.
+// thread IDs; group-level spans go to the reserved groupTID row. Each row
+// carries a thread_name metadata event so the viewer shows "worker N" and
+// "collective group" instead of bare tids.
 func (r *Recorder) ChromeTrace() ([]byte, error) {
 	if r == nil {
 		return []byte("[]"), nil
 	}
-	events := make([]chromeEvent, 0, len(r.spans))
+	seen := make(map[int]bool)
+	group := false
+	for _, s := range r.spans {
+		if s.Worker < 0 {
+			group = true
+		} else {
+			seen[s.Worker] = true
+		}
+	}
+	workers := make([]int, 0, len(seen))
+	for w := range seen {
+		workers = append(workers, w)
+	}
+	sort.Ints(workers)
+	events := make([]chromeEvent, 0, len(r.spans)+len(workers)+1)
+	for _, w := range workers {
+		events = append(events, chromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			TID:   w,
+			Args:  map[string]string{"name": fmt.Sprintf("worker %d", w)},
+		})
+	}
+	if group {
+		events = append(events, chromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			TID:   groupTID,
+			Args:  map[string]string{"name": "collective group"},
+		})
+	}
 	for _, s := range r.spans {
 		tid := s.Worker
 		if tid < 0 {
-			tid = 1000
+			tid = groupTID
 		}
 		name := s.Kind.String()
 		if s.Name != "" {

@@ -76,6 +76,7 @@ func TestKindString(t *testing.T) {
 		KindCommWait:   "comm-wait",
 		KindOptimizer:  "optimizer",
 		KindCollective: "collective",
+		KindBarrier:    "barrier",
 		Kind(99):       "Kind(99)",
 	} {
 		if got := k.String(); got != want {
@@ -106,13 +107,25 @@ func TestChromeTraceFormat(t *testing.T) {
 	if err := json.Unmarshal(raw, &events); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
-	if len(events) != 2 {
-		t.Fatalf("events = %d, want 2", len(events))
+	// 2 span events plus 2 thread_name metadata events (worker 2, group).
+	if len(events) != 4 {
+		t.Fatalf("events = %d, want 4", len(events))
 	}
-	first := events[0]
-	if first["ph"] != "X" {
-		t.Errorf("phase = %v, want X (complete event)", first["ph"])
+	var spans, meta []map[string]any
+	for _, e := range events {
+		switch e["ph"] {
+		case "X":
+			spans = append(spans, e)
+		case "M":
+			meta = append(meta, e)
+		default:
+			t.Errorf("unexpected phase %v", e["ph"])
+		}
 	}
+	if len(spans) != 2 || len(meta) != 2 {
+		t.Fatalf("spans = %d, meta = %d, want 2 and 2", len(spans), len(meta))
+	}
+	first := spans[0]
 	if first["ts"].(float64) != 1000 {
 		t.Errorf("ts = %v, want 1000 us", first["ts"])
 	}
@@ -122,8 +135,55 @@ func TestChromeTraceFormat(t *testing.T) {
 	if first["name"] != "forward:iter0" {
 		t.Errorf("name = %v", first["name"])
 	}
-	// Group-level spans land on the reserved tid.
-	if events[1]["tid"].(float64) != 1000 {
-		t.Errorf("group tid = %v, want 1000", events[1]["tid"])
+	// Group-level spans land on the reserved tid, never a negative one.
+	if spans[1]["tid"].(float64) != 1000 {
+		t.Errorf("group tid = %v, want 1000", spans[1]["tid"])
+	}
+	for _, e := range events {
+		if e["tid"].(float64) < 0 {
+			t.Errorf("event %v on negative tid", e["name"])
+		}
+	}
+}
+
+// TestChromeTraceThreadNames pins the regression where group-level
+// (Worker = -1) spans landed on an anonymous row: every row present in
+// the export must carry a thread_name metadata event.
+func TestChromeTraceThreadNames(t *testing.T) {
+	r := New()
+	r.Add(Span{Worker: 0, Kind: KindForward, Name: "iter0", End: time.Millisecond})
+	r.Add(Span{Worker: 3, Kind: KindBarrier, Name: "op0", End: time.Millisecond})
+	r.Add(Span{Worker: -1, Kind: KindCollective, Name: "op0", End: time.Millisecond})
+	raw, err := r.ChromeTrace()
+	if err != nil {
+		t.Fatalf("ChromeTrace: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	names := map[float64]string{} // tid -> thread name
+	for _, e := range events {
+		if e["ph"] == "M" && e["name"] == "thread_name" {
+			args := e["args"].(map[string]any)
+			names[e["tid"].(float64)] = args["name"].(string)
+		}
+	}
+	want := map[float64]string{0: "worker 0", 3: "worker 3", 1000: "collective group"}
+	for tid, name := range want {
+		if names[tid] != name {
+			t.Errorf("tid %v named %q, want %q", tid, names[tid], name)
+		}
+	}
+	if len(names) != len(want) {
+		t.Errorf("named rows = %d, want %d", len(names), len(want))
+	}
+	for _, e := range events {
+		if e["ph"] != "X" {
+			continue
+		}
+		if _, ok := names[e["tid"].(float64)]; !ok {
+			t.Errorf("span %v on unnamed tid %v", e["name"], e["tid"])
+		}
 	}
 }

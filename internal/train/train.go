@@ -84,7 +84,18 @@ type Config struct {
 	CompressionRatio float64
 
 	// Trace, when non-nil, records the per-worker execution timeline.
+	// The collective group also records per-rank barrier spans on it,
+	// which is what makes frontier blame attribution (trace.Attribute)
+	// lossless.
 	Trace *trace.Recorder
+
+	// StragglerRank and StragglerScale inject a synthetic straggler:
+	// when StragglerScale > 1, the worker at StragglerRank runs all its
+	// GPU compute (forward, backward segments and tail, optimizer) slower
+	// by that factor, so every other rank piles up comm-wait behind it.
+	// 0 (or 1) disables the injection; values below 1 are rejected.
+	StragglerRank  int
+	StragglerScale float64
 }
 
 // DefaultHookOverhead is the per-bucket host-side synchronization cost of
@@ -107,7 +118,8 @@ type Result struct {
 	PerIteration time.Duration
 
 	// ComputePerWorker is the pure GPU compute time each worker spent
-	// (identical across workers).
+	// (identical across workers; an injected straggler's scaled compute
+	// is not reflected here).
 	ComputePerWorker time.Duration
 
 	// DataWaitMax is the largest per-worker time spent blocked on the
@@ -160,11 +172,26 @@ func Run(eng *sim.Engine, net *simnet.Network, cfg Config) (*Result, error) {
 	if len(gpus) == 0 {
 		return nil, fmt.Errorf("train: no GPUs")
 	}
+	switch {
+	//lint:allow floatcmp 0 is the unset-field sentinel of the zero Config, not a computed value
+	case cfg.StragglerScale == 0:
+		cfg.StragglerScale = 1
+	case cfg.StragglerScale < 1:
+		return nil, fmt.Errorf("train: straggler scale %v < 1", cfg.StragglerScale)
+	}
+	if cfg.StragglerScale > 1 && (cfg.StragglerRank < 0 || cfg.StragglerRank >= len(gpus)) {
+		return nil, fmt.Errorf("train: straggler rank %d outside [0,%d)", cfg.StragglerRank, len(gpus))
+	}
 	buckets := cfg.Buckets
 	if buckets == nil {
 		buckets = collective.PerLayerBuckets(cfg.Job.Model)
 	}
-	group, err := collective.NewGroup(eng, net, cfg.Topology, gpus, cfg.CollectiveOptions...)
+	copts := cfg.CollectiveOptions
+	if cfg.Trace != nil {
+		// Three-index append: never scribble on the caller's option slice.
+		copts = append(copts[:len(copts):len(copts)], collective.WithTrace(cfg.Trace))
+	}
+	group, err := collective.NewGroup(eng, net, cfg.Topology, gpus, copts...)
 	if err != nil {
 		return nil, fmt.Errorf("train: %w", err)
 	}
@@ -379,8 +406,11 @@ type worker struct {
 	pi      int           // drain position in pending
 	pending []*sim.Signal // overlapped all-reduces, reused across iterations
 
+	// slow is the straggler compute multiplier (1 for normal workers).
+	slow float64
+
 	// Span/stall start times carried across blocking points.
-	t0, c0, h0, o0, bwdStart time.Duration
+	t0, c0, h0, o0, b0 time.Duration
 
 	finish    time.Duration
 	warmupEnd time.Duration
@@ -405,9 +435,21 @@ func (w *worker) reset(gpu *topo.Device, cfg *Config, plan *iterationPlan, group
 	w.state = wIterStart
 	w.it, w.bi, w.pi = 0, 0, 0
 	w.pending = w.pending[:0]
-	w.t0, w.c0, w.h0, w.o0, w.bwdStart = 0, 0, 0, 0, 0
+	w.slow = 1
+	if cfg.StragglerScale > 1 && w.rank == cfg.StragglerRank {
+		w.slow = cfg.StragglerScale
+	}
+	w.t0, w.c0, w.h0, w.o0, w.b0 = 0, 0, 0, 0, 0
 	w.finish, w.warmupEnd = 0, 0
 	w.dataWait, w.commWait = 0, 0
+}
+
+// dur scales a compute duration by the worker's straggler factor.
+func (w *worker) dur(d time.Duration) time.Duration {
+	if w.slow > 1 {
+		return time.Duration(float64(d) * w.slow)
+	}
+	return d
 }
 
 func (w *worker) span(kind trace.Kind, name string, start time.Duration) {
@@ -456,29 +498,36 @@ func (w *worker) step() {
 		case wForward:
 			w.t0 = w.eng.Now()
 			w.state = wForwardDone
-			w.eng.Schedule(w.plan.forward, w.cont)
+			w.eng.Schedule(w.dur(w.plan.forward), w.cont)
 			return
 
 		case wForwardDone:
 			if tr != nil {
 				w.span(trace.KindForward, w.iterName(), w.t0)
 			}
-			w.bwdStart = w.eng.Now()
 			w.bi = 0
 			w.pending = w.pending[:0]
 			w.state = wSegOrTail
 
 		case wSegOrTail:
+			// Each backward segment gets its own span (recorded in
+			// wSegDone/wTailDone), so hook and blocking comm-wait time
+			// between segments is never double-counted inside a backward
+			// span: a worker's spans partition its timeline.
+			w.b0 = w.eng.Now()
 			if w.bi < len(w.plan.backwardSegments) {
 				w.state = wSegDone
-				w.eng.Schedule(w.plan.backwardSegments[w.bi], w.cont)
+				w.eng.Schedule(w.dur(w.plan.backwardSegments[w.bi]), w.cont)
 			} else {
 				w.state = wTailDone
-				w.eng.Schedule(w.plan.backwardTail, w.cont)
+				w.eng.Schedule(w.dur(w.plan.backwardTail), w.cont)
 			}
 			return
 
 		case wSegDone:
+			if tr != nil {
+				w.span(trace.KindBackward, w.iterName(), w.b0)
+			}
 			if w.hook > 0 {
 				w.h0 = w.eng.Now()
 				w.state = wHookDone
@@ -519,7 +568,7 @@ func (w *worker) step() {
 
 		case wTailDone:
 			if tr != nil {
-				w.span(trace.KindBackward, w.iterName(), w.bwdStart)
+				w.span(trace.KindBackward, w.iterName(), w.b0)
 			}
 			w.c0 = w.eng.Now()
 			w.pi = 0
@@ -539,7 +588,7 @@ func (w *worker) step() {
 			}
 			w.o0 = w.eng.Now()
 			w.state = wOptDone
-			w.eng.Schedule(w.plan.optimizer, w.cont)
+			w.eng.Schedule(w.dur(w.plan.optimizer), w.cont)
 			return
 
 		case wOptDone:

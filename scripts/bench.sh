@@ -38,14 +38,19 @@
 #                   non-warmup ones)
 #   FILTER          -bench regexp          (default Suite|RingAllReduce|
 #                   EventDispatch|ProcessSwitch|TaskSwitch|Barrier|
-#                   FlowLifecycle)
+#                   FlowLifecycle|BlameAttribute)
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1x}"
 MICRO_BENCHTIME="${MICRO_BENCHTIME:-0.5s}"
 COUNT="${COUNT:-3}"
-FILTER="${FILTER:-SuiteSerial|SuiteParallel|RingAllReduce|EventDispatch|ProcessSwitch|TaskSwitch|Barrier|FlowLifecycle}"
+FILTER="${FILTER:-SuiteSerial|SuiteParallel|RingAllReduce|EventDispatch|ProcessSwitch|TaskSwitch|Barrier|FlowLifecycle|BlameAttribute}"
+# The effective scheduler width: parallel_speedup (SuiteSerial /
+# SuiteParallel) is only meaningful when the parallel suite actually had
+# more than one P to run on, so single-P hosts record gomaxprocs and
+# omit the ratio instead of emitting a misleading ~1.0x.
+GOMAXPROCS_EFF="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)}"
 DATE="$(date -u +%Y%m%d)"
 if [ -z "${OUT:-}" ]; then
     OUT="BENCH_${DATE}.json"
@@ -63,13 +68,13 @@ go test -run '^$' -bench "$FILTER" -benchmem -benchtime "$BENCHTIME" -count "$CO
     . | tee "$RAW"
 echo "==> go test -bench '$FILTER' -benchtime=$MICRO_BENCHTIME -count=$COUNT (micro)"
 go test -run '^$' -bench "$FILTER" -benchmem -benchtime "$MICRO_BENCHTIME" -count "$COUNT" \
-    ./internal/collective ./internal/sim ./internal/simnet | tee -a "$RAW"
+    ./internal/collective ./internal/sim ./internal/simnet ./internal/trace | tee -a "$RAW"
 
 # Convert the textual benchmark lines into JSON. A line looks like
 #   BenchmarkSuiteSerial-8   1   123456789 ns/op   456 B/op   7 allocs/op
 # Fields beyond ns/op are optional and preserved when present. The first
 # sample of each benchmark is marked as warmup.
-awk -v date="$DATE" -v benchtime="$BENCHTIME" -v microbenchtime="$MICRO_BENCHTIME" -v count="$COUNT" '
+awk -v date="$DATE" -v benchtime="$BENCHTIME" -v microbenchtime="$MICRO_BENCHTIME" -v count="$COUNT" -v gomaxprocs="$GOMAXPROCS_EFF" '
 BEGIN { n = 0 }
 /^goos:/   { goos = $2 }
 /^goarch:/ { goarch = $2 }
@@ -106,7 +111,11 @@ END {
     printf "  \"benchtime\": \"%s\",\n", benchtime
     printf "  \"micro_benchtime\": \"%s\",\n", microbenchtime
     printf "  \"count\": %s,\n", count
-    if (serialMin && parallelMin)
+    printf "  \"gomaxprocs\": %d,\n", gomaxprocs
+    # On a single-P host SuiteParallel degenerates to serial execution
+    # and the ratio reads ~1.0x — noise, not a speedup — so it is
+    # omitted; benchcmp reads gomaxprocs and skips the diff with a note.
+    if (serialMin && parallelMin && gomaxprocs + 0 >= 2)
         printf "  \"parallel_speedup\": %.4f,\n", serialMin / parallelMin
     printf "  \"benchmarks\": [\n"
     for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n - 1 ? "," : "")

@@ -49,10 +49,11 @@ go run ./cmd/stash -selfcheck
 # Perf-trajectory checks: diff the two most recent BENCH_*.json
 # snapshots when at least two exist.
 #
-# The micro benches (internal/sim, internal/simnet, internal/collective)
-# are ENFORCED: their steady-state min-of-N is stable across runs on one
-# machine (nanosecond-scale operations, many iterations per sample), so a
-# >25% regression is a real change, not noise, and fails the gate.
+# The micro benches (internal/sim, internal/simnet, internal/collective,
+# internal/trace — the blame-attribution pass) are ENFORCED: their
+# steady-state min-of-N is stable across runs on one machine
+# (nanosecond-scale operations, many iterations per sample), so a >25%
+# regression is a real change, not noise, and fails the gate.
 #
 # The suite benches (package stash: SuiteSerial/SuiteParallel and the
 # experiment benches) stay ADVISORY: a suite sample is one -benchtime=1x
@@ -64,7 +65,7 @@ set -- $(ls BENCH_*.json 2>/dev/null | sort)
 if [ "$#" -ge 2 ]; then
   shift $(($# - 2))
   echo "==> benchcmp $1 $2 (micro benches, enforcing)"
-  go run ./cmd/benchcmp -threshold 25 -match '^stash/internal/(sim|simnet|collective)\.' "$1" "$2"
+  go run ./cmd/benchcmp -threshold 25 -match '^stash/internal/(sim|simnet|collective|trace)\.' "$1" "$2"
   echo "==> benchcmp $1 $2 (suite benches, advisory)"
   go run ./cmd/benchcmp -threshold -1 -match '^stash\.' "$1" "$2" || echo "    benchcmp: advisory check failed (non-blocking)"
 fi
