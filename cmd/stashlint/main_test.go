@@ -51,3 +51,39 @@ func TestRunBadPattern(t *testing.T) {
 		t.Fatalf("exit %d on bad pattern, want 2 (stderr: %s)", code, errw.String())
 	}
 }
+
+// TestRunTimingFlag: -timing must print one wall-time line per analyzer
+// after a clean run, in roster order.
+func TestRunTimingFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks real packages; run without -short")
+	}
+	var out, errw bytes.Buffer
+	if code := run([]string{"-timing", "./internal/hw"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d on clean package, stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "stashlint timing over 1 packages") {
+		t.Errorf("missing timing header:\n%s", out.String())
+	}
+	for _, a := range lint.All() {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("timing report missing analyzer %q:\n%s", a.Name, out.String())
+		}
+	}
+}
+
+// TestRunStaleAllows: the tree's own directives must all be live — this
+// is the same invariant ci.sh gates on, scoped to one package here for
+// speed; the module-wide pass runs in CI.
+func TestRunStaleAllows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks real packages; run without -short")
+	}
+	var out, errw bytes.Buffer
+	if code := run([]string{"-staleallows", "./internal/core"}, &out, &errw); code != 0 {
+		t.Fatalf("-staleallows exit %d, stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "are live") {
+		t.Errorf("missing liveness summary:\n%s", out.String())
+	}
+}

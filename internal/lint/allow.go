@@ -6,11 +6,15 @@ import (
 	"strings"
 )
 
-// allowDirective is one parsed //lint:allow comment.
+// allowDirective is one parsed //lint:allow comment. used flips when
+// the directive actually suppresses a finding, which is what
+// StaleAllows keys on: a directive that suppresses nothing has
+// outlived the finding it excused.
 type allowDirective struct {
 	analyzer string
 	reason   string
 	pos      token.Position
+	used     bool
 }
 
 // allowIndex maps (file, line) to the directives that cover it. A
@@ -71,6 +75,7 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
 func (idx *allowIndex) allows(analyzer, file string, line int) bool {
 	for _, d := range idx.byLine[file][line] {
 		if d.analyzer == analyzer && d.reason != "" {
+			d.used = true
 			return true
 		}
 	}

@@ -8,18 +8,24 @@ import (
 
 // CtxFlow enforces context threading on request paths: a function that
 // receives a context.Context must pass it along, not mint a fresh root.
-// Two patterns are flagged inside such functions: (1) any call to
+// Three patterns are flagged inside such functions: (1) any call to
 // context.Background() or context.TODO(), which silently detaches the
 // callee from the request's deadline and cancellation (a stashd request
-// timeout or SIGTERM drain would no longer stop the work); and (2)
-// calling Foo(...) when a FooContext(ctx, ...) variant exists in the
-// same package or method set — the repo's convention for
-// context-threading APIs (Profile/ProfileContext, ForEach/ForEachCtx).
+// timeout or SIGTERM drain would no longer stop the work); (2) calling
+// Foo(...) when a FooContext(ctx, ...) variant exists in the same
+// package or method set — the repo's convention for context-threading
+// APIs (Profile/ProfileContext, ForEach/ForEachCtx); and (3) — the
+// interprocedural closure of (2), via the Program call-graph summaries
+// — calling a ctx-less module helper whose call chain reaches such a
+// context-free API any number of frames down without a ctx-taking
+// frame in between. Taint propagation stops at ctx-taking callees:
+// those are entry points in their own right and are checked directly.
 var CtxFlow = &Analyzer{
 	Name: "ctxflow",
-	Doc: "a function that receives a ctx must thread it: no context.Background()/TODO() " +
-		"and no calls to the context-free variant of an API whose *Context sibling exists — " +
-		"detached work outlives request deadlines and the shutdown drain",
+	Doc: "thread a received ctx interprocedurally: no context.Background()/TODO(), no " +
+		"calls to the context-free variant of an API whose *Context sibling exists, and " +
+		"no ctx-less helper chains that reach such an API frames down — detached work " +
+		"outlives request deadlines and the shutdown drain",
 	Run: runCtxFlow,
 }
 
@@ -84,43 +90,41 @@ func checkCtxBody(pass *Pass, body *ast.BlockStmt) {
 		}
 		if sibling := contextSibling(pass, fn); sibling != "" {
 			pass.Reportf(call.Pos(), "%s has a context-threading variant %s; call it with the ctx this function already holds", fn.Name(), sibling)
+			return true
+		}
+		// Interprocedural: a ctx-less module helper whose chain reaches
+		// a context-free API with a *Context sibling, frames down.
+		if pass.Prog != nil {
+			if ff := pass.Prog.factsFor(fn); ff != nil && ff.ctxTainted && !ff.hasCtx {
+				chain := strings.Join(append([]string{fn.Name()}, ff.ctxChain...), " → ")
+				pass.Reportf(call.Pos(), "%s reaches the context-free %s without a ctx-taking frame in between (chain: %s); thread the ctx this function already holds through that chain", fn.Name(), chainTail(ff.ctxChain), chain)
+			}
 		}
 		return true
 	})
 }
 
+// chainTail names the context-free API at the end of a taint chain for
+// the diagnostic headline.
+func chainTail(chain []string) string {
+	if len(chain) == 0 {
+		return "API"
+	}
+	last := chain[len(chain)-1]
+	if i := strings.IndexByte(last, ' '); i > 0 {
+		return last[:i]
+	}
+	return last
+}
+
 // contextSibling returns the name of fn's *Context/*Ctx variant if one
 // exists in the same package scope (for functions) or method set (for
 // methods) and takes a context.Context. Only module-local APIs are
-// considered — the repo controls those naming pairs.
+// considered — the repo controls those naming pairs. The lookup itself
+// lives in contextSiblingFrom so the Program's taint computation shares
+// it.
 func contextSibling(pass *Pass, fn *types.Func) string {
-	if fn.Pkg() != pass.Pkg && !strings.HasPrefix(fn.Pkg().Path(), pass.Pkg.Path()+"/") &&
-		!sameModule(pass.Pkg.Path(), fn.Pkg().Path()) {
-		return ""
-	}
-	name := fn.Name()
-	if strings.HasSuffix(name, "Context") || strings.HasSuffix(name, "Ctx") {
-		return ""
-	}
-	sig := fn.Type().(*types.Signature)
-	for _, suffix := range []string{"Context", "Ctx"} {
-		want := name + suffix
-		var cand types.Object
-		if recv := sig.Recv(); recv != nil {
-			cand, _, _ = types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), want)
-		} else {
-			cand = fn.Pkg().Scope().Lookup(want)
-		}
-		cfn, ok := cand.(*types.Func)
-		if !ok {
-			continue
-		}
-		csig := cfn.Type().(*types.Signature)
-		if csig.Params().Len() > 0 && isContextType(csig.Params().At(0).Type()) {
-			return want
-		}
-	}
-	return ""
+	return contextSiblingFrom(pass.Pkg.Path(), fn)
 }
 
 // sameModule reports whether two import paths share their first path

@@ -1,4 +1,4 @@
-// Package lint is stashlint's analyzer suite: six static analyzers
+// Package lint is stashlint's analyzer suite: eight static analyzers
 // that prove, at compile time, the invariants this repository otherwise
 // only checks dynamically (internal/audit, go test -race). The headline
 // guarantee — byte-identical stall tables serial-vs-parallel and
@@ -8,6 +8,15 @@
 // schedule. The hotpath analyzer additionally guards a performance
 // invariant: the converted hot-loop packages stay on the engine's
 // continuation fast path instead of coroutine processes.
+//
+// Three of the analyzers are interprocedural: RunAll builds a Program —
+// a module-wide call graph over go/types with per-function summaries
+// (which parameters a call invalidates, which locks it transitively
+// acquires, whether it reaches a context-free API with a *Context
+// sibling) computed to a monotone fixed point — and poolsafe,
+// lockorder and ctxflow consult those summaries at every call site, so
+// a pooled-lifecycle violation or a lock-order inversion hidden three
+// frames down is still a compile-time finding.
 //
 // The framework deliberately mirrors golang.org/x/tools/go/analysis
 // (Analyzer, Pass, Reportf, testdata fixtures with // want
@@ -35,7 +44,7 @@ import (
 // Version identifies the analyzer suite in CI gate logs. Bump it when
 // an analyzer's semantics change so a log line pins exactly what was
 // enforced for a given commit.
-const Version = "1.0.0"
+const Version = "1.1.0"
 
 // An Analyzer describes one static check.
 type Analyzer struct {
@@ -54,7 +63,7 @@ type Analyzer struct {
 
 // All returns the full suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Wallclock, MapOrder, LockHeld, CtxFlow, FloatCmp, Hotpath}
+	return []*Analyzer{Wallclock, MapOrder, LockHeld, LockOrder, CtxFlow, PoolSafe, FloatCmp, Hotpath}
 }
 
 // ByName returns the analyzer with the given name, or nil.
@@ -80,12 +89,17 @@ func (d Diagnostic) String() string {
 }
 
 // A Pass carries one type-checked package through one analyzer run.
+// Prog is the interprocedural layer shared by every package of the
+// run; the cross-function analyzers (poolsafe, lockorder, ctxflow)
+// read call-graph summaries from it while still reporting per package,
+// so allow-directive scoping stays line-local.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	Prog     *Program
 
 	allow *allowIndex
 	diags *[]Diagnostic
@@ -107,9 +121,37 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Run executes the given analyzers over one loaded package and returns
 // the findings sorted by position. Malformed allow annotations (no
-// reason) surface as diagnostics of the analyzer they name.
+// reason) surface as diagnostics of the analyzer they name. The
+// interprocedural program is built from this package alone; use RunAll
+// to resolve call chains that cross package boundaries.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return RunAll([]*Package{pkg}, analyzers)
+}
+
+// RunAll executes the analyzers over every package as one program: the
+// call-graph summaries span all of pkgs, so a lock cycle or a
+// use-after-recycle threaded through three packages is still seen,
+// while each finding is reported (and allow-suppressed) in the package
+// that contains it. The packages must come from one Loader.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	prog := BuildProgram(pkgs)
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		out = append(out, RunPackage(prog, pkg, analyzers)...)
+	}
+	return out
+}
+
+// RunPackage executes the analyzers over one package of an
+// already-built program and returns that package's findings sorted by
+// position. It is safe to call concurrently for different packages of
+// the same program, which is how cmd/stashlint parallelizes the gate.
+func RunPackage(prog *Program, pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	allow := buildAllowIndex(pkg.Fset, pkg.Files)
+	return runPackageWith(prog, pkg, analyzers, allow)
+}
+
+func runPackageWith(prog *Program, pkg *Package, analyzers []*Analyzer, allow *allowIndex) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -118,6 +160,7 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			Prog:     prog,
 			allow:    allow,
 			diags:    &diags,
 		}
@@ -130,6 +173,13 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		a.Run(pass)
 	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+// SortDiagnostics orders findings by file, line, column, then analyzer
+// — the stable order every entry point reports in.
+func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		if diags[i].Pos.Filename != diags[j].Pos.Filename {
 			return diags[i].Pos.Filename < diags[j].Pos.Filename
@@ -142,7 +192,35 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags
+}
+
+// StaleAllows runs the analyzers over every package as one program and
+// returns a diagnostic for each well-formed //lint:allow directive that
+// suppressed nothing — the directive outlived the finding it excused
+// and should be removed. Directives naming analyzers outside the run
+// set are left alone (a partial run proves nothing about them).
+func StaleAllows(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	prog := BuildProgram(pkgs)
+	names := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		names[a.Name] = true
+	}
+	var stale []Diagnostic
+	for _, pkg := range pkgs {
+		allow := buildAllowIndex(pkg.Fset, pkg.Files)
+		runPackageWith(prog, pkg, analyzers, allow)
+		for _, d := range allow.all {
+			if d.reason != "" && names[d.analyzer] && !d.used {
+				stale = append(stale, Diagnostic{
+					Pos:      d.pos,
+					Analyzer: d.analyzer,
+					Message:  fmt.Sprintf("stale //lint:allow %s: the analyzer no longer reports at this site; remove the directive", d.analyzer),
+				})
+			}
+		}
+	}
+	SortDiagnostics(stale)
+	return stale
 }
 
 // isContextType reports whether t is context.Context.

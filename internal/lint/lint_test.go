@@ -45,7 +45,10 @@ func TestFixtures(t *testing.T) {
 		{Wallclock, "wallclock"},
 		{MapOrder, "maporder"},
 		{LockHeld, "lockheld"},
+		{LockOrder, "lockorder"},
 		{CtxFlow, "ctxflow"},
+		{PoolSafe, "poolsafe"},
+		{PoolSafe, "allowscope"},
 		{FloatCmp, "floatcmp"},
 		{Hotpath, "hotpath"},
 		{Hotpath, "hotpathcore"},
@@ -97,7 +100,7 @@ func TestAllowRequiresReason(t *testing.T) {
 // TestSuiteRegistry pins the analyzer set: CI prints this list, and the
 // allow annotations in the tree reference these names.
 func TestSuiteRegistry(t *testing.T) {
-	want := []string{"wallclock", "maporder", "lockheld", "ctxflow", "floatcmp", "hotpath"}
+	want := []string{"wallclock", "maporder", "lockheld", "lockorder", "ctxflow", "poolsafe", "floatcmp", "hotpath"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("got %d analyzers, want %d", len(all), len(want))
@@ -141,8 +144,65 @@ func TestRepoIsClean(t *testing.T) {
 		t.Fatalf("expected to load the whole module, got %d packages", len(pkgs))
 	}
 	for _, pkg := range pkgs {
-		for _, d := range Run(pkg, All()) {
-			t.Errorf("%s", d)
+		if strings.Contains(pkg.Path, "testdata") {
+			t.Errorf("fixture package %s leaked into the module walk", pkg.Path)
 		}
+	}
+	// One program over the whole module, so the interprocedural
+	// analyzers see every cross-package call chain — the same shape
+	// cmd/stashlint runs in CI.
+	for _, d := range RunAll(pkgs, All()) {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestAllowScopeInterprocedural pins the scoping contract directly (the
+// want annotations in testdata/src/allowscope cover it fixture-style):
+// a callee-side allow must not suppress the caller-side finding derived
+// from the callee's summary, and vice versa.
+func TestAllowScopeInterprocedural(t *testing.T) {
+	l := fixtureLoader(t)
+	pkg := loadFixture(t, l, "allowscope")
+	diags := Run(pkg, []*Analyzer{PoolSafe})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (caller-side and callee-side): %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "Group.Release") {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if !strings.Contains(diags[0].Message, "(via releaseQuiet)") && !strings.Contains(diags[1].Message, "(via releaseQuiet)") {
+		t.Errorf("missing the interprocedural caller-side finding: %v", diags)
+	}
+}
+
+// TestStaleAllows: a directive that suppressed a finding is kept, one
+// that suppressed nothing is reported at its own position.
+func TestStaleAllows(t *testing.T) {
+	l := fixtureLoader(t)
+	pkg := loadFixture(t, l, "staleallow")
+	stale := StaleAllows([]*Package{pkg}, []*Analyzer{Wallclock, PoolSafe})
+	if len(stale) != 1 {
+		t.Fatalf("got %d stale directives, want 1: %v", len(stale), stale)
+	}
+	d := stale[0]
+	if d.Analyzer != "wallclock" || !strings.Contains(d.Message, "stale //lint:allow wallclock") {
+		t.Errorf("unexpected stale diagnostic: %s", d)
+	}
+	// The live directive sits above time.Now (line 12); the stale one
+	// must be the other, later directive.
+	if d.Pos.Line <= 12 {
+		t.Errorf("stale diagnostic points at the live directive: %s", d)
+	}
+}
+
+// TestStaleAllowsIgnoresOtherAnalyzers: running a subset proves nothing
+// about directives naming analyzers outside it.
+func TestStaleAllowsIgnoresOtherAnalyzers(t *testing.T) {
+	l := fixtureLoader(t)
+	pkg := loadFixture(t, l, "staleallow")
+	if stale := StaleAllows([]*Package{pkg}, []*Analyzer{PoolSafe}); len(stale) != 0 {
+		t.Errorf("stale findings for analyzers that did not run: %v", stale)
 	}
 }

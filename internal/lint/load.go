@@ -9,13 +9,17 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strings"
 )
 
 // A Package is one parsed and type-checked package ready for analysis.
 // Test files (*_test.go) are never loaded: the determinism guarantees
-// cover what ships, and tests legitimately read wall clocks.
+// cover what ships, and tests legitimately read wall clocks. Files
+// holds only the analyzable sources — generated files are type-checked
+// for their symbols but never appear here, so no analyzer reports into
+// them.
 type Package struct {
 	Path  string // import path ("stash/internal/core", or a fixture path)
 	Dir   string
@@ -112,7 +116,11 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	var files []*ast.File
+	// Generated files (the standard `// Code generated … DO NOT EDIT.`
+	// header) are type-checked — other files in the package may depend
+	// on their symbols — but excluded from the analyzed Files, so the
+	// suite never reports into code that answers to its generator.
+	var all, files []*ast.File
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
@@ -120,13 +128,20 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
 			continue
 		}
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		src, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
 			return nil, err
 		}
-		files = append(files, f)
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, f)
+		if !isGeneratedSource(src) {
+			files = append(files, f)
+		}
 	}
-	if len(files) == 0 {
+	if len(all) == 0 {
 		return nil, fmt.Errorf("lint: no Go files in %s", dir)
 	}
 
@@ -137,7 +152,7 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
 	conf := types.Config{Importer: l, FakeImportC: true}
-	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	tpkg, err := conf.Check(importPath, l.Fset, all, info)
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
 	}
@@ -218,6 +233,26 @@ func (l *Loader) Expand(patterns []string) ([]*Package, error) {
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
 	return pkgs, nil
+}
+
+// generatedRx is the Go convention for generated files
+// (https://go.dev/s/generatedcode): a line-anchored comment before the
+// package clause.
+var generatedRx = regexp.MustCompile(`^// Code generated .* DO NOT EDIT\.$`)
+
+// isGeneratedSource reports whether src carries the standard generated
+// header anywhere before its package clause.
+func isGeneratedSource(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSuffix(line, "\r")
+		if generatedRx.MatchString(line) {
+			return true
+		}
+		if strings.HasPrefix(line, "package ") {
+			return false
+		}
+	}
+	return false
 }
 
 // hasGoFiles reports whether dir directly contains at least one

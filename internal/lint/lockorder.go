@@ -1,0 +1,54 @@
+package lint
+
+import "strings"
+
+// LockOrder upgrades lockheld's single-function discipline to
+// module-wide deadlock freedom: it builds the lock-acquisition graph —
+// an edge A→B whenever lock B is taken while A is held, directly or
+// through any call chain (via the Program's transitive acquire-set
+// summaries) — and reports every edge that lies on a cycle. An acyclic
+// graph admits a global acquisition order, so the scheduler, the
+// single-flight profiler cache and the stashd job store can never
+// deadlock by interleaving; a cycle is a deadlock waiting for the
+// schedule the race detector never produces.
+//
+// Lock identity is canonicalized so the graph spans functions: struct
+// fields key by their owning named type ("pkg.Type.mu", all instances
+// conflated — the ordering discipline is per-type), package-level vars
+// by "pkg.var". A direct or transitive re-acquisition of the same key
+// is reported as a self-cycle: sync.Mutex is not reentrant.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "forbid lock-acquisition cycles across call chains: an A→B ordering in one " +
+		"function and B→A anywhere else (however many frames down) is a deadlock the " +
+		"race detector only finds on the losing schedule",
+	Run: runLockOrder,
+}
+
+func runLockOrder(pass *Pass) {
+	prog := pass.Prog
+	if prog == nil {
+		return
+	}
+	for _, e := range prog.lockEdges {
+		if e.pkg != pass.Pkg {
+			continue
+		}
+		via := ""
+		if e.via != "" {
+			via = " (via call to " + e.via + ")"
+		}
+		if e.from == e.to {
+			pass.Reportf(e.pos,
+				"%s acquired while already held%s: sync mutexes are not reentrant, this self-deadlocks",
+				e.from, via)
+			continue
+		}
+		if path := prog.lockPath(e.to, e.from); path != nil {
+			cycle := strings.Join(append([]string{e.from}, path...), " → ")
+			pass.Reportf(e.pos,
+				"lock order cycle: %s acquired while %s is held%s, but the reverse order exists elsewhere (cycle: %s); pick one global order",
+				e.to, e.from, via, cycle)
+		}
+	}
+}

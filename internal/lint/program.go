@@ -1,0 +1,811 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// A Program is the interprocedural layer shared by one analysis run: a
+// module-wide call graph over go/types with a per-function summary of
+// the facts the cross-function analyzers need — which parameters and
+// receivers a call invalidates (hands back to a pool), which signal
+// parameters it registers waiters on, fires, or re-arms, the transitive
+// set of locks it may acquire, and whether it reaches a context-free
+// API whose *Context sibling exists. Summaries are computed to a
+// monotone fixed point, so facts flow through arbitrarily deep call
+// chains (and through recursion) without re-walking callee bodies at
+// every call site.
+//
+// Function literals are deliberately excluded from summaries: a literal
+// has no *types.Func identity callers could look up, and its body is
+// scanned independently by each per-function analyzer.
+type Program struct {
+	fset  *token.FileSet
+	facts map[*types.Func]*funcFacts
+	order []*funcFacts // deterministic pkgs→files→decls order
+
+	lockEdges []lockEdge
+	lockAdj   map[string][]string // acquisition graph, neighbors sorted
+}
+
+// funcFacts is the per-function summary.
+type funcFacts struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+
+	hasCtx bool // any parameter is a context.Context
+
+	// Pooled-lifecycle facts, keyed by summary parameter index:
+	// 0 is the receiver when the function is a method, then the
+	// declared parameters in order.
+	invalidates map[int]string // index → invalidating API ("Network.Recycle", …)
+	registers   map[int]bool   // signal param gains a parked waiter (OnFire)
+	clears      map[int]bool   // signal param is fired or awaited
+	rearms      map[int]bool   // signal param is re-armed
+
+	// Lock facts: every canonical lock key this function may acquire,
+	// directly or through any callee (go statements, deferred calls and
+	// function literals excluded — they do not run under the caller's
+	// locks at the call point).
+	locks map[string]bool
+
+	// Context-flow facts, meaningful only when !hasCtx: the function
+	// transitively reaches a context-free API with a *Context/*Ctx
+	// sibling, without any ctx-taking frame in between. ctxChain is an
+	// example call path for the diagnostic, ending at the sibling note.
+	ctxTainted bool
+	ctxChain   []string
+}
+
+// lockEdge is one observed nesting: `to` acquired while `from` is held.
+type lockEdge struct {
+	from, to string
+	fromKind string // "Lock" or "RLock"
+	toKind   string
+	pos      token.Pos
+	via      string // callee name when the inner acquisition is transitive
+	pkg      *types.Package
+}
+
+// BuildProgram indexes every function declaration in pkgs and computes
+// the summaries to a fixed point. The packages must come from a single
+// Loader so *types.Func identities are shared across packages.
+func BuildProgram(pkgs []*Package) *Program {
+	p := &Program{facts: make(map[*types.Func]*funcFacts)}
+	if len(pkgs) > 0 {
+		p.fset = pkgs[0].Fset
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				ff := &funcFacts{fn: fn, decl: fd, pkg: pkg, hasCtx: hasContextParam(fn.Type().(*types.Signature))}
+				p.facts[fn] = ff
+				p.order = append(p.order, ff)
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, ff := range p.order {
+			if p.recompute(ff) {
+				changed = true
+			}
+		}
+	}
+	p.computeLockEdges()
+	return p
+}
+
+// factsFor returns the summary for fn, or nil when fn has no body in
+// the analyzed package set (stdlib, interface methods, literals).
+func (p *Program) factsFor(fn *types.Func) *funcFacts {
+	if fn == nil {
+		return nil
+	}
+	return p.facts[fn]
+}
+
+// paramIndexes maps the declared receiver and parameter objects of decl
+// to their summary index (receiver 0, then parameters).
+func paramIndexes(pkg *Package, decl *ast.FuncDecl) map[types.Object]int {
+	idx := make(map[types.Object]int)
+	n := 0
+	if decl.Recv != nil && len(decl.Recv.List) == 1 {
+		for _, name := range decl.Recv.List[0].Names {
+			if obj := pkg.Info.Defs[name]; obj != nil {
+				idx[obj] = 0
+			}
+		}
+		n = 1
+	}
+	for _, field := range decl.Type.Params.List {
+		if len(field.Names) == 0 {
+			n++
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pkg.Info.Defs[name]; obj != nil {
+				idx[obj] = n
+			}
+			n++
+		}
+	}
+	return idx
+}
+
+// argExprAt returns the caller-side expression bound to summary index i
+// of a call to a function with signature sig, or nil when it cannot be
+// determined (method values, variadic spill).
+func argExprAt(call *ast.CallExpr, sig *types.Signature, i int) ast.Expr {
+	if sig.Recv() != nil {
+		if i == 0 {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				return sel.X
+			}
+			return nil
+		}
+		i--
+	}
+	if i >= 0 && i < len(call.Args) {
+		return call.Args[i]
+	}
+	return nil
+}
+
+// recompute rebuilds ff's summary from its body given the current
+// summaries of its callees and reports whether anything changed. Every
+// fact is monotone in its inputs, so iteration converges.
+func (p *Program) recompute(ff *funcFacts) bool {
+	params := paramIndexes(ff.pkg, ff.decl)
+	next := &funcFacts{
+		invalidates: make(map[int]string),
+		registers:   make(map[int]bool),
+		clears:      make(map[int]bool),
+		rearms:      make(map[int]bool),
+		locks:       make(map[string]bool),
+	}
+	info := ff.pkg.Info
+
+	paramOf := func(e ast.Expr) (int, bool) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return 0, false
+		}
+		i, ok := params[info.Uses[id]]
+		return i, ok
+	}
+
+	ast.Inspect(ff.decl.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false // no identity; scanned independently
+		case *ast.GoStmt, *ast.DeferStmt:
+			return false // not executed under the caller's frame here
+		case *ast.CallExpr:
+			fn := funcFor(info, v)
+			if fn == nil {
+				return true
+			}
+			sig := fn.Type().(*types.Signature)
+			var recv ast.Expr
+			if sig.Recv() != nil {
+				if sel, ok := ast.Unparen(v.Fun).(*ast.SelectorExpr); ok {
+					recv = sel.X
+				}
+			}
+
+			if label, kind := poolInvalidator(fn); kind != invNone {
+				var target ast.Expr
+				switch kind {
+				case invArg0:
+					if len(v.Args) > 0 {
+						target = v.Args[0]
+					}
+				case invRecv:
+					target = recv
+				}
+				if target != nil {
+					if i, ok := paramOf(target); ok {
+						if _, dup := next.invalidates[i]; !dup {
+							next.invalidates[i] = label
+						}
+					}
+				}
+				return true
+			}
+			switch signalOp(fn) {
+			case sigOnFire:
+				if i, ok := paramOf(recv); ok {
+					next.registers[i] = true
+				}
+				return true
+			case sigFire:
+				if i, ok := paramOf(recv); ok {
+					next.clears[i] = true
+				}
+				return true
+			case sigRearm:
+				if i, ok := paramOf(recv); ok {
+					next.rearms[i] = true
+				}
+				return true
+			case sigAwait:
+				if len(v.Args) == 1 {
+					if i, ok := paramOf(v.Args[0]); ok {
+						next.clears[i] = true
+					}
+				}
+				return true
+			}
+			if r, k := mutexCallInfo(info, v); k == "Lock" || k == "RLock" {
+				if key := lockKeyFor(info, r); key != "" {
+					next.locks[key] = true
+				}
+				return true
+			}
+
+			// Transitive facts through a summarized callee.
+			cf := p.facts[fn]
+			if cf == nil {
+				return true
+			}
+			propagate := func(src map[int]bool, dst map[int]bool) {
+				for i := range src {
+					if arg := argExprAt(v, sig, i); arg != nil {
+						if j, ok := paramOf(arg); ok {
+							dst[j] = true
+						}
+					}
+				}
+			}
+			for i, label := range cf.invalidates {
+				if arg := argExprAt(v, sig, i); arg != nil {
+					if j, ok := paramOf(arg); ok {
+						if _, dup := next.invalidates[j]; !dup {
+							next.invalidates[j] = label
+						}
+					}
+				}
+			}
+			propagate(cf.registers, next.registers)
+			propagate(cf.clears, next.clears)
+			propagate(cf.rearms, next.rearms)
+			for key := range cf.locks {
+				next.locks[key] = true
+			}
+
+			// Context taint: only non-ctx module-local frames propagate.
+			if !ff.hasCtx && !next.ctxTainted && sameModule(ff.pkg.Path, pkgPathOf(fn)) && !hasContextParam(sig) {
+				if sib := contextSiblingFrom(ff.pkg.Path, fn); sib != "" {
+					next.ctxTainted = true
+					next.ctxChain = []string{fn.Name() + " (sibling " + sib + " exists)"}
+				} else if cf.ctxTainted {
+					next.ctxTainted = true
+					next.ctxChain = append([]string{fn.Name()}, cf.ctxChain...)
+				}
+			}
+		}
+		return true
+	})
+
+	// Direct taint from callees without bodies is impossible (the
+	// sibling lookup above handles declared-elsewhere functions via
+	// go/types, not via facts), so taint is complete here.
+	changed := ff.hasChangedFrom(next)
+	ff.invalidates, ff.registers, ff.clears, ff.rearms = next.invalidates, next.registers, next.clears, next.rearms
+	ff.locks = next.locks
+	ff.ctxTainted, ff.ctxChain = next.ctxTainted, next.ctxChain
+	return changed
+}
+
+func (ff *funcFacts) hasChangedFrom(next *funcFacts) bool {
+	if ff.ctxTainted != next.ctxTainted || !equalStrings(ff.ctxChain, next.ctxChain) {
+		return true
+	}
+	if !equalIntString(ff.invalidates, next.invalidates) {
+		return true
+	}
+	if !equalIntBool(ff.registers, next.registers) || !equalIntBool(ff.clears, next.clears) ||
+		!equalIntBool(ff.rearms, next.rearms) {
+		return true
+	}
+	if len(ff.locks) != len(next.locks) {
+		return true
+	}
+	for k := range next.locks {
+		if !ff.locks[k] {
+			return true
+		}
+	}
+	return false
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalIntString(a, b map[int]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range b {
+		if a[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func equalIntBool(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range b {
+		if !a[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedLockKeys returns the summary's acquire set in stable order for
+// deterministic edge emission.
+func sortedLockKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// pkgPathOf returns fn's package path, or "" for builtins.
+func pkgPathOf(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// ---- pooled-lifecycle API identification -------------------------------
+
+type invKind int
+
+const (
+	invNone invKind = iota
+	invArg0         // the first call argument is handed back to the pool
+	invRecv         // the receiver itself is handed back
+)
+
+// poolInvalidator recognizes the repository's pooled-lifecycle APIs:
+// the calls after which a handle must not be used again.
+func poolInvalidator(fn *types.Func) (label string, kind invKind) {
+	switch {
+	case isMethodOn(fn, "internal/simnet", "Network", "Recycle"):
+		return "Network.Recycle", invArg0
+	case isMethodOn(fn, "internal/collective", "Group", "Release"):
+		return "Group.Release", invRecv
+	}
+	return "", invNone
+}
+
+// poolResetter recognizes the whole-pool invalidators: Reset on an
+// engine or network invalidates every handle derived from that object
+// (but not the object itself, which is built for reuse).
+func poolResetter(fn *types.Func) (label, class string) {
+	switch {
+	case isMethodOn(fn, "internal/simnet", "Network", "Reset"):
+		return "Network.Reset", "flow"
+	case isMethodOn(fn, "internal/sim", "Engine", "Reset"):
+		return "Engine.Reset", "handle"
+	}
+	return "", ""
+}
+
+type sigOp int
+
+const (
+	sigNone sigOp = iota
+	sigOnFire
+	sigFire
+	sigRearm
+	sigAwait
+)
+
+// signalOp classifies sim.Signal waiter-lifecycle calls. Process.Await
+// counts as a clear: by the time Await returns, the signal has fired
+// and its waiter list is empty.
+func signalOp(fn *types.Func) sigOp {
+	if isMethodOn(fn, "internal/sim", "Signal", "OnFire") {
+		return sigOnFire
+	}
+	if isMethodOn(fn, "internal/sim", "Signal", "Fire") {
+		return sigFire
+	}
+	if isMethodOn(fn, "internal/sim", "Signal", "Rearm") {
+		return sigRearm
+	}
+	if isMethodOn(fn, "internal/sim", "Process", "Await") {
+		return sigAwait
+	}
+	return sigNone
+}
+
+// isMethodOn reports whether fn is method `name` on the named type
+// `typeName` declared in a package whose import path ends in pkgSuffix
+// (matched on path segments, so "internal/sim" does not match
+// "internal/simnet").
+func isMethodOn(fn *types.Func, pkgSuffix, typeName, name string) bool {
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	if path != pkgSuffix && !strings.HasSuffix(path, "/"+pkgSuffix) {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == typeName
+}
+
+// pooledClassOf classifies a type as one of the recycled families:
+// "flow" (*simnet.Flow), "handle" (sim.Event / *sim.Task, both stale
+// after Engine.Reset) or "group" (*collective.Group).
+func pooledClassOf(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	path := named.Obj().Pkg().Path()
+	name := named.Obj().Name()
+	switch {
+	case name == "Flow" && pathEndsIn(path, "internal/simnet"):
+		return "flow"
+	case (name == "Event" || name == "Task") && pathEndsIn(path, "internal/sim"):
+		return "handle"
+	case name == "Group" && pathEndsIn(path, "internal/collective"):
+		return "group"
+	}
+	return ""
+}
+
+func pathEndsIn(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// creatorSrc returns the canonical source expression for a pooled
+// handle created by call — the engine or network it came from — or ""
+// when the call is not a recognized creator. Reset-style invalidation
+// matches on this string, lockheld-style.
+func creatorSrc(info *types.Info, call *ast.CallExpr) string {
+	fn := funcFor(info, call)
+	if fn == nil {
+		return ""
+	}
+	isCreator := false
+	switch fn.Name() {
+	case "StartFlow", "StartFlowLatency", "Transfer":
+		isCreator = isMethodOn(fn, "internal/simnet", "Network", fn.Name())
+	case "Schedule", "ScheduleArg", "ScheduleAt", "Spawn":
+		isCreator = isMethodOn(fn, "internal/sim", "Engine", fn.Name())
+	case "After":
+		isCreator = isMethodOn(fn, "internal/sim", "Task", "After")
+	}
+	if !isCreator {
+		return ""
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return exprKey(sel.X)
+	}
+	return ""
+}
+
+// exprKey renders an expression as a canonical string key, seeing
+// through parentheses and a leading address-of.
+func exprKey(e ast.Expr) string {
+	if e == nil {
+		return ""
+	}
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	return types.ExprString(e)
+}
+
+// ---- lock identity and the acquisition graph ---------------------------
+
+// mutexCallInfo is mutexCallExpr without a Pass: it matches
+// sync.(RW)Mutex Lock/RLock/Unlock/RUnlock calls and returns the
+// receiver expression and method name.
+func mutexCallInfo(info *types.Info, call *ast.CallExpr) (recv ast.Expr, method string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return sel.X, fn.Name()
+	}
+	return nil, ""
+}
+
+// lockKeyFor canonicalizes a mutex receiver expression into a
+// module-wide lock identity:
+//
+//   - a struct field `x.mu` keys by the owning named type —
+//     "pkg.Type.mu" — conflating all instances of that type (the
+//     ordering discipline is per-type, which is what deadlock freedom
+//     needs);
+//   - a package-level var (including one with an embedded Mutex whose
+//     promoted Lock is called directly) keys as "pkg.var";
+//   - a local or parameter of a named struct type with a promoted
+//     Lock keys by that type;
+//   - everything else (a bare local sync.Mutex) has no cross-function
+//     identity and returns "".
+func lockKeyFor(info *types.Info, recv ast.Expr) string {
+	e := ast.Unparen(recv)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	switch v := e.(type) {
+	case *ast.Ident:
+		obj := info.Uses[v]
+		vr, ok := obj.(*types.Var)
+		if !ok || vr.Pkg() == nil {
+			return ""
+		}
+		if vr.Parent() == vr.Pkg().Scope() {
+			return vr.Pkg().Path() + "." + vr.Name()
+		}
+		return namedTypeKey(vr.Type())
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(v.X).(*ast.Ident); ok {
+			if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+				if vr, ok := info.Uses[v.Sel].(*types.Var); ok && vr.Pkg() != nil {
+					return vr.Pkg().Path() + "." + vr.Name()
+				}
+				return ""
+			}
+		}
+		tv, ok := info.Types[v.X]
+		if !ok {
+			return ""
+		}
+		if key := namedTypeKey(tv.Type); key != "" {
+			return key + "." + v.Sel.Name
+		}
+	}
+	return ""
+}
+
+// namedTypeKey renders a (possibly pointer-to) named non-sync type as
+// "pkg.Type", or "".
+func namedTypeKey(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() == "sync" {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}
+
+// computeLockEdges walks every lock region in the program (the lockheld
+// document-order approximation: Lock to the first same-receiver Unlock,
+// or block end when deferred) and records which other locks are
+// acquired inside it, directly or through a summarized callee.
+func (p *Program) computeLockEdges() {
+	// Each declared body is walked once; function literals nested in it
+	// are reached by the same block walk, so their regions count too.
+	for _, ff := range p.order {
+		p.lockEdgesIn(ff.pkg, ff.decl.Body)
+	}
+
+	p.lockAdj = make(map[string][]string)
+	adjSet := make(map[string]map[string]bool)
+	for _, e := range p.lockEdges {
+		if adjSet[e.from] == nil {
+			adjSet[e.from] = make(map[string]bool)
+		}
+		adjSet[e.from][e.to] = true
+	}
+	for from, tos := range adjSet {
+		p.lockAdj[from] = sortedLockKeys(tos)
+	}
+}
+
+// lockEdgesIn scans one function body (its literals included) for lock
+// regions and appends the nesting edges found.
+func (p *Program) lockEdgesIn(pkg *Package, body *ast.BlockStmt) {
+	info := pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, stmt := range block.List {
+			es, ok := stmt.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			recv, kind := mutexCallInfo(info, call)
+			if kind != "Lock" && kind != "RLock" {
+				continue
+			}
+			key := lockKeyFor(info, recv)
+			if key == "" {
+				continue
+			}
+			s := &lockRegionScan{prog: p, pkg: pkg, recv: types.ExprString(recv), key: key, kind: kind}
+			for _, held := range block.List[i+1:] {
+				if s.done {
+					break
+				}
+				s.scan(held)
+			}
+		}
+		return true
+	})
+}
+
+// lockRegionScan walks the statements after one Lock in document order,
+// recording inner acquisitions until the matching Unlock.
+type lockRegionScan struct {
+	prog *Program
+	pkg  *Package
+	recv string
+	key  string
+	kind string
+	done bool
+}
+
+func (s *lockRegionScan) scan(stmt ast.Stmt) {
+	info := s.pkg.Info
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if s.done {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			// Not executed under this lock at this point (a deferred
+			// mu.Unlock keeps the region open to block end, matching
+			// lockheld's approximation).
+			return false
+		case *ast.CallExpr:
+			recv, kind := mutexCallInfo(info, v)
+			if kind != "" && types.ExprString(recv) == s.recv && (kind == "Unlock" || kind == "RUnlock") {
+				s.done = true
+				return false
+			}
+			if kind == "Lock" || kind == "RLock" {
+				if key := lockKeyFor(info, recv); key != "" {
+					if key == s.key && kind == "RLock" && s.kind == "RLock" {
+						return true // shared re-acquisition: not a self-deadlock by itself
+					}
+					s.add(key, kind, v.Pos(), "")
+				}
+				return true
+			}
+			if fn := funcFor(info, v); fn != nil {
+				if cf := s.prog.facts[fn]; cf != nil {
+					for _, key := range sortedLockKeys(cf.locks) {
+						s.add(key, "Lock", v.Pos(), fn.Name())
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (s *lockRegionScan) add(to, toKind string, pos token.Pos, via string) {
+	s.prog.lockEdges = append(s.prog.lockEdges, lockEdge{
+		from: s.key, to: to, fromKind: s.kind, toKind: toKind,
+		pos: pos, via: via, pkg: s.pkg.Types,
+	})
+}
+
+// lockPath returns a shortest path from → … → to in the acquisition
+// graph (inclusive of both endpoints), or nil when to is unreachable.
+// Neighbor order is sorted, so the returned path is deterministic.
+func (p *Program) lockPath(from, to string) []string {
+	if from == to {
+		return []string{from}
+	}
+	prev := map[string]string{from: from}
+	queue := []string{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range p.lockAdj[cur] {
+			if _, ok := prev[next]; ok {
+				continue
+			}
+			prev[next] = cur
+			if next == to {
+				var path []string
+				for n := to; ; n = prev[n] {
+					path = append([]string{n}, path...)
+					if n == from {
+						return path
+					}
+				}
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil
+}
+
+// contextSiblingFrom is the module-local sibling lookup used by both
+// the per-function ctxflow check and the interprocedural taint
+// computation: it returns the name of fn's *Context/*Ctx variant when
+// one exists and takes a context.Context first.
+func contextSiblingFrom(fromPkgPath string, fn *types.Func) string {
+	if fn.Pkg() == nil || !sameModule(fromPkgPath, fn.Pkg().Path()) {
+		return ""
+	}
+	name := fn.Name()
+	if strings.HasSuffix(name, "Context") || strings.HasSuffix(name, "Ctx") {
+		return ""
+	}
+	sig := fn.Type().(*types.Signature)
+	for _, suffix := range []string{"Context", "Ctx"} {
+		want := name + suffix
+		var cand types.Object
+		if recv := sig.Recv(); recv != nil {
+			cand, _, _ = types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), want)
+		} else {
+			cand = fn.Pkg().Scope().Lookup(want)
+		}
+		cfn, ok := cand.(*types.Func)
+		if !ok {
+			continue
+		}
+		csig := cfn.Type().(*types.Signature)
+		if csig.Params().Len() > 0 && isContextType(csig.Params().At(0).Type()) {
+			return want
+		}
+	}
+	return ""
+}

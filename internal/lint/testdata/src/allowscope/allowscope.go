@@ -1,0 +1,32 @@
+// Package allowscope pins allow-directive scoping under the
+// interprocedural analyzers: //lint:allow is line-local to where a
+// finding is REPORTED, so a directive inside a callee never silences a
+// caller-side finding derived from that callee's summary, and a
+// caller-side directive never silences the callee's own finding.
+package allowscope
+
+import "stash/internal/collective"
+
+// The directive here covers releaseQuiet's own lines only. Its summary
+// (receiver invalidated) still flows to callers.
+func releaseQuiet(g *collective.Group) {
+	//lint:allow poolsafe scope test: the pool owner invalidates deliberately
+	g.Release()
+}
+
+func badCallerStillFlagged(g *collective.Group) int {
+	releaseQuiet(g)
+	return g.WorldSize() // want `g used after Group\.Release \(via releaseQuiet\)`
+}
+
+// The callee's own finding is reported at the callee's line; an allow
+// at the caller cannot reach it.
+func releaseAndUse(g *collective.Group) int {
+	g.Release()
+	return g.WorldSize() // want `g used after Group\.Release`
+}
+
+func callerAllowDoesNotLeak(g *collective.Group) int {
+	//lint:allow poolsafe scope test: suppresses nothing in the callee
+	return releaseAndUse(g)
+}

@@ -1,0 +1,50 @@
+// Interprocedural ctxflow cases: a ctx received at an entry point must
+// reach every context-capable callee, even when the context-free API is
+// hidden several ctx-less frames down.
+package ctxflow
+
+import "context"
+
+func fetch(n int) int                             { return n }
+func fetchContext(ctx context.Context, n int) int { _ = ctx; return n }
+
+// frameOne → frameTwo → fetch: neither frame takes a ctx, so a ctx
+// entering above them is silently dropped three frames up from fetch.
+func frameTwo(n int) int { return fetch(n) }
+func frameOne(n int) int { return frameTwo(n) }
+
+func badDeepChain(ctx context.Context) int {
+	return frameOne(1) // want `frameOne reaches the context-free fetch`
+}
+
+func badShallowChain(ctx context.Context) int {
+	return frameTwo(2) // want `frameTwo reaches the context-free fetch`
+}
+
+// Threading the ctx all the way down is clean.
+func goodDeepThread(ctx context.Context) int {
+	return fetchContext(ctx, 1)
+}
+
+// Taint stops at a ctx-taking frame: relay receives the ctx and is
+// checked directly, so calling it is fine.
+func relay(ctx context.Context, n int) int { return fetchContext(ctx, n) }
+
+func goodViaRelay(ctx context.Context) int {
+	return relay(ctx, 2)
+}
+
+// A ctx-less root may call the chain: only ctx-receiving functions are
+// obliged to thread one.
+func rootSweep() int {
+	return frameOne(3)
+}
+
+// pure has no path to any *Context API; calling it stays clean however
+// deep the chain goes.
+func pureLeaf(n int) int  { return n * 2 }
+func pureChain(n int) int { return pureLeaf(n) }
+
+func goodPureChain(ctx context.Context) int {
+	return pureChain(4)
+}

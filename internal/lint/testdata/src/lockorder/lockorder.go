@@ -1,0 +1,125 @@
+// Package lockorder exercises the lockorder analyzer: the module-wide
+// lock-acquisition graph must stay acyclic. Seeded here: a direct AB/BA
+// inversion inside one type, a cross-function cycle where each half of
+// the inversion hides behind a call, a recursive (self) acquisition,
+// and consistently-ordered nesting that must stay clean.
+package lockorder
+
+import "sync"
+
+// ---- direct inversion within one type ---------------------------------
+
+type server struct {
+	mu sync.Mutex
+	qu sync.Mutex
+}
+
+func (s *server) abOrder() {
+	s.mu.Lock()
+	s.qu.Lock() // want `lock order cycle`
+	s.qu.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *server) baOrder() {
+	s.qu.Lock()
+	s.mu.Lock() // want `lock order cycle`
+	s.mu.Unlock()
+	s.qu.Unlock()
+}
+
+// ---- consistent ordering stays clean ----------------------------------
+
+type tree struct {
+	parent sync.Mutex
+	child  sync.Mutex
+}
+
+func (t *tree) down() {
+	t.parent.Lock()
+	t.child.Lock()
+	t.child.Unlock()
+	t.parent.Unlock()
+}
+
+func (t *tree) downDeferred() {
+	t.parent.Lock()
+	defer t.parent.Unlock()
+	t.child.Lock()
+	defer t.child.Unlock()
+}
+
+// ---- the inversion hides behind calls ---------------------------------
+
+type reg struct{ mu sync.Mutex }
+type cache struct{ mu sync.Mutex }
+
+func touchReg(r *reg) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+}
+
+func touchCache(c *cache) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+}
+
+func (c *cache) fill(r *reg) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	touchReg(r) // want `lock order cycle`
+}
+
+func (r *reg) sweep(c *cache) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	touchCache(c) // want `lock order cycle`
+}
+
+// ---- recursive acquisition --------------------------------------------
+
+var global sync.Mutex
+
+func doubleLock() {
+	global.Lock()
+	global.Lock() // want `global acquired while already held`
+	global.Unlock()
+	global.Unlock()
+}
+
+func lockGlobal() {
+	global.Lock()
+	global.Unlock()
+}
+
+func recurseViaHelper() {
+	global.Lock()
+	lockGlobal() // want `global acquired while already held \(via call to lockGlobal\)`
+	global.Unlock()
+}
+
+// ---- allow scoping: a callee-side allow must not leak to callers ------
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func lockBQuiet(p *pair) {
+	//lint:allow lockorder scope test: this directive must not suppress caller-side findings
+	p.b.Lock()
+	p.b.Unlock()
+}
+
+func callerOrderAB(p *pair) {
+	p.a.Lock()
+	lockBQuiet(p) // want `lock order cycle`
+	p.a.Unlock()
+}
+
+func callerOrderBA(p *pair) {
+	p.b.Lock()
+	p.a.Lock() // want `lock order cycle`
+	p.a.Unlock()
+	p.b.Unlock()
+}

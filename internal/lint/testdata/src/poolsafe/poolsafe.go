@@ -1,0 +1,182 @@
+// Package poolsafe exercises the poolsafe analyzer against the real
+// pooled-lifecycle APIs: use-after-recycle on flows, engine handles and
+// collective groups, Signal.Rearm with a parked waiter, and the
+// interprocedural variants where the invalidation happens inside a
+// helper frames below the use.
+package poolsafe
+
+import (
+	"time"
+
+	"stash/internal/collective"
+	"stash/internal/sim"
+	"stash/internal/simnet"
+)
+
+// ---- flows: Network.Recycle / Network.Reset ---------------------------
+
+func badUseAfterRecycle(n *simnet.Network, r []*simnet.Link) float64 {
+	f := n.StartFlow(1024, r)
+	n.Recycle(f)
+	return f.Rate() // want `f used after Network\.Recycle`
+}
+
+func goodRecycleLast(n *simnet.Network, r []*simnet.Link) float64 {
+	f := n.StartFlow(1024, r)
+	v := f.Rate()
+	n.Recycle(f)
+	return v
+}
+
+func goodReacquire(n *simnet.Network, r []*simnet.Link) float64 {
+	f := n.StartFlow(1024, r)
+	n.Recycle(f)
+	f = n.StartFlow(2048, r) // reassignment re-validates the handle
+	return f.Rate()
+}
+
+// Any-path semantics: recycling in one branch poisons the join.
+func badBranchRecycle(n *simnet.Network, r []*simnet.Link, done bool) float64 {
+	f := n.StartFlow(1024, r)
+	if done {
+		n.Recycle(f)
+	}
+	return f.Rate() // want `f used after Network\.Recycle`
+}
+
+// A recycling branch that returns does not poison the other path.
+func goodGuardedRecycle(n *simnet.Network, r []*simnet.Link, done bool) float64 {
+	f := n.StartFlow(1024, r)
+	if done {
+		n.Recycle(f)
+		return 0
+	}
+	return f.Rate()
+}
+
+func badUseAfterNetReset(n *simnet.Network, r []*simnet.Link) bool {
+	f := n.StartFlow(1024, r)
+	n.Reset()
+	return f.Completed() // want `f used after Network\.Reset`
+}
+
+// Reset invalidates only handles derived from the reset network.
+func goodOtherNetReset(a, b *simnet.Network, r []*simnet.Link) bool {
+	f := a.StartFlow(1024, r)
+	b.Reset()
+	return f.Completed()
+}
+
+// The free-list owner's own loop is clean: each flow is recycled and
+// never touched again in that iteration.
+func goodRecycleSweep(n *simnet.Network, flows []*simnet.Flow) {
+	for _, f := range flows {
+		n.Recycle(f)
+	}
+}
+
+// ---- engine handles: Engine.Reset -------------------------------------
+
+func badEventAfterEngineReset(e *sim.Engine) bool {
+	ev := e.Schedule(time.Second, func() {})
+	e.Reset()
+	return ev.Pending() // want `ev used after Engine\.Reset`
+}
+
+func badTaskAfterEngineReset(e *sim.Engine) string {
+	t := e.Spawn("worker", nil)
+	e.Reset()
+	return t.Name() // want `t used after Engine\.Reset`
+}
+
+func goodHandleBeforeReset(e *sim.Engine) bool {
+	ev := e.Schedule(time.Second, func() {})
+	ok := ev.Pending()
+	e.Reset()
+	return ok
+}
+
+// ---- groups: Group.Release --------------------------------------------
+
+func badGroupAfterRelease(g *collective.Group) int {
+	g.Release()
+	return g.WorldSize() // want `g used after Group\.Release`
+}
+
+func goodReleaseLast(g *collective.Group) int {
+	size := g.WorldSize()
+	g.Release()
+	return size
+}
+
+// ---- interprocedural: the invalidation is frames below ----------------
+
+func recycleIt(n *simnet.Network, f *simnet.Flow) {
+	n.Recycle(f)
+}
+
+func recycleDeep(n *simnet.Network, f *simnet.Flow) {
+	recycleIt(n, f)
+}
+
+func badRecycleViaHelper(n *simnet.Network, r []*simnet.Link) float64 {
+	f := n.StartFlow(1024, r)
+	recycleIt(n, f)
+	return f.Rate() // want `f used after Network\.Recycle \(via recycleIt\)`
+}
+
+func badRecycleTwoFramesDown(n *simnet.Network, r []*simnet.Link) float64 {
+	f := n.StartFlow(1024, r)
+	recycleDeep(n, f)
+	return f.Rate() // want `f used after Network\.Recycle \(via recycleDeep\)`
+}
+
+func releaseVia(g *collective.Group) {
+	g.Release()
+}
+
+func badReleaseViaHelper(g *collective.Group) int {
+	releaseVia(g)
+	return g.OpsCompleted() // want `g used after Group\.Release \(via releaseVia\)`
+}
+
+// ---- signals: Rearm with a parked waiter ------------------------------
+
+func badRearmParked(e *sim.Engine) {
+	s := sim.NewSignal(e)
+	s.OnFire(func() {})
+	s.Rearm() // want `Rearm of s while a waiter registered at line \d+ may still be parked`
+}
+
+func goodRearmAfterFire(e *sim.Engine) {
+	s := sim.NewSignal(e)
+	s.OnFire(func() {})
+	s.Fire()
+	s.Rearm()
+}
+
+// Await returns only after the signal fired and drained its waiters.
+func goodRearmAfterAwait(p *sim.Process, s *sim.Signal) {
+	s.OnFire(func() {})
+	p.Await(s)
+	s.Rearm()
+}
+
+func rearmIt(s *sim.Signal) {
+	s.Rearm()
+}
+
+func badRearmViaHelper(e *sim.Engine) {
+	s := sim.NewSignal(e)
+	s.OnFire(func() {})
+	rearmIt(s) // want `Rearm of s \(via rearmIt\) while a waiter registered at line \d+`
+}
+
+// ---- the escape hatch still works, reason mandatory -------------------
+
+func allowedPeek(n *simnet.Network, r []*simnet.Link) bool {
+	f := n.StartFlow(1024, r)
+	n.Recycle(f)
+	//lint:allow poolsafe the free-list owner reads the completed bit before reuse
+	return f.Completed()
+}

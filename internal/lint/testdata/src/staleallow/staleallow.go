@@ -1,0 +1,19 @@
+// Package staleallow exercises StaleAllows: a directive that
+// suppresses a live finding is kept, one that suppresses nothing is
+// reported as stale.
+package staleallow
+
+import "time"
+
+// This directive earns its keep: it suppresses a real wallclock
+// finding on the line below.
+func now() time.Time {
+	//lint:allow wallclock deterministic tests stub this call site
+	return time.Now()
+}
+
+// This directive is stale: nothing on the covered lines reports.
+func calm() time.Duration {
+	//lint:allow wallclock the wall-clock read here was removed in a refactor
+	return time.Second
+}

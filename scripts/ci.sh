@@ -18,7 +18,10 @@ go vet ./...
 
 echo "==> stashlint ./... (static determinism & concurrency analyzers)"
 go run ./cmd/stashlint -list
-go run ./cmd/stashlint ./...
+go run ./cmd/stashlint -timing ./...
+
+echo "==> stashlint -staleallows ./... (every //lint:allow must still suppress a finding)"
+go run ./cmd/stashlint -staleallows ./...
 
 echo "==> go build ./..."
 go build ./...
