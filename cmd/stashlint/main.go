@@ -140,14 +140,11 @@ func analyze(pkgs []*lint.Package, analyzers []*lint.Analyzer) ([][]lint.Diagnos
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			var diags []lint.Diagnostic
-			for j, a := range analyzers {
+			results[i] = lint.RunPackageObserved(prog, pkg, analyzers, func(j int, run func()) {
 				start := time.Now() //lint:allow wallclock measuring analyzer wall time for the -timing report, not simulation state
-				diags = append(diags, lint.RunPackage(prog, pkg, []*lint.Analyzer{a})...)
+				run()
 				atomic.AddInt64(&nanos[j], int64(time.Since(start))) //lint:allow wallclock measuring analyzer wall time for the -timing report, not simulation state
-			}
-			lint.SortDiagnostics(diags)
-			results[i] = diags
+			})
 		}(i, pkg)
 	}
 	wg.Wait()

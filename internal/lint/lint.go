@@ -44,7 +44,7 @@ import (
 // Version identifies the analyzer suite in CI gate logs. Bump it when
 // an analyzer's semantics change so a log line pins exactly what was
 // enforced for a given commit.
-const Version = "1.1.0"
+const Version = "1.2.0"
 
 // An Analyzer describes one static check.
 type Analyzer struct {
@@ -151,30 +151,57 @@ func RunPackage(prog *Program, pkg *Package, analyzers []*Analyzer) []Diagnostic
 	return runPackageWith(prog, pkg, analyzers, allow)
 }
 
-func runPackageWith(prog *Program, pkg *Package, analyzers []*Analyzer, allow *allowIndex) []Diagnostic {
+// RunPackageObserved is RunPackage with a per-analyzer hook: observe is
+// invoked once per analyzer (in roster order) and must call run() to
+// execute it. The allow index is built once for the whole package, so
+// callers that time analyzers individually — cmd/stashlint's -timing —
+// do not re-parse the package's comments per analyzer. A nil observe
+// behaves exactly like RunPackage.
+func RunPackageObserved(prog *Program, pkg *Package, analyzers []*Analyzer, observe func(i int, run func())) []Diagnostic {
+	allow := buildAllowIndex(pkg.Fset, pkg.Files)
 	var diags []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-			Prog:     prog,
-			allow:    allow,
-			diags:    &diags,
+	for i, a := range analyzers {
+		run := func() { runOneAnalyzer(prog, pkg, a, allow, &diags) }
+		if observe != nil {
+			observe(i, run)
+		} else {
+			run()
 		}
-		for _, bad := range allow.malformed(a.Name) {
-			diags = append(diags, Diagnostic{
-				Pos:      bad,
-				Analyzer: a.Name,
-				Message:  fmt.Sprintf("//lint:allow %s needs a reason: //lint:allow %s <why this site is safe>", a.Name, a.Name),
-			})
-		}
-		a.Run(pass)
 	}
 	SortDiagnostics(diags)
 	return diags
+}
+
+func runPackageWith(prog *Program, pkg *Package, analyzers []*Analyzer, allow *allowIndex) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		runOneAnalyzer(prog, pkg, a, allow, &diags)
+	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+// runOneAnalyzer executes one analyzer over one package, appending its
+// findings (malformed-directive diagnostics included) to diags.
+func runOneAnalyzer(prog *Program, pkg *Package, a *Analyzer, allow *allowIndex, diags *[]Diagnostic) {
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		Prog:     prog,
+		allow:    allow,
+		diags:    diags,
+	}
+	for _, bad := range allow.malformed(a.Name) {
+		*diags = append(*diags, Diagnostic{
+			Pos:      bad,
+			Analyzer: a.Name,
+			Message:  fmt.Sprintf("//lint:allow %s needs a reason: //lint:allow %s <why this site is safe>", a.Name, a.Name),
+		})
+	}
+	a.Run(pass)
 }
 
 // SortDiagnostics orders findings by file, line, column, then analyzer

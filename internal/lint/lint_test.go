@@ -156,6 +156,49 @@ func TestRepoIsClean(t *testing.T) {
 	}
 }
 
+// TestProgramConvergesOnRecursion is the regression test for the
+// summary fixed point: the ctxflow fixture contains self- and
+// mutually-recursive functions that reach a context-free API with a
+// *Context sibling, and BuildProgram must still terminate (the example
+// chain is frozen at first taint — a chain rebuilt per iteration grows
+// by one frame per round on a cycle and the fixed point never closes).
+// A regression here shows up as this test hanging until the go test
+// timeout; the assertions below additionally pin the frozen chains.
+func TestProgramConvergesOnRecursion(t *testing.T) {
+	l := fixtureLoader(t)
+	pkg := loadFixture(t, l, "ctxflow")
+	prog := BuildProgram([]*Package{pkg})
+	byName := make(map[string]*funcFacts)
+	for _, ff := range prog.order {
+		byName[ff.fn.Name()] = ff
+	}
+	for name, wantFirst := range map[string]string{"walk": "fetch", "pingPongB": "pingPongA"} {
+		ff := byName[name]
+		if ff == nil {
+			t.Fatalf("fixture function %s not summarized", name)
+		}
+		if !ff.ctxTainted {
+			t.Errorf("%s should be ctx-tainted", name)
+		}
+		// The frozen chain is finite and free of the growth artifact: a
+		// recursive frame never stacks itself.
+		if len(ff.ctxChain) > len(prog.order) {
+			t.Errorf("%s chain grew past the function count (%d frames): %v", name, len(ff.ctxChain), ff.ctxChain)
+		}
+		if len(ff.ctxChain) == 0 || !strings.HasPrefix(ff.ctxChain[0], wantFirst) {
+			t.Errorf("%s chain = %v, want first frame %q", name, ff.ctxChain, wantFirst)
+		}
+		for i := 1; i < len(ff.ctxChain); i++ {
+			if ff.ctxChain[i] == ff.ctxChain[i-1] {
+				t.Errorf("%s chain repeats a frame: %v", name, ff.ctxChain)
+			}
+		}
+	}
+	if ff := byName["spinA"]; ff == nil || ff.ctxTainted {
+		t.Errorf("spinA (recursion with no tainting leaf) should be summarized and untainted")
+	}
+}
+
 // TestAllowScopeInterprocedural pins the scoping contract directly (the
 // want annotations in testdata/src/allowscope cover it fixture-style):
 // a callee-side allow must not suppress the caller-side finding derived
@@ -174,6 +217,44 @@ func TestAllowScopeInterprocedural(t *testing.T) {
 	}
 	if !strings.Contains(diags[0].Message, "(via releaseQuiet)") && !strings.Contains(diags[1].Message, "(via releaseQuiet)") {
 		t.Errorf("missing the interprocedural caller-side finding: %v", diags)
+	}
+}
+
+// TestRunPackageObserved: the hook fires once per analyzer in roster
+// order, the findings match a plain RunPackage over the same program
+// (one shared allow index, no per-analyzer rebuild), and a nil hook
+// degrades to RunPackage.
+func TestRunPackageObserved(t *testing.T) {
+	l := fixtureLoader(t)
+	pkg := loadFixture(t, l, "poolsafe")
+	analyzers := All()
+	prog := BuildProgram([]*Package{pkg})
+	plain := RunPackage(prog, pkg, analyzers)
+
+	var seen []int
+	observed := RunPackageObserved(prog, pkg, analyzers, func(i int, run func()) {
+		seen = append(seen, i)
+		run()
+	})
+	if len(seen) != len(analyzers) {
+		t.Fatalf("observe fired %d times, want %d", len(seen), len(analyzers))
+	}
+	for i, j := range seen {
+		if i != j {
+			t.Errorf("observe order %v, want roster order", seen)
+			break
+		}
+	}
+	if len(observed) != len(plain) {
+		t.Fatalf("observed run found %d diagnostics, plain run %d", len(observed), len(plain))
+	}
+	for i := range observed {
+		if observed[i] != plain[i] {
+			t.Errorf("diagnostic %d differs: %v vs %v", i, observed[i], plain[i])
+		}
+	}
+	if nilHook := RunPackageObserved(prog, pkg, analyzers, nil); len(nilHook) != len(plain) {
+		t.Errorf("nil-hook run found %d diagnostics, want %d", len(nilHook), len(plain))
 	}
 }
 

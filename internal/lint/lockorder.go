@@ -16,7 +16,10 @@ import "strings"
 // fields key by their owning named type ("pkg.Type.mu", all instances
 // conflated — the ordering discipline is per-type), package-level vars
 // by "pkg.var". A direct or transitive re-acquisition of the same key
-// is reported as a self-cycle: sync.Mutex is not reentrant.
+// is reported as a self-cycle: sync.Mutex is not reentrant, and
+// RLock-inside-RLock counts too — sync.RWMutex documentation forbids
+// recursive read locking because a pending writer between the two
+// RLocks deadlocks the second one.
 var LockOrder = &Analyzer{
 	Name: "lockorder",
 	Doc: "forbid lock-acquisition cycles across call chains: an A→B ordering in one " +
@@ -39,9 +42,15 @@ func runLockOrder(pass *Pass) {
 			via = " (via call to " + e.via + ")"
 		}
 		if e.from == e.to {
-			pass.Reportf(e.pos,
-				"%s acquired while already held%s: sync mutexes are not reentrant, this self-deadlocks",
-				e.from, via)
+			if e.fromKind == "RLock" && e.toKind == "RLock" {
+				pass.Reportf(e.pos,
+					"%s read-locked while already read-held%s: recursive RLock deadlocks once a writer's Lock queues between the two acquisitions (sync.RWMutex forbids recursive read locking)",
+					e.from, via)
+			} else {
+				pass.Reportf(e.pos,
+					"%s acquired while already held%s: sync mutexes are not reentrant, this self-deadlocks",
+					e.from, via)
+			}
 			continue
 		}
 		if path := prog.lockPath(e.to, e.from); path != nil {

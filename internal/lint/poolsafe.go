@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"sort"
 )
@@ -236,7 +237,11 @@ func (sc *psScan) scanStmt(st *psState, s ast.Stmt) {
 	case *ast.BranchStmt:
 		// break/continue/goto leave this straight-line path; treating
 		// them as terminators keeps the guard-and-bail idiom clean.
-		st.terminated = true
+		// fallthrough does the opposite — execution continues into the
+		// next case body — so scanCases threads its state onward.
+		if v.Tok != token.FALLTHROUGH {
+			st.terminated = true
+		}
 	case *ast.DeferStmt:
 		// Receiver and arguments are evaluated now; the call's effects
 		// happen at function exit, outside this document-order scan.
@@ -274,17 +279,30 @@ func switchHasDefault(body *ast.BlockStmt) bool {
 
 func (sc *psScan) scanCases(st *psState, body *ast.BlockStmt, hasDefault bool) {
 	var branches []*psState
+	var fell *psState // state flowing in when the previous case fell through
 	for _, c := range body.List {
 		cc, ok := c.(*ast.CaseClause)
 		if !ok {
 			continue
 		}
 		b := st.clone()
+		if fell != nil {
+			// Entered either by matching the case or by falling through
+			// from the previous one: union both entry states.
+			b = unionStates(b, fell)
+			fell = nil
+		}
 		for _, e := range cc.List {
 			sc.scanExpr(b, e)
 		}
 		for _, s2 := range cc.Body {
 			sc.scanStmt(b, s2)
+		}
+		if caseFallsThrough(cc) {
+			// Control transfers into the next case, so this path joins
+			// the switch exit through that case's body, not here.
+			fell = b
+			continue
 		}
 		branches = append(branches, b)
 	}
@@ -292,6 +310,24 @@ func (sc *psScan) scanCases(st *psState, body *ast.BlockStmt, hasDefault bool) {
 		branches = append(branches, st.clone()) // the no-case-taken path
 	}
 	st.replaceWith(unionStates(branches...))
+}
+
+// caseFallsThrough reports whether the case body ends in a fallthrough
+// statement (the spec requires it to be the final statement).
+func caseFallsThrough(cc *ast.CaseClause) bool {
+	if len(cc.Body) == 0 {
+		return false
+	}
+	s := cc.Body[len(cc.Body)-1]
+	for {
+		ls, ok := s.(*ast.LabeledStmt)
+		if !ok {
+			break
+		}
+		s = ls.Stmt
+	}
+	br, ok := s.(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
 }
 
 // assignLHS handles one assignment target: an identifier target is
@@ -479,6 +515,19 @@ func (sc *psScan) applyCall(st *psState, call *ast.CallExpr) {
 	for _, i := range sortedIntKeysString(cf.invalidates) {
 		if arg := argExprAt(call, sig, i); arg != nil {
 			sc.invalidate(st, arg, cf.invalidates[i]+" (via "+fn.Name()+")", line)
+		}
+	}
+	for _, i := range sortedIntKeysString(cf.resets) {
+		arg := argExprAt(call, sig, i)
+		if arg == nil {
+			continue
+		}
+		label := cf.resets[i]
+		class, src := resetClass(label), exprKey(arg)
+		for _, v := range st.vars {
+			if v.class == class && v.src != "" && v.src == src && v.invalidatedBy == "" {
+				v.invalidatedBy, v.invalidLine = label+" (via "+fn.Name()+")", line
+			}
 		}
 	}
 	for _, i := range sortedIntKeysBool(cf.rearms) {

@@ -43,6 +43,7 @@ type funcFacts struct {
 	// 0 is the receiver when the function is a method, then the
 	// declared parameters in order.
 	invalidates map[int]string // index → invalidating API ("Network.Recycle", …)
+	resets      map[int]string // index → whole-pool reset API ("Network.Reset", …)
 	registers   map[int]bool   // signal param gains a parked waiter (OnFire)
 	clears      map[int]bool   // signal param is fired or awaited
 	rearms      map[int]bool   // signal param is re-armed
@@ -171,6 +172,7 @@ func (p *Program) recompute(ff *funcFacts) bool {
 	params := paramIndexes(ff.pkg, ff.decl)
 	next := &funcFacts{
 		invalidates: make(map[int]string),
+		resets:      make(map[int]string),
 		registers:   make(map[int]bool),
 		clears:      make(map[int]bool),
 		rearms:      make(map[int]bool),
@@ -221,6 +223,14 @@ func (p *Program) recompute(ff *funcFacts) bool {
 						if _, dup := next.invalidates[i]; !dup {
 							next.invalidates[i] = label
 						}
+					}
+				}
+				return true
+			}
+			if label, _ := poolResetter(fn); label != "" {
+				if i, ok := paramOf(recv); ok {
+					if _, dup := next.resets[i]; !dup {
+						next.resets[i] = label
 					}
 				}
 				return true
@@ -279,6 +289,15 @@ func (p *Program) recompute(ff *funcFacts) bool {
 					}
 				}
 			}
+			for i, label := range cf.resets {
+				if arg := argExprAt(v, sig, i); arg != nil {
+					if j, ok := paramOf(arg); ok {
+						if _, dup := next.resets[j]; !dup {
+							next.resets[j] = label
+						}
+					}
+				}
+			}
 			propagate(cf.registers, next.registers)
 			propagate(cf.clears, next.clears)
 			propagate(cf.rearms, next.rearms)
@@ -303,8 +322,18 @@ func (p *Program) recompute(ff *funcFacts) bool {
 	// Direct taint from callees without bodies is impossible (the
 	// sibling lookup above handles declared-elsewhere functions via
 	// go/types, not via facts), so taint is complete here.
+
+	// Freeze the example chain at the iteration that first tainted the
+	// function: only the boolean participates in the fixed point. A
+	// rebuilt chain can otherwise grow by one frame per iteration on a
+	// recursive cycle (walk → walk → … never reaches equality), so the
+	// `for changed` loop in BuildProgram would spin forever.
+	if ff.ctxTainted && next.ctxTainted {
+		next.ctxChain = ff.ctxChain
+	}
 	changed := ff.hasChangedFrom(next)
 	ff.invalidates, ff.registers, ff.clears, ff.rearms = next.invalidates, next.registers, next.clears, next.rearms
+	ff.resets = next.resets
 	ff.locks = next.locks
 	ff.ctxTainted, ff.ctxChain = next.ctxTainted, next.ctxChain
 	return changed
@@ -314,7 +343,7 @@ func (ff *funcFacts) hasChangedFrom(next *funcFacts) bool {
 	if ff.ctxTainted != next.ctxTainted || !equalStrings(ff.ctxChain, next.ctxChain) {
 		return true
 	}
-	if !equalIntString(ff.invalidates, next.invalidates) {
+	if !equalIntString(ff.invalidates, next.invalidates) || !equalIntString(ff.resets, next.resets) {
 		return true
 	}
 	if !equalIntBool(ff.registers, next.registers) || !equalIntBool(ff.clears, next.clears) ||
@@ -420,6 +449,18 @@ func poolResetter(fn *types.Func) (label, class string) {
 		return "Engine.Reset", "handle"
 	}
 	return "", ""
+}
+
+// resetClass maps a poolResetter label back to the pooled class it
+// invalidates, for summaries that carry only the label.
+func resetClass(label string) string {
+	switch label {
+	case "Network.Reset":
+		return "flow"
+	case "Engine.Reset":
+		return "handle"
+	}
+	return ""
 }
 
 type sigOp int
@@ -719,9 +760,10 @@ func (s *lockRegionScan) scan(stmt ast.Stmt) {
 			}
 			if kind == "Lock" || kind == "RLock" {
 				if key := lockKeyFor(info, recv); key != "" {
-					if key == s.key && kind == "RLock" && s.kind == "RLock" {
-						return true // shared re-acquisition: not a self-deadlock by itself
-					}
+					// RLock inside RLock on the same key is recorded too:
+					// sync.RWMutex forbids recursive read locking — a
+					// writer's Lock queued between the two RLocks blocks
+					// the second one and deadlocks.
 					s.add(key, kind, v.Pos(), "")
 				}
 				return true

@@ -48,3 +48,45 @@ func pureChain(n int) int { return pureLeaf(n) }
 func goodPureChain(ctx context.Context) int {
 	return pureChain(4)
 }
+
+// Recursive chains must converge in the summary fixed point (the
+// example chain is frozen at first taint, not rebuilt per iteration):
+// walk calls both itself and the tainting leaf.
+func walk(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return walk(n-1) + fetch(n)
+}
+
+func badRecursiveChain(ctx context.Context) int {
+	return walk(3) // want `walk reaches the context-free fetch`
+}
+
+// Mutual recursion converges the same way.
+func pingPongA(n int) int {
+	if n <= 0 {
+		return fetch(n)
+	}
+	return pingPongB(n - 1)
+}
+
+func pingPongB(n int) int { return pingPongA(n - 1) }
+
+func badMutualChain(ctx context.Context) int {
+	return pingPongB(5) // want `pingPongB reaches the context-free fetch`
+}
+
+// Recursion with no tainting leaf stays clean however it cycles.
+func spinA(n int) int {
+	if n <= 0 {
+		return n
+	}
+	return spinB(n - 1)
+}
+
+func spinB(n int) int { return spinA(n - 1) }
+
+func goodRecursiveClean(ctx context.Context) int {
+	return spinA(4)
+}

@@ -98,6 +98,29 @@ func recurseViaHelper() {
 	global.Unlock()
 }
 
+// ---- recursive read locking -------------------------------------------
+
+// sync.RWMutex forbids recursive read locking: a writer's Lock queued
+// between the two RLocks blocks the second one and deadlocks.
+var rw sync.RWMutex
+
+func doubleRLock() int {
+	rw.RLock()
+	rw.RLock() // want `rw read-locked while already read-held`
+	rw.RUnlock()
+	rw.RUnlock()
+	return 0
+}
+
+// Sequential read regions are fine: the first RUnlock closes the
+// region before the second RLock opens.
+func sequentialRLock() {
+	rw.RLock()
+	rw.RUnlock()
+	rw.RLock()
+	rw.RUnlock()
+}
+
 // ---- allow scoping: a callee-side allow must not leak to callers ------
 
 type pair struct {

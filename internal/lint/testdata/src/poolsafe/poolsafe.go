@@ -75,6 +75,35 @@ func goodRecycleSweep(n *simnet.Network, flows []*simnet.Flow) {
 	}
 }
 
+// fallthrough is not a terminator: an invalidation before it flows
+// into the next case body.
+func badFallthroughRecycle(n *simnet.Network, r []*simnet.Link, k int) float64 {
+	f := n.StartFlow(1024, r)
+	switch k {
+	case 0:
+		n.Recycle(f)
+		fallthrough
+	case 1:
+		return f.Rate() // want `f used after Network\.Recycle`
+	}
+	return 0
+}
+
+// Using the handle before the fallthrough and recycling in the
+// fallen-into case is clean.
+func goodFallthroughOrder(n *simnet.Network, r []*simnet.Link, k int) float64 {
+	f := n.StartFlow(1024, r)
+	v := 0.0
+	switch k {
+	case 0:
+		v = f.Rate()
+		fallthrough
+	case 1:
+		n.Recycle(f)
+	}
+	return v
+}
+
 // ---- engine handles: Engine.Reset -------------------------------------
 
 func badEventAfterEngineReset(e *sim.Engine) bool {
@@ -138,6 +167,45 @@ func releaseVia(g *collective.Group) {
 func badReleaseViaHelper(g *collective.Group) int {
 	releaseVia(g)
 	return g.OpsCompleted() // want `g used after Group\.Release \(via releaseVia\)`
+}
+
+// Whole-pool resets are summarized too: a helper that resets the
+// network or engine poisons every handle derived from that object.
+func resetNet(n *simnet.Network) {
+	n.Reset()
+}
+
+func resetNetDeep(n *simnet.Network) {
+	resetNet(n)
+}
+
+func badResetViaHelper(n *simnet.Network, r []*simnet.Link) bool {
+	f := n.StartFlow(1024, r)
+	resetNet(n)
+	return f.Completed() // want `f used after Network\.Reset \(via resetNet\)`
+}
+
+func badResetTwoFramesDown(n *simnet.Network, r []*simnet.Link) bool {
+	f := n.StartFlow(1024, r)
+	resetNetDeep(n)
+	return f.Completed() // want `f used after Network\.Reset \(via resetNetDeep\)`
+}
+
+// A helper resetting a different network leaves the handle alone.
+func goodOtherNetResetViaHelper(a, b *simnet.Network, r []*simnet.Link) bool {
+	f := a.StartFlow(1024, r)
+	resetNet(b)
+	return f.Completed()
+}
+
+func resetEngine(e *sim.Engine) {
+	e.Reset()
+}
+
+func badEngineResetViaHelper(e *sim.Engine) bool {
+	ev := e.Schedule(time.Second, func() {})
+	resetEngine(e)
+	return ev.Pending() // want `ev used after Engine\.Reset \(via resetEngine\)`
 }
 
 // ---- signals: Rearm with a parked waiter ------------------------------
