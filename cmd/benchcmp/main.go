@@ -14,16 +14,23 @@
 // benchmarks whose package.Name matches the regexp — CI uses it to
 // enforce the stable micro benches while leaving the noisier suite
 // benches advisory. The derived parallel_speedup field (SuiteSerial /
-// SuiteParallel, emitted by bench.sh) is diffed informationally whenever
-// either file carries it — unless a file records "gomaxprocs" below 2,
-// in which case the comparison is skipped with a note: on a single-P
-// host the parallel suite degenerates to serial execution and the ratio
-// is noise, not a speedup (bench.sh omits the field there too).
+// SuiteParallel, emitted by bench.sh) is diffed whenever either file
+// carries it — unless a file records "gomaxprocs" below 2, in which
+// case the comparison is skipped with a note: on a single-P host the
+// parallel suite degenerates to serial execution and the ratio is
+// noise, not a speedup (bench.sh omits the field there too). When BOTH
+// files record gomaxprocs >= 4 the diff becomes a gate: with four or
+// more Ps the parallel suite has real headroom, so a new
+// parallel_speedup below 1.5x is a scheduler regression and benchcmp
+// exits non-zero. On narrower (but multi-P) hosts the diff stays
+// informational — two or three Ps leave too little headroom for a
+// stable floor.
 //
 // Exit status: 0 when no matched benchmark regressed by more than
-// -threshold percent, 1 when at least one did, 2 on usage or parse
-// errors — including a file whose every sample is warmup-flagged, which
-// has no steady state to compare (re-run bench.sh with COUNT >= 2).
+// -threshold percent and the parallel_speedup floor (when armed) held,
+// 1 when at least one failed, 2 on usage or parse errors — including a
+// file whose every sample is warmup-flagged, which has no steady state
+// to compare (re-run bench.sh with COUNT >= 2).
 package main
 
 import (
@@ -56,6 +63,44 @@ type benchFile struct {
 // parallelism, making its parallel_speedup (if any) meaningless.
 func singleP(f *benchFile) bool {
 	return f.GoMaxProcs != nil && *f.GoMaxProcs < 2
+}
+
+// minParallelSpeedup is the floor the suite must clear on hosts wide
+// enough (gomaxprocs >= minGateProcs in BOTH snapshots) to make the
+// ratio a stable signal rather than scheduling noise.
+const (
+	minParallelSpeedup = 1.5
+	minGateProcs       = 4
+)
+
+// wideHost reports whether a file was recorded with enough Ps to gate
+// on parallel_speedup. Files from before the gomaxprocs field existed
+// report false: their width is unknown, so the floor stays unarmed.
+func wideHost(f *benchFile) bool {
+	return f.GoMaxProcs != nil && *f.GoMaxProcs >= minGateProcs
+}
+
+// speedupVerdict classifies the parallel_speedup comparison between two
+// files: the line to print, and whether the armed floor was broken.
+func speedupVerdict(before, after *benchFile) (line string, failed bool) {
+	label := "parallel_speedup (serial/parallel ns)"
+	switch {
+	case singleP(before) || singleP(after):
+		return fmt.Sprintf("%-55s skipped: recorded with GOMAXPROCS < 2, ratio would be noise", label), false
+	case before.ParallelSpeedup != nil && after.ParallelSpeedup != nil:
+		armed := wideHost(before) && wideHost(after)
+		note := ""
+		if armed && *after.ParallelSpeedup < minParallelSpeedup {
+			note = fmt.Sprintf("  BELOW %.1fx FLOOR", minParallelSpeedup)
+			failed = true
+		}
+		return fmt.Sprintf("%-55s %14.2fx %13.2fx %+8.1f%%%s", label,
+			*before.ParallelSpeedup, *after.ParallelSpeedup,
+			100*(*after.ParallelSpeedup-*before.ParallelSpeedup) / *before.ParallelSpeedup, note), failed
+	case after.ParallelSpeedup != nil:
+		return fmt.Sprintf("%-55s %14s %13.2fx %9s", label, "-", *after.ParallelSpeedup, "new"), false
+	}
+	return "", false
 }
 
 type sample struct {
@@ -226,21 +271,20 @@ func main() {
 	}
 	fmt.Printf("benchcmp %s (%s) -> %s (%s)\n", flag.Arg(0), before.Date, flag.Arg(1), after.Date)
 	regressed := compare(os.Stdout, oldSum, newSum, *threshold)
-	// The headline tentpole metric rides along informationally: suite
-	// variance makes it a trajectory signal, not a gate.
-	switch {
-	case singleP(before) || singleP(after):
-		fmt.Printf("%-55s skipped: recorded with GOMAXPROCS < 2, ratio would be noise\n",
-			"parallel_speedup (serial/parallel ns)")
-	case before.ParallelSpeedup != nil && after.ParallelSpeedup != nil:
-		fmt.Printf("%-55s %14.2fx %13.2fx %+8.1f%%\n", "parallel_speedup (serial/parallel ns)",
-			*before.ParallelSpeedup, *after.ParallelSpeedup,
-			100*(*after.ParallelSpeedup-*before.ParallelSpeedup) / *before.ParallelSpeedup)
-	case after.ParallelSpeedup != nil:
-		fmt.Printf("%-55s %14s %13.2fx %9s\n", "parallel_speedup (serial/parallel ns)", "-", *after.ParallelSpeedup, "new")
+	// The headline tentpole metric: informational on narrow hosts, a
+	// hard floor when both snapshots came from gomaxprocs >= 4 hosts.
+	line, speedupFailed := speedupVerdict(before, after)
+	if line != "" {
+		fmt.Println(line)
 	}
 	if len(regressed) > 0 {
 		fmt.Fprintf(os.Stderr, "benchcmp: %d benchmark(s) regressed beyond %.1f%%\n", len(regressed), *threshold)
+	}
+	if speedupFailed {
+		fmt.Fprintf(os.Stderr, "benchcmp: parallel_speedup %.2fx is below the %.1fx floor (both snapshots recorded with gomaxprocs >= %d)\n",
+			*after.ParallelSpeedup, minParallelSpeedup, minGateProcs)
+	}
+	if len(regressed) > 0 || speedupFailed {
 		os.Exit(1)
 	}
 }

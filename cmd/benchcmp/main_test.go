@@ -115,3 +115,57 @@ func TestCompareShowsAllocs(t *testing.T) {
 		t.Fatalf("allocs line missing:\n%s", buf.String())
 	}
 }
+
+// speedupFile builds a benchFile carrying only the derived
+// parallel_speedup and gomaxprocs fields the floor gate reads.
+func speedupFile(speedup float64, procs int) *benchFile {
+	return &benchFile{Date: "20260808", ParallelSpeedup: &speedup, GoMaxProcs: &procs}
+}
+
+func TestSpeedupGateFailsBelowFloorOnWideHosts(t *testing.T) {
+	line, failed := speedupVerdict(speedupFile(2.1, 8), speedupFile(1.2, 8))
+	if !failed {
+		t.Fatal("1.2x on 8-P hosts should break the 1.5x floor")
+	}
+	if !strings.Contains(line, "BELOW 1.5x FLOOR") {
+		t.Errorf("line lacks floor note: %q", line)
+	}
+}
+
+func TestSpeedupGatePassesAboveFloor(t *testing.T) {
+	line, failed := speedupVerdict(speedupFile(2.1, 8), speedupFile(1.8, 4))
+	if failed {
+		t.Fatalf("1.8x should clear the floor: %q", line)
+	}
+	if !strings.Contains(line, "1.80x") {
+		t.Errorf("diff line missing new ratio: %q", line)
+	}
+}
+
+func TestSpeedupGateUnarmedOnNarrowHosts(t *testing.T) {
+	// 2-P and 3-P hosts diff informationally but never gate.
+	if line, failed := speedupVerdict(speedupFile(2.1, 8), speedupFile(1.1, 2)); failed {
+		t.Fatalf("2-P snapshot must not arm the floor: %q", line)
+	}
+	if line, failed := speedupVerdict(speedupFile(1.1, 3), speedupFile(1.1, 8)); failed {
+		t.Fatalf("3-P old snapshot must not arm the floor: %q", line)
+	}
+}
+
+func TestSpeedupGateUnarmedWhenWidthUnknown(t *testing.T) {
+	old := speedupFile(2.0, 8)
+	old.GoMaxProcs = nil // pre-field file: width unknown
+	if line, failed := speedupVerdict(old, speedupFile(1.1, 8)); failed {
+		t.Fatalf("unknown-width snapshot must not arm the floor: %q", line)
+	}
+}
+
+func TestSpeedupSinglePStillSkipsWithNote(t *testing.T) {
+	line, failed := speedupVerdict(speedupFile(2.0, 8), speedupFile(1.0, 1))
+	if failed {
+		t.Fatal("single-P snapshots must skip, not fail")
+	}
+	if !strings.Contains(line, "skipped") || !strings.Contains(line, "GOMAXPROCS < 2") {
+		t.Errorf("missing skip note: %q", line)
+	}
+}

@@ -1,0 +1,251 @@
+// Command clustersmoke is the CI smoke test for distributed stashd: it
+// boots a 3-replica cluster on loopback TCP (each replica a full
+// api.Server with its peer protocol on its own listener, exactly the
+// two-listener topology cmd/stashd runs), submits a small /v2/jobs grid
+// sweep to one replica, and proves the two distribution guarantees end
+// to end over the real wire:
+//
+//   - byte identity: the merged sweep artifact equals a standalone
+//     single-node run of the same sweep, byte for byte (checked with
+//     the audit layer's merge-identity determinism check);
+//   - cluster-wide single-flight: summed over every replica's /metrics,
+//     stashd_scenarios_simulated_total{pool="experiments"} does not
+//     exceed the number of unique scenarios in the sweep (taken from
+//     the standalone reference, which by local single-flight simulates
+//     each unique scenario exactly once).
+//
+// Exit status 0 when both hold, 1 otherwise. Run by scripts/ci.sh.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"stash/internal/api"
+	"stash/internal/audit"
+	"stash/internal/cluster"
+)
+
+// sweepBody is the smoke sweep: three experiment cells is the smallest
+// grid that exercises splitting, stealing eligibility, and the
+// index-ordered merge.
+const sweepBody = `{"type":"experiments","experiments":{"ids":["fig4","fig5","fig6"]}}`
+
+// expIters/expSeed keep the smoke fast and every replica identical (the
+// cluster contract requires matching -exp-iters/-seed on all replicas).
+const (
+	expIters = 2
+	expSeed  = 7
+)
+
+func main() {
+	if err := run(context.Background(), os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "clustersmoke:", err)
+		os.Exit(1)
+	}
+}
+
+// replica is one booted cluster member: its operator API and peer
+// protocol, each on its own loopback listener.
+type replica struct {
+	srv  *api.Server
+	node *cluster.Node
+	hs   *http.Server // operator API
+	chs  *http.Server // peer protocol
+	url  string
+}
+
+// serveOn starts h on a fresh loopback listener and returns the server
+// and its base URL.
+func serveOn(h http.Handler) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	hs := &http.Server{Handler: h}
+	go hs.Serve(ln)
+	return hs, "http://" + ln.Addr().String(), nil
+}
+
+func run(ctx context.Context, out io.Writer) error {
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Minute)
+	defer cancel()
+
+	// Peer listeners first: every replica must know the full advertise
+	// list before its node exists.
+	const n = 3
+	peerLn := make([]net.Listener, n)
+	peerURL := make([]string, n)
+	for i := range peerLn {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		peerLn[i] = ln
+		peerURL[i] = "http://" + ln.Addr().String()
+	}
+
+	replicas := make([]*replica, n)
+	for i := range replicas {
+		node, err := cluster.New(cluster.Config{Self: peerURL[i], Peers: peerURL})
+		if err != nil {
+			return err
+		}
+		srv := api.New(
+			api.WithExperimentIterations(expIters),
+			api.WithSeed(expSeed),
+			api.WithCluster(node),
+		)
+		chs := &http.Server{Handler: node.Handler()}
+		go chs.Serve(peerLn[i])
+		hs, url, err := serveOn(srv.Handler())
+		if err != nil {
+			return err
+		}
+		replicas[i] = &replica{srv: srv, node: node, hs: hs, chs: chs, url: url}
+	}
+	defer func() {
+		for _, r := range replicas {
+			r.node.Stop()
+			r.chs.Close()
+			r.hs.Close()
+		}
+	}()
+	fmt.Fprintf(out, "clustersmoke: 3 replicas up (%s, %s, %s)\n", peerURL[0], peerURL[1], peerURL[2])
+
+	// Standalone reference: same build, same iterations and seed, no
+	// cluster — the byte-identity and unique-scenario oracle.
+	ref := api.New(api.WithExperimentIterations(expIters), api.WithSeed(expSeed))
+	refHS, refURL, err := serveOn(ref.Handler())
+	if err != nil {
+		return err
+	}
+	defer refHS.Close()
+
+	refBody, err := runSweep(ctx, refURL)
+	if err != nil {
+		return fmt.Errorf("single-node sweep: %w", err)
+	}
+	unique, err := scrapeSimulated(ctx, refURL)
+	if err != nil {
+		return err
+	}
+	if unique == 0 {
+		return fmt.Errorf("reference run simulated 0 scenarios; smoke sweep is vacuous")
+	}
+
+	merged, err := runSweep(ctx, replicas[0].url)
+	if err != nil {
+		return fmt.Errorf("cluster sweep: %w", err)
+	}
+
+	if res := audit.CheckMergeIdentity("clustersmoke", refBody, merged); !res.Ok() {
+		return fmt.Errorf("merged sweep is not byte-identical to single-node:\n%s", res.String())
+	}
+	fmt.Fprintf(out, "clustersmoke: merged artifact byte-identical to single-node (%d bytes)\n", len(merged))
+
+	total := 0
+	for _, r := range replicas {
+		sim, err := scrapeSimulated(ctx, r.url)
+		if err != nil {
+			return err
+		}
+		total += sim
+	}
+	if total > unique {
+		return fmt.Errorf("cluster simulated %d scenarios for %d unique — single-flight violated", total, unique)
+	}
+	fmt.Fprintf(out, "clustersmoke: cluster simulated %d scenarios for %d unique (single-flight holds)\n", total, unique)
+	return nil
+}
+
+// runSweep submits the smoke sweep as a v2 job, waits for the terminal
+// state, and returns the exact result bytes.
+func runSweep(ctx context.Context, base string) ([]byte, error) {
+	status, body, err := do(ctx, http.MethodPost, base+"/v2/jobs", strings.NewReader(sweepBody))
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusAccepted {
+		return nil, fmt.Errorf("submit = %d: %s", status, body)
+	}
+	var js api.JobStatus
+	if err := json.Unmarshal(body, &js); err != nil {
+		return nil, fmt.Errorf("submit response: %w", err)
+	}
+	for {
+		status, body, err = do(ctx, http.MethodGet, base+"/v2/jobs/"+js.ID, nil)
+		if err != nil {
+			return nil, err
+		}
+		if status != http.StatusOK {
+			return nil, fmt.Errorf("job status = %d: %s", status, body)
+		}
+		var cur api.JobStatus
+		if err := json.Unmarshal(body, &cur); err != nil {
+			return nil, fmt.Errorf("job status: %w", err)
+		}
+		if cur.State == "done" {
+			break
+		}
+		if cur.State == "failed" || cur.State == "cancelled" {
+			return nil, fmt.Errorf("job ended %s: %s", cur.State, body)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("sweep did not finish: %w", ctx.Err())
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	status, body, err = do(ctx, http.MethodGet, base+"/v2/jobs/"+js.ID+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("job result = %d: %s", status, body)
+	}
+	return body, nil
+}
+
+// scrapeSimulated reads stashd_scenarios_simulated_total for the
+// experiments pool from a replica's /metrics.
+func scrapeSimulated(ctx context.Context, base string) (int, error) {
+	const family = `stashd_scenarios_simulated_total{pool="experiments"} `
+	_, body, err := do(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if v, ok := strings.CutPrefix(line, family); ok {
+			return strconv.Atoi(strings.TrimSpace(v))
+		}
+	}
+	return 0, fmt.Errorf("%s/metrics has no %q sample", base, strings.TrimSpace(family))
+}
+
+// do issues one HTTP request and returns status and body.
+func do(ctx context.Context, method, url string, r io.Reader) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, method, url, r)
+	if err != nil {
+		return 0, nil, err
+	}
+	if r != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, body, err
+}

@@ -10,6 +10,15 @@
 //	       [-request-timeout D] [-drain-timeout D]
 //	       [-job-workers N] [-job-ttl D] [-max-jobs N]
 //	       [-tenant-quota N] [-tenant-weights name=w,...]
+//	       [-peers url,url,... -cluster-addr :8322 [-cluster-advertise URL]]
+//
+// Cluster mode: -peers lists every replica's cluster base URL (this
+// replica included, same set on every replica); -cluster-addr is the
+// peer-protocol listener and -cluster-advertise the URL peers reach it
+// at (default http://<cluster-addr>). Scenario keys shard across
+// replicas on a consistent-hash ring with cluster-wide single-flight,
+// and idle replicas steal grid-sweep cells from busy ones; see
+// docs/OPERATIONS.md for topology and failure semantics.
 //
 // Endpoints:
 //
@@ -54,6 +63,7 @@ import (
 	"time"
 
 	"stash/internal/api"
+	"stash/internal/cluster"
 	"stash/internal/core"
 	"stash/internal/experiments"
 )
@@ -83,6 +93,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	maxJobs := fs.Int("max-jobs", api.DefaultJobStoreMax, "v2 job store capacity (live + retained terminal jobs)")
 	tenantQuota := fs.Int("tenant-quota", api.DefaultTenantQuota, "concurrent live (queued+running) v2 jobs per tenant")
 	tenantWeights := fs.String("tenant-weights", "", "fair-queue tenant weights as name=w,name=w (default weight 1)")
+	peers := fs.String("peers", "", "cluster replica base URLs, comma-separated (this replica included); empty = standalone")
+	clusterAddr := fs.String("cluster-addr", ":8322", "cluster peer-protocol listen address (with -peers)")
+	clusterAdvertise := fs.String("cluster-advertise", "", "URL peers reach this replica's cluster listener at (default http://<cluster-addr>)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -106,6 +119,29 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	for _, tw := range weights {
 		opts = append(opts, api.WithTenantWeight(tw.name, tw.weight))
 	}
+
+	// Cluster mode: build the node first (api.New starts it with the
+	// serving backend) and put its peer protocol on its own listener,
+	// so operator traffic and replica traffic never share a port.
+	var node *cluster.Node
+	var clusterLn net.Listener
+	if *peers != "" {
+		clusterLn, err = net.Listen("tcp", *clusterAddr)
+		if err != nil {
+			return err
+		}
+		self := *clusterAdvertise
+		if self == "" {
+			self = "http://" + clusterLn.Addr().String()
+		}
+		node, err = cluster.New(cluster.Config{Self: self, Peers: strings.Split(*peers, ",")})
+		if err != nil {
+			clusterLn.Close()
+			return err
+		}
+		opts = append(opts, api.WithCluster(node))
+	}
+
 	srv := api.New(opts...)
 	hs := &http.Server{
 		Handler:           srv.Handler(),
@@ -114,6 +150,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
+		if clusterLn != nil {
+			clusterLn.Close()
+		}
 		return err
 	}
 
@@ -124,8 +163,22 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	go func() { serveErr <- hs.Serve(ln) }()
 	fmt.Fprintf(out, "stashd: listening on %s\n", ln.Addr())
 
+	var chs *http.Server
+	clusterErr := make(chan error, 1)
+	if node != nil {
+		chs = &http.Server{
+			Handler:           node.Handler(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() { clusterErr <- chs.Serve(clusterLn) }()
+		fmt.Fprintf(out, "stashd: cluster protocol on %s as %s (%d replicas)\n",
+			clusterLn.Addr(), node.Self(), node.PeerCount()+1)
+	}
+
 	select {
 	case err := <-serveErr:
+		return err
+	case err := <-clusterErr:
 		return err
 	case <-ctx.Done():
 	}
@@ -134,11 +187,27 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	//lint:allow ctxflow the serve ctx is already cancelled here; the drain deadline must outlive it
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	// Drain jobs while the listener still serves status polls and SSE
-	// streams, then stop accepting connections.
+	// Drain order matters: first announce draining to peers and hand
+	// queued stolen cells back to their owners (node.Drain), then settle
+	// local jobs (srv.Drain) while both listeners still answer, and only
+	// then stop accepting connections.
+	if node != nil {
+		node.Drain(dctx)
+	}
 	srv.Drain(dctx)
+	if chs != nil {
+		if err := chs.Shutdown(dctx); err != nil {
+			return fmt.Errorf("cluster drain: %w", err)
+		}
+	}
 	if err := hs.Shutdown(dctx); err != nil {
 		return fmt.Errorf("drain: %w", err)
+	}
+	if node != nil {
+		node.Stop()
+		if err := <-clusterErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err

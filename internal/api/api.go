@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"stash/internal/audit"
+	"stash/internal/cluster"
 	"stash/internal/core"
 	"stash/internal/experiments"
 )
@@ -144,12 +145,13 @@ type Server struct {
 	tenantQuota   int
 	tenantWeights map[string]int64
 
-	profiler  *core.Profiler
-	expCfg    experiments.Config
-	sem       chan struct{}
-	metrics   *metrics
-	jobsStore *jobStore
-	mux       *http.ServeMux
+	profiler    *core.Profiler
+	expCfg      experiments.Config
+	clusterNode *cluster.Node
+	sem         chan struct{}
+	metrics     *metrics
+	jobsStore   *jobStore
+	mux         *http.ServeMux
 }
 
 // New builds a stashd server with the given options.
@@ -184,10 +186,26 @@ func New(opts ...Option) *Server {
 		Seed:        s.seed,
 		Parallelism: s.parallelism,
 	}
+	if s.clusterNode != nil {
+		// Cluster mode: the experiments pool must be private to this
+		// server (not the process-wide shared profiler), so each replica
+		// owns exactly its own cache and counters; both pools consult
+		// the ring on cache misses.
+		s.expCfg.Pool = core.New(
+			core.WithIterations(s.expIterations),
+			core.WithSeed(s.seed),
+			core.WithParallelism(s.parallelism),
+		)
+		s.profiler.SetRemote(s.clusterNode.Resolver("profile"))
+		s.expCfg.Pool.SetRemote(s.clusterNode.Resolver("experiments"))
+	}
 	s.sem = make(chan struct{}, s.maxConcurrent)
 	s.jobsStore = newJobStore(s.jobWorkers, s.jobTTL, s.jobStoreMax, s.tenantQuota, s.tenantWeights)
-	s.metrics = newMetrics(s.profiler, s.expCfg, s.jobsStore)
+	s.metrics = newMetrics(s.profiler, s.expCfg, s.jobsStore, s.clusterNode)
 	s.jobsStore.start(s.executeJob)
+	if s.clusterNode != nil {
+		s.clusterNode.Start(s.clusterBackend())
+	}
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.route("healthz", false, s.handleHealthz))

@@ -768,6 +768,20 @@ func (st *jobStore) size() int {
 	return len(st.jobs)
 }
 
+// idle reports whether the store has no live jobs at all — the gate a
+// cluster replica uses before stealing sweep cells from a peer: a
+// replica with queued or running work of its own never moonlights.
+func (st *jobStore) idle() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, t := range st.tallies {
+		if t.queued+t.running > 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // drain stops the job subsystem for graceful shutdown: new submissions
 // are rejected (503 draining), queued jobs are cancelled, and running
 // jobs get until ctx's deadline to finish before they are cancelled
@@ -906,6 +920,10 @@ func (s *Server) executeJob(j *job) {
 			for i, e := range reg {
 				ids[i] = e.ID
 			}
+		}
+		if s.clusterNode != nil && len(ids) > 1 {
+			s.executeClusterSweep(j, ids, fail)
+			return
 		}
 		out := JobExperimentsResult{Experiments: make([]*ExperimentResponse, 0, len(ids))}
 		for _, id := range ids {

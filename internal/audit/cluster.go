@@ -1,0 +1,90 @@
+// Cluster-mode invariants: the checks that hold a distributed stashd to
+// the same standards as a single process.
+//
+// Two properties define cluster correctness here:
+//
+//   - Conservation: each replica's scheduler counters obey the live
+//     balance law locally, and across the whole cluster the work is
+//     single-flight — the sum of Simulated over all replicas never
+//     exceeds the number of unique scenarios that were requested.
+//     Remote fills land in RemoteHits, so double-charging a peer's
+//     simulation to Simulated shows up immediately as a violation.
+//
+//   - Determinism: a sweep split into stolen cell ranges and merged in
+//     index order must produce output byte-identical to the same sweep
+//     on a single node. Anything less means the merge (or a replica's
+//     configuration) leaked into the artifact.
+package audit
+
+import (
+	"bytes"
+
+	"stash/internal/core"
+)
+
+// ClusterReplica is one replica's observed scheduler counters, as
+// scraped from its /metrics or carried by health gossip.
+type ClusterReplica struct {
+	Name  string
+	Stats core.Stats
+}
+
+// CheckClusterSingleFlight audits a set of replica snapshots against
+// the cluster conservation contract: every replica individually
+// satisfies the live balance law (its snapshot may be mid-flight), and
+// cluster-wide at most uniqueScenarios simulations ran — the
+// consistent-hash single-flight guarantee. uniqueScenarios is the
+// number of distinct scenario keys the workload can request (for a
+// sweep: the single-node run's Simulated count).
+func CheckClusterSingleFlight(replicas []ClusterReplica, uniqueScenarios int64) *Result {
+	res := &Result{}
+	res.check(FamilyConservation, "cluster-replicas", len(replicas) > 0,
+		"no replica snapshots to audit")
+	var total int64
+	for _, r := range replicas {
+		per := CheckStatsLive(r.Stats)
+		res.Checks += per.Checks
+		for _, v := range per.Violations {
+			res.Violations = append(res.Violations, Violation{
+				Family: v.Family,
+				Check:  "replica-" + r.Name + "-" + v.Check,
+				Detail: v.Detail,
+			})
+		}
+		total += r.Stats.Simulated
+	}
+	res.check(FamilyConservation, "cluster-single-flight", total <= uniqueScenarios,
+		"cluster simulated %d scenarios but only %d are unique: remote fills are being re-simulated",
+		total, uniqueScenarios)
+	return res
+}
+
+// CheckMergeIdentity audits the distributed sweep determinism contract:
+// the artifact assembled from stolen cell ranges (merged) must be
+// byte-identical to the artifact the same sweep produces on a single
+// node. label names the artifact form under audit (for a sweep both the
+// table and JSON forms are checked, each with its own label).
+func CheckMergeIdentity(label string, singleNode, merged []byte) *Result {
+	res := &Result{}
+	if bytes.Equal(singleNode, merged) {
+		res.check(FamilyDeterminism, "merge-identity-"+label, true, "")
+		return res
+	}
+	// Name the first divergent byte: "outputs differ" alone makes the
+	// operator diff multi-megabyte artifacts by hand.
+	n := len(singleNode)
+	if len(merged) < n {
+		n = len(merged)
+	}
+	at := n
+	for i := 0; i < n; i++ {
+		if singleNode[i] != merged[i] {
+			at = i
+			break
+		}
+	}
+	res.check(FamilyDeterminism, "merge-identity-"+label, false,
+		"%s: merged sweep diverges from single-node at byte %d (single-node %d bytes, merged %d bytes)",
+		label, at, len(singleNode), len(merged))
+	return res
+}

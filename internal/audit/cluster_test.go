@@ -1,0 +1,62 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"stash/internal/core"
+)
+
+func TestCheckClusterSingleFlightHolds(t *testing.T) {
+	replicas := []ClusterReplica{
+		{Name: "a", Stats: core.Stats{Requests: 10, Simulated: 4, CacheHits: 4, RemoteHits: 2}},
+		{Name: "b", Stats: core.Stats{Requests: 6, Simulated: 2, RemoteHits: 3, Waits: 1}},
+	}
+	if res := CheckClusterSingleFlight(replicas, 6); !res.Ok() {
+		t.Fatalf("conforming cluster flagged: %v", res)
+	}
+}
+
+func TestCheckClusterSingleFlightCatchesResimulation(t *testing.T) {
+	replicas := []ClusterReplica{
+		{Name: "a", Stats: core.Stats{Requests: 5, Simulated: 5}},
+		{Name: "b", Stats: core.Stats{Requests: 5, Simulated: 5}},
+	}
+	res := CheckClusterSingleFlight(replicas, 5)
+	if res.Ok() {
+		t.Fatal("10 simulations of 5 unique scenarios passed the single-flight check")
+	}
+	if !strings.Contains(res.String(), "cluster-single-flight") {
+		t.Fatalf("violation does not name the check: %v", res)
+	}
+}
+
+func TestCheckClusterSingleFlightNamesBrokenReplica(t *testing.T) {
+	replicas := []ClusterReplica{
+		{Name: "good", Stats: core.Stats{Requests: 3, Simulated: 3}},
+		// Outcomes exceed admissions: a broken live balance.
+		{Name: "bad", Stats: core.Stats{Requests: 1, Simulated: 2}},
+	}
+	res := CheckClusterSingleFlight(replicas, 5)
+	if res.Ok() {
+		t.Fatal("negative-balance replica passed")
+	}
+	if !strings.Contains(res.String(), "replica-bad-") {
+		t.Fatalf("violation does not name the replica: %v", res)
+	}
+}
+
+func TestCheckMergeIdentity(t *testing.T) {
+	single := []byte(`{"experiments":[1,2,3]}` + "\n")
+	if res := CheckMergeIdentity("json", single, append([]byte(nil), single...)); !res.Ok() {
+		t.Fatalf("identical artifacts flagged: %v", res)
+	}
+	diverged := []byte(`{"experiments":[1,2,4]}` + "\n")
+	res := CheckMergeIdentity("json", single, diverged)
+	if res.Ok() {
+		t.Fatal("diverging merged artifact passed the identity check")
+	}
+	if !strings.Contains(res.String(), "byte 20") {
+		t.Fatalf("violation does not locate the divergence: %v", res)
+	}
+}

@@ -12,8 +12,9 @@ import (
 
 // CheckStats checks a quiesced scheduler-counter snapshot: no counter
 // may be negative, and the conservation law must hold exactly — every
-// admitted request ended in exactly one of the four outcomes, so
-// Balance is zero. It is a pure function over the snapshot, so tests
+// admitted request ended in exactly one of the five outcomes
+// (Requests == Simulated + CacheHits + RemoteHits + Waits + Cancelled),
+// so Balance is zero. It is a pure function over the snapshot, so tests
 // can feed it deliberately broken fakes.
 func CheckStats(s core.Stats) *Result {
 	res := checkStatsCommon(s)
@@ -36,7 +37,7 @@ func CheckStatsLive(s core.Stats) *Result {
 func checkStatsCommon(s core.Stats) *Result {
 	res := &Result{}
 	res.check(FamilyConservation, "counters-nonnegative",
-		s.Requests >= 0 && s.Simulated >= 0 && s.CacheHits >= 0 && s.Waits >= 0 && s.Cancelled >= 0,
+		s.Requests >= 0 && s.Simulated >= 0 && s.CacheHits >= 0 && s.RemoteHits >= 0 && s.Waits >= 0 && s.Cancelled >= 0,
 		"negative scheduler counter: %v", s)
 	return res
 }
@@ -92,8 +93,8 @@ func auditConservation(ctx context.Context, opts Options, p *core.Profiler, res 
 	res.merge(CheckStats(after))
 	res.check(FamilyConservation, "counters-monotonic",
 		after.Requests >= before.Requests && after.Simulated >= before.Simulated &&
-			after.CacheHits >= before.CacheHits && after.Waits >= before.Waits &&
-			after.Cancelled >= before.Cancelled,
+			after.CacheHits >= before.CacheHits && after.RemoteHits >= before.RemoteHits &&
+			after.Waits >= before.Waits && after.Cancelled >= before.Cancelled,
 		"counters regressed across exercise: before %v, after %v", before, after)
 	res.check(FamilyConservation, "cancelled-attributed", after.Cancelled >= before.Cancelled+burst/2,
 		"%d pre-cancelled requests but Cancelled moved %d -> %d (folded into Waits?)",

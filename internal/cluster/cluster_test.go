@@ -1,0 +1,578 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stash/internal/core"
+	"stash/internal/train"
+)
+
+// fastConfig returns cluster tunables scaled for in-process tests.
+func fastConfig(self string, peers []string) Config {
+	return Config{
+		Self:              self,
+		Peers:             peers,
+		HeartbeatInterval: 20 * time.Millisecond,
+		FailureThreshold:  2,
+		StealInterval:     5 * time.Millisecond,
+		LeaseTimeout:      150 * time.Millisecond,
+		ProbeTimeout:      500 * time.Millisecond,
+		FetchTimeout:      5 * time.Second,
+	}
+}
+
+// testCluster is k in-process replicas wired over httptest servers.
+type testCluster struct {
+	nodes []*Node
+	srvs  []*httptest.Server
+}
+
+// newTestCluster boots k nodes whose backends come from mk(i). The
+// returned URLs are each node's Self.
+func newTestCluster(t *testing.T, k int, mk func(i int) Backend) *testCluster {
+	t.Helper()
+	tc := &testCluster{nodes: make([]*Node, k), srvs: make([]*httptest.Server, k)}
+	urls := make([]string, k)
+	for i := 0; i < k; i++ {
+		i := i
+		tc.srvs[i] = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			tc.nodes[i].Handler().ServeHTTP(w, r)
+		}))
+		urls[i] = tc.srvs[i].URL
+	}
+	for i := 0; i < k; i++ {
+		n, err := New(fastConfig(urls[i], urls))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.nodes[i] = n
+	}
+	for i := 0; i < k; i++ {
+		tc.nodes[i].Start(mk(i))
+	}
+	t.Cleanup(tc.close)
+	return tc
+}
+
+func (tc *testCluster) close() {
+	for _, n := range tc.nodes {
+		if n != nil {
+			n.Stop()
+		}
+	}
+	for _, s := range tc.srvs {
+		if s != nil {
+			s.Close()
+		}
+	}
+}
+
+// fakeResult derives a deterministic result from a spec, so both sides
+// of a fetch can verify the round-trip.
+func fakeResult(spec core.ScenarioSpec) *train.Result {
+	return &train.Result{
+		Iterations:   spec.Batch,
+		WorldSize:    spec.Count * spec.GPUsPer,
+		PerIteration: time.Duration(spec.Batch) * time.Millisecond,
+	}
+}
+
+func scenarioBackend(simulated *atomic.Int64) Backend {
+	return Backend{
+		Scenario: func(ctx context.Context, pool string, spec core.ScenarioSpec) (*train.Result, error) {
+			if pool != "experiments" {
+				return nil, fmt.Errorf("%w: unknown pool %q", ErrDecline, pool)
+			}
+			simulated.Add(1)
+			return fakeResult(spec), nil
+		},
+		Idle: func() bool { return false }, // no stealing in scenario tests
+	}
+}
+
+func spec(batch int) core.ScenarioSpec {
+	return core.ScenarioSpec{Model: "resnet18", Batch: batch, Instance: "p3.8xlarge", Count: 2, GPUsPer: 4, Mode: core.SpecModeSynthetic}
+}
+
+// specOwnedBy scans batches until it finds a spec whose ring owner
+// (from's view, all peers alive) is owner.
+func specOwnedBy(t *testing.T, from *Node, owner string) core.ScenarioSpec {
+	t.Helper()
+	for b := 1; b < 4096; b++ {
+		sp := spec(b)
+		owners := from.ring.owners("experiments|"+sp.Key(), nil)
+		if len(owners) > 0 && owners[0] == owner {
+			return sp
+		}
+	}
+	t.Fatal("no spec found owned by " + owner)
+	return core.ScenarioSpec{}
+}
+
+func TestRingDeterministicAcrossOrderAndBalanced(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r1 := newRing([]string{peers[2], peers[0], peers[1]}, 64)
+	r2 := newRing(peers, 64)
+	counts := map[string]int{}
+	for i := 0; i < 300; i++ {
+		key := "k" + strconv.Itoa(i)
+		o1 := r1.owners(key, nil)
+		o2 := r2.owners(key, nil)
+		if len(o1) != 3 || len(o2) != 3 {
+			t.Fatalf("owners(%q) lengths = %d, %d, want 3", key, len(o1), len(o2))
+		}
+		for j := range o1 {
+			if o1[j] != o2[j] {
+				t.Fatalf("peer-order-dependent placement for %q: %v vs %v", key, o1, o2)
+			}
+		}
+		counts[o1[0]]++
+	}
+	for _, p := range peers {
+		if counts[p] < 30 {
+			t.Fatalf("unbalanced ring: %v", counts)
+		}
+	}
+	// Filtering the owner promotes its successor, leaving the rest of
+	// the order intact.
+	key := "k42"
+	full := r1.owners(key, nil)
+	alive := func(p string) bool { return p != full[0] }
+	reduced := r1.owners(key, alive)
+	if len(reduced) != 2 || reduced[0] != full[1] || reduced[1] != full[2] {
+		t.Fatalf("successor fallback broken: full %v, without owner %v", full, reduced)
+	}
+}
+
+func TestRemoteSingleFlightAcrossNodes(t *testing.T) {
+	var sims [2]atomic.Int64
+	tc := newTestCluster(t, 2, func(i int) Backend { return scenarioBackend(&sims[i]) })
+	a, b := tc.nodes[0], tc.nodes[1]
+
+	// A spec owned by B: A's resolver fetches it from B.
+	sp := specOwnedBy(t, a, b.self)
+	res, ok := a.Resolver("experiments")(context.Background(), sp)
+	if !ok || res == nil || res.Err != nil {
+		t.Fatalf("fetch from owner failed: ok=%v res=%+v", ok, res)
+	}
+	want := fakeResult(sp)
+	if *res.Res != *want {
+		t.Fatalf("round-tripped result = %+v, want %+v", res.Res, want)
+	}
+	if sims[1].Load() != 1 || sims[0].Load() != 0 {
+		t.Fatalf("simulations = %v, want owner-only", []int64{sims[0].Load(), sims[1].Load()})
+	}
+	if a.Metrics().FetchHits != 1 || b.Metrics().Served != 1 {
+		t.Fatalf("metrics: a=%+v b=%+v", a.Metrics(), b.Metrics())
+	}
+
+	// A spec owned by A itself: the resolver declines — compute locally.
+	sp = specOwnedBy(t, a, a.self)
+	if _, ok := a.Resolver("experiments")(context.Background(), sp); ok {
+		t.Fatal("resolver fetched a self-owned spec instead of declining")
+	}
+
+	// An unknown pool: the owner declines, the requester computes
+	// locally, and nothing is cached as an error.
+	sp = specOwnedBy(t, a, b.self)
+	if _, ok := a.Resolver("bogus")(context.Background(), sp); ok {
+		t.Fatal("resolver resolved a spec the owner declined")
+	}
+}
+
+func TestResolverFallsBackWhenOwnerDies(t *testing.T) {
+	var sims [2]atomic.Int64
+	tc := newTestCluster(t, 2, func(i int) Backend { return scenarioBackend(&sims[i]) })
+	a, b := tc.nodes[0], tc.nodes[1]
+
+	sp := specOwnedBy(t, a, b.self)
+	tc.srvs[1].Close() // B dies without warning
+
+	// First fetch pays a transport error and falls back to local compute.
+	if _, ok := a.Resolver("experiments")(context.Background(), sp); ok {
+		t.Fatal("resolver claimed success against a dead owner")
+	}
+	if a.Metrics().FetchErrors == 0 {
+		t.Fatalf("dead-owner fetch not recorded: %+v", a.Metrics())
+	}
+
+	// After gossip confirms the death, the walk skips B entirely: the
+	// successor for every B-owned key is A itself, so the resolver
+	// declines without network traffic.
+	deadline := time.Now().Add(5 * time.Second)
+	for a.routable(b.self) {
+		if time.Now().After(deadline) {
+			t.Fatal("gossip never marked the dead peer unroutable")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	errsBefore := a.Metrics().FetchErrors
+	if _, ok := a.Resolver("experiments")(context.Background(), sp); ok {
+		t.Fatal("resolver fetched from a peer it knows is dead")
+	}
+	if got := a.Metrics().FetchErrors; got != errsBefore {
+		t.Fatalf("resolver still paid transport errors after death was known: %d -> %d", errsBefore, got)
+	}
+}
+
+func TestResolverSkipsDrainingOwner(t *testing.T) {
+	var sims [2]atomic.Int64
+	tc := newTestCluster(t, 2, func(i int) Backend { return scenarioBackend(&sims[i]) })
+	a, b := tc.nodes[0], tc.nodes[1]
+
+	sp := specOwnedBy(t, a, b.self)
+	dctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	b.Drain(dctx)
+
+	// B's scenario endpoint refuses with 503; the walk's next candidate
+	// is A itself, so the resolver declines to local compute.
+	if _, ok := a.Resolver("experiments")(context.Background(), sp); ok {
+		t.Fatal("resolver fetched from a draining owner")
+	}
+	if sims[1].Load() != 0 {
+		t.Fatal("draining owner still simulated")
+	}
+}
+
+// sweepBackend computes cells as "cell:<id>\n" with an optional
+// per-cell delay, counting executions per node.
+func sweepBackend(execs *atomic.Int64, delay time.Duration, idle bool) Backend {
+	return Backend{
+		ExecCell: func(ctx context.Context, id string) ([]byte, *CellError) {
+			if delay > 0 {
+				select {
+				case <-time.After(delay):
+				case <-ctx.Done():
+				}
+			}
+			execs.Add(1)
+			return []byte("cell:" + id + "\n"), nil
+		},
+		Idle: func() bool { return idle },
+	}
+}
+
+func sweepIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = "id" + strconv.Itoa(i)
+	}
+	return ids
+}
+
+// collectCommits returns a commit func recording (index, data) pairs.
+func collectCommits(t *testing.T) (func(int, []byte), func() []string) {
+	t.Helper()
+	var mu sync.Mutex
+	var next int
+	var got []string
+	commit := func(i int, data []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		if i != next {
+			t.Errorf("commit out of order: got index %d, want %d", i, next)
+		}
+		next++
+		got = append(got, string(data))
+	}
+	return commit, func() []string {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]string(nil), got...)
+	}
+}
+
+func TestRunSweepSingleNodeDegradation(t *testing.T) {
+	var execs atomic.Int64
+	self := "http://127.0.0.1:1"
+	n, err := New(fastConfig(self, []string{self}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start(sweepBackend(&execs, 0, false))
+	defer n.Stop()
+
+	ids := sweepIDs(8)
+	commit, commits := collectCommits(t)
+	cerr, err := n.RunSweep(context.Background(), ids, "", commit)
+	if err != nil || cerr != nil {
+		t.Fatalf("RunSweep: cellErr=%v err=%v", cerr, err)
+	}
+	got := commits()
+	if len(got) != 8 || execs.Load() != 8 {
+		t.Fatalf("committed %d cells with %d execs, want 8/8", len(got), execs.Load())
+	}
+	for i, g := range got {
+		if want := "cell:id" + strconv.Itoa(i) + "\n"; g != want {
+			t.Fatalf("cell %d = %q, want %q", i, g, want)
+		}
+	}
+}
+
+func TestRunSweepStealsToIdlePeer(t *testing.T) {
+	var execs [2]atomic.Int64
+	tc := newTestCluster(t, 2, func(i int) Backend {
+		// Node 0 owns the sweep (never steals); node 1 idles and steals.
+		return sweepBackend(&execs[i], 15*time.Millisecond, i == 1)
+	})
+	a := tc.nodes[0]
+
+	ids := sweepIDs(12)
+	commit, commits := collectCommits(t)
+	cerr, err := a.RunSweep(context.Background(), ids, "tenant-x", commit)
+	if err != nil || cerr != nil {
+		t.Fatalf("RunSweep: cellErr=%v err=%v", cerr, err)
+	}
+	got := commits()
+	if len(got) != 12 {
+		t.Fatalf("committed %d cells, want 12", len(got))
+	}
+	for i, g := range got {
+		if want := "cell:id" + strconv.Itoa(i) + "\n"; g != want {
+			t.Fatalf("cell %d = %q, want %q", i, g, want)
+		}
+	}
+	if execs[1].Load() == 0 {
+		t.Fatal("idle peer never stole any cells")
+	}
+	if a.Metrics().StolenByPeers == 0 || tc.nodes[1].Metrics().StolenFromPeers == 0 {
+		t.Fatalf("steal metrics empty: victim=%+v thief=%+v", a.Metrics(), tc.nodes[1].Metrics())
+	}
+}
+
+func TestRunSweepReissuesDeadThiefRange(t *testing.T) {
+	var ownerExecs atomic.Int64
+	stole := make(chan struct{})
+	var stoleOnce sync.Once
+	hang := make(chan struct{})
+	t.Cleanup(func() { close(hang) })
+
+	tc := newTestCluster(t, 2, func(i int) Backend {
+		if i == 0 {
+			return sweepBackend(&ownerExecs, 20*time.Millisecond, false)
+		}
+		// The thief takes a range, signals, then hangs without ever
+		// reporting — a crashed replica as the victim observes it. (It
+		// un-hangs on its node's own shutdown so cleanup can finish.)
+		return Backend{
+			ExecCell: func(ctx context.Context, id string) ([]byte, *CellError) {
+				stoleOnce.Do(func() { close(stole) })
+				select {
+				case <-hang:
+				case <-ctx.Done():
+				}
+				return nil, &CellError{Status: 500, Code: "dead", Message: "dead"}
+			},
+			Idle: func() bool { return true },
+		}
+	})
+	a := tc.nodes[0]
+
+	ids := sweepIDs(10)
+	commit, commits := collectCommits(t)
+	done := make(chan struct{})
+	var cerr *CellError
+	var err error
+	go func() {
+		cerr, err = a.RunSweep(context.Background(), ids, "", commit)
+		close(done)
+	}()
+
+	select {
+	case <-stole:
+	case <-time.After(10 * time.Second):
+		t.Fatal("thief never stole a range")
+	}
+	// The thief is now hung holding a lease. The victim must re-issue
+	// the range after the lease timeout and finish the sweep locally.
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("sweep never completed after thief death")
+	}
+	if err != nil || cerr != nil {
+		t.Fatalf("RunSweep: cellErr=%v err=%v", cerr, err)
+	}
+	got := commits()
+	if len(got) != 10 {
+		t.Fatalf("committed %d cells, want 10", len(got))
+	}
+	for i, g := range got {
+		if want := "cell:id" + strconv.Itoa(i) + "\n"; g != want {
+			t.Fatalf("cell %d = %q, want %q", i, g, want)
+		}
+	}
+	if a.Metrics().Reissued == 0 {
+		t.Fatalf("no lease was re-issued: %+v", a.Metrics())
+	}
+}
+
+func TestDrainHandsRangeBackToVictim(t *testing.T) {
+	var execs [2]atomic.Int64
+	stole := make(chan struct{})
+	var stoleOnce sync.Once
+
+	tc := newTestCluster(t, 2, func(i int) Backend {
+		if i == 0 {
+			return sweepBackend(&execs[0], 25*time.Millisecond, false)
+		}
+		return Backend{
+			ExecCell: func(ctx context.Context, id string) ([]byte, *CellError) {
+				stoleOnce.Do(func() { close(stole) })
+				select {
+				case <-time.After(25 * time.Millisecond):
+				case <-ctx.Done():
+				}
+				execs[1].Add(1)
+				return []byte("cell:" + id + "\n"), nil
+			},
+			Idle: func() bool { return true },
+		}
+	})
+	a, b := tc.nodes[0], tc.nodes[1]
+
+	ids := sweepIDs(16)
+	commit, commits := collectCommits(t)
+	done := make(chan struct{})
+	var cerr *CellError
+	var err error
+	go func() {
+		cerr, err = a.RunSweep(context.Background(), ids, "", commit)
+		close(done)
+	}()
+
+	select {
+	case <-stole:
+	case <-time.After(10 * time.Second):
+		t.Fatal("peer never stole a range")
+	}
+	// Drain the thief mid-range: it must report the cells it finished
+	// and hand the rest back, and the victim must still complete every
+	// cell in order.
+	dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	b.Drain(dctx)
+
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("sweep never completed after thief drain")
+	}
+	if err != nil || cerr != nil {
+		t.Fatalf("RunSweep: cellErr=%v err=%v", cerr, err)
+	}
+	got := commits()
+	if len(got) != 16 {
+		t.Fatalf("committed %d cells, want 16", len(got))
+	}
+	for i, g := range got {
+		if want := "cell:id" + strconv.Itoa(i) + "\n"; g != want {
+			t.Fatalf("cell %d = %q, want %q", i, g, want)
+		}
+	}
+}
+
+func TestRunSweepStopsAtFirstFailingIndex(t *testing.T) {
+	self := "http://127.0.0.1:1"
+	n, err := New(fastConfig(self, []string{self}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start(Backend{
+		ExecCell: func(ctx context.Context, id string) ([]byte, *CellError) {
+			if id == "id3" {
+				return nil, &CellError{Status: 422, Code: "infeasible", Message: "no feasible config for " + id}
+			}
+			return []byte("cell:" + id + "\n"), nil
+		},
+		Idle: func() bool { return false },
+	})
+	defer n.Stop()
+
+	commit, commits := collectCommits(t)
+	cerr, err := n.RunSweep(context.Background(), sweepIDs(8), "", commit)
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	if cerr == nil || cerr.Code != "infeasible" {
+		t.Fatalf("cell error = %+v, want the id3 failure", cerr)
+	}
+	if got := commits(); len(got) != 3 {
+		t.Fatalf("committed %d cells before the failure, want 3 (indices 0..2)", len(got))
+	}
+}
+
+func TestCarveRespectsStealBudget(t *testing.T) {
+	self := "http://127.0.0.1:1"
+	n, err := New(fastConfig(self, []string{self}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSweep(n, 1, sweepIDs(8), "", func(int, []byte) {})
+	now := time.Now()
+
+	g1 := s.carve("thief", 1, now, 100*time.Millisecond, 1)
+	if g1 == nil || len(g1.IDs) != 4 || g1.Start != 4 {
+		t.Fatalf("first carve = %+v, want the tail half [4..7]", g1)
+	}
+	// The lease expires; the cells return to pending with budget spent.
+	s.expireLeases(now.Add(200 * time.Millisecond))
+
+	// With MaxSteals=1 those cells are local-only now; the remaining
+	// eligible run is [0..3], so a second carve takes its tail half.
+	g2 := s.carve("thief", 2, now, 100*time.Millisecond, 1)
+	if g2 == nil || g2.Start != 2 || len(g2.IDs) != 2 {
+		t.Fatalf("second carve = %+v, want [2..3]", g2)
+	}
+	// [0..1] is the only eligible run left: the carve takes its upper
+	// half (one cell), always leaving the head for the owner.
+	g3 := s.carve("thief", 3, now, 100*time.Millisecond, 1)
+	if g3 == nil || g3.Start != 1 || len(g3.IDs) != 1 {
+		t.Fatalf("third carve = %+v, want [1..1]", g3)
+	}
+	// A single eligible cell (the head) is never stolen: no grant.
+	if g4 := s.carve("thief", 4, now, 100*time.Millisecond, 1); g4 != nil {
+		t.Fatalf("fourth carve granted %+v, want nil", g4)
+	}
+}
+
+func TestRunSweepCancelledContext(t *testing.T) {
+	self := "http://127.0.0.1:1"
+	n, err := New(fastConfig(self, []string{self}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start(sweepBackend(&atomic.Int64{}, 0, false))
+	defer n.Stop()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := n.RunSweep(ctx, sweepIDs(4), "", func(int, []byte) {}); err == nil {
+		t.Fatal("cancelled sweep returned nil error")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Self: "http://a:1", Peers: []string{"http://b:1"}}); err == nil {
+		t.Fatal("Self outside the peer list accepted")
+	}
+	if _, err := New(Config{Peers: []string{"http://b:1"}}); err == nil {
+		t.Fatal("empty Self accepted")
+	}
+	n, err := New(Config{Self: "http://a:1/", Peers: []string{"http://a:1", "http://a:1/", " http://b:1 "}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.PeerCount() != 1 {
+		t.Fatalf("PeerCount = %d, want 1 (dedup + trim)", n.PeerCount())
+	}
+}

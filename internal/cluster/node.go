@@ -1,0 +1,803 @@
+// Package cluster implements stashd's peer-to-peer cluster mode:
+// scenario cache keys placed on a consistent-hash ring with
+// bounded-load successor fallback, a remote single-flight layer that
+// keeps each scenario's simulation on one replica cluster-wide, and a
+// work-stealing scheduler that spreads /v2/jobs grid sweeps across idle
+// replicas while preserving the byte-identical-output guarantee.
+//
+// The design follows the control-plane-over-plain-HTTP shape: replicas
+// know each other from a static -peers list, exchange liveness and
+// counters over GET /cluster/v1/health, route scenario cache misses to
+// their ring owner over POST /cluster/v1/scenario (a long-poll that
+// returns when the owner's simulation — possibly already in flight for
+// another requester — completes), and let idle replicas pull contiguous
+// sweep cell ranges over POST /cluster/v1/steal, reporting them back on
+// /cluster/v1/complete.
+//
+// Failure handling is first-class and degrades toward single-node
+// behavior: a dead peer's key range rehashes to its ring successor, a
+// fetch to a dead owner falls back to local compute, stolen ranges
+// whose thief dies are re-issued after a lease timeout under a
+// deterministic per-cell retry budget, and with every peer gone the
+// node computes everything locally — exactly the single-process stashd.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stash/internal/core"
+	"stash/internal/train"
+)
+
+// Defaults for Config's tunables.
+const (
+	defaultVNodes            = 64
+	defaultHeartbeatInterval = 500 * time.Millisecond
+	defaultFailureThreshold  = 2
+	defaultStealInterval     = 250 * time.Millisecond
+	defaultLeaseTimeout      = 30 * time.Second
+	defaultMaxSteals         = 2
+	defaultFetchTimeout      = 60 * time.Second
+	defaultProbeTimeout      = 2 * time.Second
+	defaultLoadBound         = 64
+)
+
+// ErrDecline is the sentinel a Backend.Scenario implementation returns
+// when it cannot (or should not) serve a spec — unknown pool,
+// unresolvable names, draining. The requester computes locally; nothing
+// is cached.
+var ErrDecline = errors.New("cluster: scenario declined")
+
+// Config describes one replica's place in the cluster.
+type Config struct {
+	// Self is this replica's advertised cluster base URL
+	// (e.g. "http://10.0.0.3:8322"). It must appear in Peers.
+	Self string
+
+	// Peers is the full static replica list, Self included — the same
+	// set, up to order, on every replica. The consistent-hash ring is
+	// built over exactly these names.
+	Peers []string
+
+	// HeartbeatInterval paces the health-gossip probes.
+	HeartbeatInterval time.Duration
+
+	// FailureThreshold is the consecutive probe failures after which a
+	// peer is considered dead and its key range rehashes to its
+	// successor. A later successful probe resurrects it.
+	FailureThreshold int
+
+	// StealInterval paces an idle replica's steal polls.
+	StealInterval time.Duration
+
+	// LeaseTimeout bounds how long a stolen range may stay unreported
+	// before the victim re-issues it.
+	LeaseTimeout time.Duration
+
+	// MaxSteals is each cell's steal budget: after this many leases
+	// expire on a cell it becomes local-only, so a flapping thief can
+	// delay a sweep at most MaxSteals lease timeouts per cell —
+	// deterministic, not retry-forever.
+	MaxSteals int
+
+	// FetchTimeout bounds one remote scenario long-poll.
+	FetchTimeout time.Duration
+
+	// ProbeTimeout bounds one health probe.
+	ProbeTimeout time.Duration
+
+	// LoadBound is the bounded-load fallback: at most this many
+	// scenario fetches may be in flight to one peer before the walk
+	// spills to the key's ring successor. Under sustained overload this
+	// trades strict cluster-wide single-flight for availability — a hot
+	// key may simulate on up to as many replicas as the walk visits —
+	// so it is deliberately generous.
+	LoadBound int
+
+	// VNodes is the virtual points per replica on the ring.
+	VNodes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = defaultHeartbeatInterval
+	}
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = defaultFailureThreshold
+	}
+	if c.StealInterval <= 0 {
+		c.StealInterval = defaultStealInterval
+	}
+	if c.LeaseTimeout <= 0 {
+		c.LeaseTimeout = defaultLeaseTimeout
+	}
+	if c.MaxSteals <= 0 {
+		c.MaxSteals = defaultMaxSteals
+	}
+	if c.FetchTimeout <= 0 {
+		c.FetchTimeout = defaultFetchTimeout
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = defaultProbeTimeout
+	}
+	if c.LoadBound <= 0 {
+		c.LoadBound = defaultLoadBound
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = defaultVNodes
+	}
+	return c
+}
+
+// Backend is the serving layer's side of the contract: how the node
+// computes scenarios and sweep cells locally, and which counters it
+// gossips. The cluster package never imports the API layer; the API
+// layer injects these callbacks.
+type Backend struct {
+	// Scenario computes spec on the named local pool without another
+	// remote hop (core.Profiler.RunLocalScenario), so ownership
+	// disagreement between gossip views can never forward in a loop.
+	// Return ErrDecline (possibly wrapped) to make the requester
+	// compute locally; any other error is also treated as a decline —
+	// simulation errors re-derive deterministically on the requester.
+	Scenario func(ctx context.Context, pool string, spec core.ScenarioSpec) (*train.Result, error)
+
+	// ExecCell computes one sweep cell (an experiment id) locally and
+	// returns its wire bytes, exactly as the single-node path would
+	// encode them.
+	ExecCell func(ctx context.Context, id string) ([]byte, *CellError)
+
+	// Idle reports whether this replica has spare capacity to steal
+	// work (typically: its own job queue is empty).
+	Idle func() bool
+
+	// Pools snapshots the local scenario-scheduler counters per pool,
+	// and TenantPools the per-tenant mirrors; both are piggybacked on
+	// health responses for cluster-aggregated metrics. Optional.
+	Pools       func() map[string]core.Stats
+	TenantPools func() map[string]map[string]core.Stats
+}
+
+// peerState is this replica's view of one peer, maintained by the
+// gossip loop.
+type peerState struct {
+	failures int
+	alive    bool
+	gen      int64
+	status   string
+	pools    map[string]core.Stats
+	tenants  map[string]map[string]core.Stats
+}
+
+// Node is one replica's cluster runtime.
+type Node struct {
+	cfg     Config
+	self    string
+	peers   []string // sorted, Self excluded
+	ring    *ring
+	backend Backend
+	client  *http.Client
+
+	mu sync.Mutex
+	st map[string]*peerState
+
+	sweepMu sync.Mutex
+	sweeps  map[int64]*sweep
+
+	seq      atomic.Int64 // sweep and lease ids
+	gen      atomic.Int64 // self-status generation
+	draining atomic.Bool
+	started  atomic.Bool
+
+	runCtx  context.Context
+	stop    context.CancelFunc
+	loops   sync.WaitGroup
+	thiefMu sync.Mutex // serializes thief-range release on drain
+
+	// inflight tracks outstanding scenario fetches per peer for the
+	// bounded-load walk.
+	inflight map[string]*atomic.Int64
+
+	m metricsCounters
+}
+
+// metricsCounters are the node's own observability counters, exported
+// via Metrics for the /metrics surface.
+type metricsCounters struct {
+	fetchHits      atomic.Int64 // scenario fetches resolved by a peer
+	fetchErrors    atomic.Int64 // transport failures → local compute
+	fetchDeclines  atomic.Int64 // peer declined → next candidate / local
+	boundedSkips   atomic.Int64 // candidates skipped by the load bound
+	served         atomic.Int64 // scenario requests served for peers
+	sweeps         atomic.Int64 // sweeps coordinated on this node
+	stolenByPeers  atomic.Int64 // cells leased out to thieves
+	stolenFromPeer atomic.Int64 // cells this node stole and completed
+	reissued       atomic.Int64 // expired-lease cells returned to pending
+	released       atomic.Int64 // cells handed back on thief drain
+}
+
+// Metrics is a snapshot of the node's cluster counters.
+type Metrics struct {
+	FetchHits, FetchErrors, FetchDeclines, BoundedSkips int64
+	Served                                              int64
+	Sweeps                                              int64
+	StolenByPeers, StolenFromPeers                      int64
+	Reissued, Released                                  int64
+}
+
+// New validates the configuration and builds the node. The node is
+// inert until Start.
+func New(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Self == "" {
+		return nil, errors.New("cluster: Config.Self is required")
+	}
+	if _, err := url.Parse(cfg.Self); err != nil {
+		return nil, fmt.Errorf("cluster: bad Self %q: %w", cfg.Self, err)
+	}
+	seen := make(map[string]bool, len(cfg.Peers))
+	all := make([]string, 0, len(cfg.Peers))
+	for _, p := range cfg.Peers {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		all = append(all, p)
+	}
+	cfg.Self = strings.TrimRight(strings.TrimSpace(cfg.Self), "/")
+	if !seen[cfg.Self] {
+		return nil, fmt.Errorf("cluster: Self %q is not in the peer list %v", cfg.Self, all)
+	}
+	sort.Strings(all)
+	n := &Node{
+		cfg:      cfg,
+		self:     cfg.Self,
+		ring:     newRing(all, cfg.VNodes),
+		client:   &http.Client{},
+		st:       make(map[string]*peerState, len(all)),
+		sweeps:   make(map[int64]*sweep),
+		inflight: make(map[string]*atomic.Int64, len(all)),
+	}
+	for _, p := range all {
+		if p == cfg.Self {
+			continue
+		}
+		n.peers = append(n.peers, p)
+		// Peers start alive and active: cold-start routing works before
+		// the first probe round instead of stampeding local computes.
+		n.st[p] = &peerState{alive: true, status: statusActive}
+		n.inflight[p] = &atomic.Int64{}
+	}
+	return n, nil
+}
+
+// Self returns the node's advertised cluster URL.
+func (n *Node) Self() string { return n.self }
+
+// PeerCount returns how many other replicas are configured.
+func (n *Node) PeerCount() int { return len(n.peers) }
+
+// Start wires the backend and launches the gossip and thief loops.
+func (n *Node) Start(b Backend) {
+	if n.started.Swap(true) {
+		return
+	}
+	n.backend = b
+	n.runCtx, n.stop = context.WithCancel(context.Background())
+	if len(n.peers) > 0 {
+		n.loops.Add(2)
+		go n.gossipLoop(n.runCtx)
+		go n.thiefLoop(n.runCtx)
+	}
+}
+
+// Stop kills the node immediately: loops are cancelled and in-flight
+// stolen work is abandoned without a release report — the "replica
+// died" path; victims re-issue its leases after the lease timeout. Use
+// Drain for the graceful path.
+func (n *Node) Stop() {
+	if !n.started.Load() || n.stop == nil {
+		return
+	}
+	n.stop()
+	n.loops.Wait()
+}
+
+// Drain moves the node to draining: peers are told (via gossip status)
+// to stop routing scenarios here, steal requests are refused, the thief
+// loop stops taking new ranges, and the range it is computing — if any
+// — is handed back to its victim with the cells it already finished
+// (the cluster half of "drain hands queued cells back to the ring").
+// Local sweeps keep running; the job layer owns their drain. Blocks
+// until the handback is sent or ctx expires.
+func (n *Node) Drain(ctx context.Context) {
+	if !n.draining.Swap(true) {
+		n.gen.Add(1)
+	}
+	// Serialize with an in-progress thief range: once we hold thiefMu
+	// the thief loop has either released its range (it checks draining
+	// per cell) or not started one; either way nothing is held after.
+	done := make(chan struct{})
+	go func() {
+		// The empty critical section is the rendezvous: acquiring the
+		// lock proves the thief finished (and released) its range.
+		n.thiefMu.Lock()
+		n.thiefMu.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (n *Node) Draining() bool { return n.draining.Load() }
+
+// now reads the wall clock for lease deadlines and probe pacing — pure
+// control-plane timing that never enters a stall table or simulated
+// result.
+func (n *Node) now() time.Time {
+	return time.Now() //lint:allow wallclock cluster lease/gossip deadlines, never enters a stall table
+}
+
+// ---------------------------------------------------------------------
+// Membership: health gossip.
+
+// gossipLoop probes every peer each heartbeat, merging their
+// self-reported state and piggybacked counters into n.st.
+func (n *Node) gossipLoop(ctx context.Context) {
+	defer n.loops.Done()
+	t := time.NewTicker(n.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		for _, p := range n.peers { // sorted at New: deterministic probe order
+			n.probe(ctx, p)
+		}
+	}
+}
+
+// probe performs one health round-trip to peer and folds the outcome
+// into the membership view.
+func (n *Node) probe(ctx context.Context, peer string) {
+	pctx, cancel := context.WithTimeout(ctx, n.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, peer+"/cluster/v1/health", nil)
+	if err != nil {
+		n.recordProbe(peer, nil)
+		return
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		n.recordProbe(peer, nil)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+		n.recordProbe(peer, nil)
+		return
+	}
+	var hr healthResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&hr); err != nil {
+		n.recordProbe(peer, nil)
+		return
+	}
+	n.recordProbe(peer, &hr)
+}
+
+// recordProbe applies one probe outcome (nil = failure) to the peer's
+// state. Status and counters are generation-stamped by the peer itself;
+// a stale response never rolls a newer status back.
+func (n *Node) recordProbe(peer string, hr *healthResponse) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := n.st[peer]
+	if st == nil {
+		return
+	}
+	if hr == nil {
+		st.failures++
+		if st.failures >= n.cfg.FailureThreshold {
+			st.alive = false
+		}
+		return
+	}
+	st.failures = 0
+	st.alive = true
+	if hr.Gen >= st.gen {
+		st.gen = hr.Gen
+		st.status = hr.Status
+	}
+	st.pools = hr.Pools
+	st.tenants = hr.Tenants
+}
+
+// routable reports whether scenario fetches may target peer right now.
+// Self is always routable: it is the walk's "compute locally" stop.
+func (n *Node) routable(peer string) bool {
+	if peer == n.self {
+		return true
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := n.st[peer]
+	return st != nil && st.alive && st.status != statusDraining
+}
+
+// alivePeers returns the peers (Self excluded) currently considered
+// alive and not draining, in sorted order.
+func (n *Node) alivePeers() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.peers))
+	for _, p := range n.peers {
+		if st := n.st[p]; st != nil && st.alive && st.status != statusDraining {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// PeerStatus is one row of the membership view.
+type PeerStatus struct {
+	Name   string
+	Alive  bool
+	Status string
+}
+
+// Peers returns the membership view (Self excluded), sorted by name.
+func (n *Node) Peers() []PeerStatus {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]PeerStatus, 0, len(n.peers))
+	for _, p := range n.peers {
+		st := n.st[p]
+		out = append(out, PeerStatus{Name: p, Alive: st.alive, Status: st.status})
+	}
+	return out
+}
+
+// AggregatedPools sums scenario counters across the cluster: this
+// replica's live snapshot plus every peer's last gossiped one. Peer
+// numbers lag by up to one heartbeat.
+func (n *Node) AggregatedPools() map[string]core.Stats {
+	out := map[string]core.Stats{}
+	if n.backend.Pools != nil {
+		for pool, st := range n.backend.Pools() {
+			out[pool] = st
+		}
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, p := range n.peers {
+		for pool, st := range n.st[p].pools {
+			out[pool] = out[pool].Add(st)
+		}
+	}
+	return out
+}
+
+// AggregatedTenants is AggregatedPools for the per-tenant mirrors.
+func (n *Node) AggregatedTenants() map[string]map[string]core.Stats {
+	out := map[string]map[string]core.Stats{}
+	add := func(pools map[string]map[string]core.Stats) {
+		for pool, tenants := range pools {
+			dst := out[pool]
+			if dst == nil {
+				dst = map[string]core.Stats{}
+				out[pool] = dst
+			}
+			for tenant, st := range tenants {
+				dst[tenant] = dst[tenant].Add(st)
+			}
+		}
+	}
+	if n.backend.TenantPools != nil {
+		add(n.backend.TenantPools())
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, p := range n.peers {
+		add(n.st[p].tenants)
+	}
+	return out
+}
+
+// Metrics snapshots the node's cluster counters.
+func (n *Node) Metrics() Metrics {
+	return Metrics{
+		FetchHits:       n.m.fetchHits.Load(),
+		FetchErrors:     n.m.fetchErrors.Load(),
+		FetchDeclines:   n.m.fetchDeclines.Load(),
+		BoundedSkips:    n.m.boundedSkips.Load(),
+		Served:          n.m.served.Load(),
+		Sweeps:          n.m.sweeps.Load(),
+		StolenByPeers:   n.m.stolenByPeers.Load(),
+		StolenFromPeers: n.m.stolenFromPeer.Load(),
+		Reissued:        n.m.reissued.Load(),
+		Released:        n.m.released.Load(),
+	}
+}
+
+// ---------------------------------------------------------------------
+// Remote single-flight: the fetch client.
+
+// Resolver returns the core.RemoteResolver for the named local pool:
+// the hook a profiler consults on cache misses. The walk visits the
+// key's owner first, spilling to ring successors past dead, draining or
+// load-bounded replicas; reaching Self (or running out of candidates)
+// means compute locally.
+func (n *Node) Resolver(pool string) core.RemoteResolver {
+	return func(ctx context.Context, spec core.ScenarioSpec) (*core.RemoteResult, bool) {
+		if len(n.peers) == 0 {
+			return nil, false
+		}
+		key := pool + "|" + spec.Key()
+		for _, owner := range n.ring.owners(key, n.routable) {
+			if owner == n.self {
+				return nil, false
+			}
+			infl := n.inflight[owner]
+			if infl.Load() >= int64(n.cfg.LoadBound) {
+				n.m.boundedSkips.Add(1)
+				continue
+			}
+			infl.Add(1)
+			res, retryNext := n.fetchScenario(ctx, owner, pool, spec)
+			infl.Add(-1)
+			if res != nil {
+				n.m.fetchHits.Add(1)
+				return res, true
+			}
+			if !retryNext {
+				// Transport failure: the owner is presumed dead. Fall
+				// back to local compute now; gossip will route future
+				// keys to the successor once the death is confirmed.
+				n.m.fetchErrors.Add(1)
+				return nil, false
+			}
+			n.m.fetchDeclines.Add(1)
+		}
+		return nil, false
+	}
+}
+
+// fetchScenario long-polls one owner for a scenario result. It returns
+// (result, _) on success, (nil, true) when the owner explicitly
+// declined — the walk may try the successor — and (nil, false) on
+// transport failure.
+func (n *Node) fetchScenario(ctx context.Context, owner, pool string, spec core.ScenarioSpec) (*core.RemoteResult, bool) {
+	fctx, cancel := context.WithTimeout(ctx, n.cfg.FetchTimeout)
+	defer cancel()
+	body, err := json.Marshal(scenarioRequest{Pool: pool, Spec: spec})
+	if err != nil {
+		return nil, true
+	}
+	req, err := http.NewRequestWithContext(fctx, http.MethodPost, owner+"/cluster/v1/scenario", bytes.NewReader(body))
+	if err != nil {
+		return nil, true
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		// Draining or not started: decline, try the successor.
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+		return nil, true
+	}
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+		return nil, false
+	}
+	var sr scenarioResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&sr); err != nil {
+		return nil, false
+	}
+	if sr.Result == nil {
+		return nil, true
+	}
+	return &core.RemoteResult{Res: sr.Result}, false
+}
+
+// ---------------------------------------------------------------------
+// HTTP surface: the /cluster/v1 handler.
+
+// Handler returns the peer-facing HTTP handler. It is meant for a
+// separate listener (-cluster-addr) on a trusted network: the protocol
+// carries no authentication.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cluster/v1/health", n.handleHealth)
+	mux.HandleFunc("/cluster/v1/scenario", n.handleScenario)
+	mux.HandleFunc("/cluster/v1/steal", n.handleSteal)
+	mux.HandleFunc("/cluster/v1/complete", n.handleComplete)
+	return mux
+}
+
+func writeWire(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // peer hangup mid-write is its problem
+}
+
+func (n *Node) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	hr := healthResponse{Name: n.self, Gen: n.gen.Load(), Status: statusActive}
+	if n.draining.Load() {
+		hr.Status = statusDraining
+	}
+	if n.backend.Pools != nil {
+		hr.Pools = n.backend.Pools()
+	}
+	if n.backend.TenantPools != nil {
+		hr.Tenants = n.backend.TenantPools()
+	}
+	writeWire(w, http.StatusOK, hr)
+}
+
+func (n *Node) handleScenario(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if n.draining.Load() || n.backend.Scenario == nil {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	var sreq scenarioRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&sreq); err != nil {
+		http.Error(w, "bad request", http.StatusBadRequest)
+		return
+	}
+	n.m.served.Add(1)
+	res, err := n.backend.Scenario(r.Context(), sreq.Pool, sreq.Spec)
+	if err != nil {
+		writeWire(w, http.StatusOK, scenarioResponse{Decline: err.Error()})
+		return
+	}
+	writeWire(w, http.StatusOK, scenarioResponse{Result: res})
+}
+
+// ---------------------------------------------------------------------
+// Work stealing: the thief side. (The victim side lives in sweep.go.)
+
+// thiefLoop polls alive peers for stealable sweep ranges whenever the
+// local backend reports idle capacity.
+func (n *Node) thiefLoop(ctx context.Context) {
+	defer n.loops.Done()
+	t := time.NewTicker(n.cfg.StealInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		if n.draining.Load() {
+			return
+		}
+		if n.backend.Idle != nil && !n.backend.Idle() {
+			continue
+		}
+		for _, victim := range n.alivePeers() {
+			if n.stealFrom(ctx, victim) {
+				// Got (and finished) a range; re-check idleness before
+				// taking more.
+				break
+			}
+		}
+	}
+}
+
+// stealFrom asks one victim for a range and, if granted, computes it —
+// releasing the uncomputed tail if the node drains mid-range. Reports
+// whether a range was granted.
+func (n *Node) stealFrom(ctx context.Context, victim string) bool {
+	n.thiefMu.Lock()
+	defer n.thiefMu.Unlock()
+	grant, ok := n.requestSteal(ctx, victim)
+	if !ok || len(grant.IDs) == 0 {
+		return false
+	}
+	cctx := ctx
+	if grant.Tenant != "" {
+		cctx = core.WithTenant(ctx, grant.Tenant)
+	}
+	done := make([]cellResult, 0, len(grant.IDs))
+	released := false
+	for i, id := range grant.IDs {
+		if ctx.Err() != nil || n.draining.Load() {
+			released = i < len(grant.IDs)
+			break
+		}
+		data, cerr := n.backend.ExecCell(cctx, id)
+		done = append(done, cellResult{Index: grant.Start + i, Data: data, Err: cerr})
+	}
+	n.m.stolenFromPeer.Add(int64(len(done)))
+	n.reportComplete(victim, completeRequest{
+		Sweep:    grant.Sweep,
+		Lease:    grant.Lease,
+		Cells:    done,
+		Released: released,
+	})
+	return true
+}
+
+// requestSteal performs one steal POST. ok is false when the victim has
+// nothing to steal or cannot be reached.
+func (n *Node) requestSteal(ctx context.Context, victim string) (*stealResponse, bool) {
+	pctx, cancel := context.WithTimeout(ctx, n.cfg.ProbeTimeout)
+	defer cancel()
+	body, err := json.Marshal(stealRequest{Thief: n.self})
+	if err != nil {
+		return nil, false
+	}
+	req, err := http.NewRequestWithContext(pctx, http.MethodPost, victim+"/cluster/v1/steal", bytes.NewReader(body))
+	if err != nil {
+		return nil, false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+		return nil, false
+	}
+	var sr stealResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&sr); err != nil {
+		return nil, false
+	}
+	return &sr, true
+}
+
+// reportComplete delivers a lease outcome to its victim. The report is
+// bounded by FetchTimeout, not the (possibly dead) request context: a
+// computed range should not be lost to a cancelled poll. Failure is
+// acceptable — the victim re-issues after the lease timeout.
+func (n *Node) reportComplete(victim string, creq completeRequest) {
+	rctx, cancel := context.WithTimeout(context.Background(), n.cfg.FetchTimeout)
+	defer cancel()
+	body, err := json.Marshal(creq)
+	if err != nil {
+		return
+	}
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, victim+"/cluster/v1/complete", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+	resp.Body.Close()
+}

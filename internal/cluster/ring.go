@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ring is a consistent-hash ring over the cluster's replicas. Each
+// replica contributes vnodes virtual points so key ranges stay balanced
+// at small cluster sizes; a scenario key hashes to the first point
+// clockwise, and the walk continues to the next *distinct* replica for
+// successor fallback (dead owner, bounded-load overflow).
+//
+// The ring is built once from the static -peers list and never mutated:
+// membership changes (death, drain) are applied by the walk's filter,
+// not by reshuffling points, so a peer's recovery restores exactly its
+// old key range — the deterministic "rehash to successor" contract.
+type ring struct {
+	points []ringPoint // sorted by hash
+	peers  int
+}
+
+type ringPoint struct {
+	hash uint64
+	peer string
+}
+
+// hashKey is FNV-1a over the canonical key string, finished with a
+// splitmix64-style mixer: stable across processes and platforms (unlike
+// maphash), so every replica computes the same placement. The mixer
+// matters — raw FNV of near-identical short strings ("url#0", "url#1",
+// ...) clusters badly enough to skew vnode ownership 20x.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key)) //nolint:errcheck // fnv.Write never fails
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// newRing builds the ring. peers must be the same canonical URL list on
+// every replica (same strings, any order) or placements disagree.
+func newRing(peers []string, vnodes int) *ring {
+	if vnodes < 1 {
+		vnodes = defaultVNodes
+	}
+	r := &ring{points: make([]ringPoint, 0, len(peers)*vnodes), peers: len(peers)}
+	for _, p := range peers {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hashKey(p + "#" + strconv.Itoa(v)), peer: p})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on peer so equal hashes (vanishingly rare but
+		// possible) sort identically on every replica.
+		return r.points[i].peer < r.points[j].peer
+	})
+	return r
+}
+
+// owners returns the distinct replicas responsible for key, in
+// clockwise preference order, keeping only those accepted by keep (nil
+// keeps all). The first entry is the key's owner under the current
+// membership view; later entries are its successors.
+func (r *ring) owners(key string, keep func(string) bool) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, r.peers)
+	seen := make(map[string]bool, r.peers)
+	for i := 0; i < len(r.points) && len(out) < r.peers; i++ {
+		p := r.points[(start+i)%len(r.points)].peer
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		if keep == nil || keep(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

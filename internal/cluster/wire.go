@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"stash/internal/core"
+	"stash/internal/train"
+)
+
+// Wire DTOs for the /cluster/v1 peer protocol. Replicas are assumed to
+// run the same build with the same profiler flags (-iters, -exp-iters,
+// -seed); the protocol ships names and counters, never model or
+// catalogue data, so a mixed-build cluster fails loudly (unresolvable
+// spec → decline → local compute) instead of corrupting results.
+
+// scenarioRequest asks the key's owner to resolve one scenario on its
+// local profiler pool. Pool names the serving-side profiler ("profile"
+// for the v1 surface, "experiments" for sweeps): scenario results
+// depend on the pool's iteration count, so the owner must compute on
+// the pool matching the requester's.
+type scenarioRequest struct {
+	Pool string            `json:"pool"`
+	Spec core.ScenarioSpec `json:"spec"`
+}
+
+// scenarioResponse carries the owner's result, or a decline. A decline
+// tells the requester to simulate locally; it is never cached. Owner
+// simulation errors also travel as declines: errors re-derive
+// deterministically (and with their concrete types) on the requester,
+// so shipping them would only strip type information.
+type scenarioResponse struct {
+	Result  *train.Result `json:"result,omitempty"`
+	Decline string        `json:"decline,omitempty"`
+}
+
+// healthResponse is the gossip payload: the replica's self-reported
+// state plus piggybacked scheduler counters, so every replica can
+// render cluster-aggregated metrics without a second scrape protocol.
+type healthResponse struct {
+	Name   string `json:"name"`
+	Gen    int64  `json:"gen"`
+	Status string `json:"status"` // statusActive or statusDraining
+
+	// Pools maps pool name -> scenario-scheduler counters.
+	Pools map[string]core.Stats `json:"pools,omitempty"`
+
+	// Tenants maps pool name -> tenant -> counters.
+	Tenants map[string]map[string]core.Stats `json:"tenants,omitempty"`
+}
+
+const (
+	statusActive   = "active"
+	statusDraining = "draining"
+)
+
+// stealRequest asks a victim for a contiguous range of pending sweep
+// cells.
+type stealRequest struct {
+	Thief string `json:"thief"`
+}
+
+// stealResponse grants a lease on the cells IDs[0..] at indices
+// Start..Start+len(IDs)-1 of sweep Sweep. The thief must report the
+// whole range in one completeRequest before LeaseMS elapses on the
+// victim's clock, or the range is re-issued.
+type stealResponse struct {
+	Sweep   int64    `json:"sweep"`
+	Lease   int64    `json:"lease"`
+	Start   int      `json:"start"`
+	IDs     []string `json:"ids"`
+	Tenant  string   `json:"tenant,omitempty"`
+	LeaseMS int64    `json:"lease_ms"`
+}
+
+// CellError is a sweep cell failure in wire form: enough for the job
+// layer to reproduce the exact error response the single-node path
+// would have produced.
+type CellError struct {
+	Status  int    `json:"status"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements the error interface.
+func (e *CellError) Error() string { return e.Message }
+
+// cellResult is one computed cell: its index in the sweep's ID list and
+// either the cell's wire bytes or its error.
+type cellResult struct {
+	Index int        `json:"index"`
+	Data  []byte     `json:"data,omitempty"`
+	Err   *CellError `json:"err,omitempty"`
+}
+
+// completeRequest reports a lease's outcome. Released means the thief
+// is handing back the cells it did not compute (drain): they re-enter
+// the pending set with their steal budget refunded, since the thief
+// gave them back deliberately rather than dying with them.
+type completeRequest struct {
+	Sweep    int64        `json:"sweep"`
+	Lease    int64        `json:"lease"`
+	Cells    []cellResult `json:"cells"`
+	Released bool         `json:"released"`
+}

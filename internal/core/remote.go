@@ -1,0 +1,151 @@
+// Remote scenario resolution: the hook that lets a cluster layer fill
+// this profiler's single-flight cache from a peer that owns the
+// scenario's key on a consistent-hash ring, instead of simulating
+// locally.
+//
+// The contract is deliberately narrow so the profiler stays ignorant of
+// transports and membership:
+//
+//   - Before starting a local simulation for a cache miss, the profiler
+//     offers the scenario to the installed RemoteResolver.
+//   - The resolver either resolves it (ok == true, returning the owner's
+//     result or the owner's simulation error) or declines (ok == false:
+//     this replica owns the key, there is no cluster, or the owner is
+//     unreachable — "owner death falls back to local compute").
+//   - A resolved scenario fills the local cache entry exactly like a
+//     local simulation would — latecomers were already parked on the
+//     entry's done channel — but is charged to the RemoteHits counter,
+//     never to Simulated, so cluster-wide Simulated stays ≤ the number
+//     of unique scenarios.
+//
+// Transport failures must be reported by declining, not by returning an
+// error result: an error result is cached (it is indistinguishable from
+// the owner's deterministic simulation failing), while a decline costs
+// only a local simulation.
+package core
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"stash/internal/cloud"
+	"stash/internal/dnn"
+	"stash/internal/train"
+	"stash/internal/workload"
+)
+
+// ScenarioSpec is the wire form of a scenario cache key: everything a
+// peer needs to re-resolve the job and instance by name and run the
+// identical simulation. Mode carries the runMode wire values
+// (SpecModeSynthetic and friends).
+type ScenarioSpec struct {
+	Model    string `json:"model"`
+	Batch    int    `json:"batch"`
+	Instance string `json:"instance"`
+	Count    int    `json:"count"`
+	GPUsPer  int    `json:"gpus_per"`
+	Mode     int    `json:"mode"`
+}
+
+// Wire values for ScenarioSpec.Mode, mirroring the profiler's internal
+// run modes.
+const (
+	SpecModeSynthetic = int(modeSynthetic)
+	SpecModeRealCold  = int(modeRealCold)
+	SpecModeRealWarm  = int(modeRealWarm)
+)
+
+// Key renders the spec's canonical placement string: the value hashed
+// onto the cluster's consistent-hash ring. Two specs describe the same
+// scenario iff their Keys are equal.
+func (s ScenarioSpec) Key() string {
+	var b strings.Builder
+	b.Grow(len(s.Model) + len(s.Instance) + 24)
+	b.WriteString(s.Model)
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(s.Batch))
+	b.WriteByte('|')
+	b.WriteString(s.Instance)
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(s.Count))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(s.GPUsPer))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(s.Mode))
+	return b.String()
+}
+
+// SpecJob resolves a spec's model and instance names back to the
+// objects RunLocalScenario needs. Names round-trip through the zoo and
+// catalogue deterministically, so the owner reconstructs exactly the
+// job the requester hashed. An unresolvable spec (a name this build
+// does not know) is an error the caller should treat as "decline", not
+// as a cacheable result.
+func SpecJob(spec ScenarioSpec) (workload.Job, cloud.InstanceType, error) {
+	m, err := dnn.Resolve(spec.Model)
+	if err != nil {
+		return workload.Job{}, cloud.InstanceType{}, err
+	}
+	j, err := workload.NewJob(m, spec.Batch)
+	if err != nil {
+		return workload.Job{}, cloud.InstanceType{}, err
+	}
+	it, err := cloud.ByName(spec.Instance)
+	if err != nil {
+		return workload.Job{}, cloud.InstanceType{}, err
+	}
+	return j, it, nil
+}
+
+// RemoteResult is a peer-resolved scenario outcome: the owner's result,
+// or the owner's deterministic simulation error.
+type RemoteResult struct {
+	Res *train.Result
+	Err error
+}
+
+// RemoteResolver is the cluster hook consulted on every scenario cache
+// miss (see the package comment above for the resolve/decline
+// contract). It runs outside the profiler's locks; local waiters for
+// the same scenario are already parked on the single-flight entry while
+// it executes.
+type RemoteResolver func(ctx context.Context, spec ScenarioSpec) (*RemoteResult, bool)
+
+// SetRemote installs the resolver consulted on cache misses. Passing
+// nil uninstalls it. Safe for concurrent use with in-flight requests;
+// requests that already missed keep the resolver they observed.
+func (p *Profiler) SetRemote(r RemoteResolver) {
+	if r == nil {
+		p.remote.Store(nil)
+		return
+	}
+	p.remote.Store(&r)
+}
+
+// remoteResolver returns the installed resolver, or nil.
+func (p *Profiler) remoteResolver() RemoteResolver {
+	if rp := p.remote.Load(); rp != nil {
+		return *rp
+	}
+	return nil
+}
+
+// RunLocalScenario executes one scenario on this profiler without
+// consulting the remote resolver: the owner-side entry point a cluster
+// scenario server calls, so ownership disagreement between gossip views
+// can never forward a scenario in a loop. It shares the local
+// single-flight cache and counters with every other path — a scenario
+// this replica already simulated is a cache hit here too. Mode must be
+// one of the SpecMode wire values.
+func (p *Profiler) RunLocalScenario(ctx context.Context, j workload.Job, it cloud.InstanceType, count, gpusPer, mode int) (*train.Result, error) {
+	m := runMode(mode)
+	if m != modeSynthetic && m != modeRealCold && m != modeRealWarm {
+		return nil, fmt.Errorf("stash: unknown scenario mode %d", mode)
+	}
+	if count < 1 {
+		return nil, fmt.Errorf("stash: scenario needs >= 1 instance, got %d", count)
+	}
+	return p.runLocal(ctx, j, scenario{instance: it, count: count, gpusPer: gpusPer, mode: m})
+}

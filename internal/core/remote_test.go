@@ -1,0 +1,199 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// donorResolver builds a RemoteResolver that computes every spec on its
+// own private profiler — a stand-in for a cluster peer that owns the
+// scenario. calls counts resolver invocations.
+func donorResolver(donor *Profiler, calls *atomic.Int64) RemoteResolver {
+	return func(ctx context.Context, spec ScenarioSpec) (*RemoteResult, bool) {
+		calls.Add(1)
+		j, it, err := SpecJob(spec)
+		if err != nil {
+			return nil, false
+		}
+		res, err := donor.RunLocalScenario(ctx, j, it, spec.Count, spec.GPUsPer, spec.Mode)
+		return &RemoteResult{Res: res, Err: err}, true
+	}
+}
+
+// TestRemoteFillCountsRemoteHitNotSimulated is the satellite-3
+// regression test: a scenario filled from a peer must count as a
+// RemoteHits outcome — never increment Simulated — and the conservation
+// identity Requests == Simulated + CacheHits + RemoteHits + Waits +
+// Cancelled must hold at quiescence, globally and per tenant. A naive
+// fill that charges the remote result to Simulated fails here.
+func TestRemoteFillCountsRemoteHitNotSimulated(t *testing.T) {
+	donor := fastProfiler()
+	p := fastProfiler()
+	var calls atomic.Int64
+	p.SetRemote(donorResolver(donor, &calls))
+
+	ctx := WithTenant(context.Background(), "acme")
+	s, err := p.NetworkStallContext(ctx, job(t, resnet18(t), 32), instance(t, "p3.8xlarge"), 2)
+	if err != nil {
+		t.Fatalf("NetworkStallContext: %v", err)
+	}
+	if s.Stall <= 0 {
+		t.Fatalf("remote-filled network stall = %v, want > 0", s.Stall)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("resolver calls = %d, want 2 (one per scenario)", got)
+	}
+
+	st := p.Stats()
+	if st.Requests != 2 || st.RemoteHits != 2 {
+		t.Fatalf("stats = %+v, want Requests=2 RemoteHits=2", st)
+	}
+	if st.Simulated != 0 {
+		t.Fatalf("remote fill incremented Simulated (%d); peer results must count as RemoteHits only", st.Simulated)
+	}
+	if b := st.Balance(); b != 0 {
+		t.Fatalf("Balance() = %d at quiescence, want 0 (stats %+v)", b, st)
+	}
+	ten := p.TenantStats()["acme"]
+	if ten.RemoteHits != 2 || ten.Simulated != 0 || ten.Balance() != 0 {
+		t.Fatalf("tenant mirror = %+v, want RemoteHits=2 Simulated=0 Balance=0", ten)
+	}
+
+	// The donor did the real work, on its own counters.
+	if ds := donor.Stats(); ds.Simulated != 2 {
+		t.Fatalf("donor stats = %+v, want Simulated=2", ds)
+	}
+
+	// A repeat of the same measurement is served from the local cache:
+	// the remote fill populated it, so no second resolver round-trip.
+	if _, err := p.NetworkStallContext(ctx, job(t, resnet18(t), 32), instance(t, "p3.8xlarge"), 2); err != nil {
+		t.Fatalf("cached replay: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("resolver calls after replay = %d, want still 2", got)
+	}
+	st = p.Stats()
+	if st.CacheHits != 2 || st.Balance() != 0 {
+		t.Fatalf("stats after replay = %+v, want CacheHits=2 Balance=0", st)
+	}
+}
+
+// TestRemoteDeclineFallsBackToLocalSimulation: a resolver that declines
+// (ok == false — not the key's owner, or the owner is unreachable) must
+// leave the scenario to the local engine, counted as Simulated.
+func TestRemoteDeclineFallsBackToLocalSimulation(t *testing.T) {
+	p := fastProfiler()
+	var calls atomic.Int64
+	p.SetRemote(func(ctx context.Context, spec ScenarioSpec) (*RemoteResult, bool) {
+		calls.Add(1)
+		return nil, false
+	})
+	if _, err := p.InterconnectStall(job(t, resnet18(t), 32), instance(t, "p3.16xlarge")); err != nil {
+		t.Fatalf("InterconnectStall: %v", err)
+	}
+	st := p.Stats()
+	if calls.Load() != 2 || st.Simulated != 2 || st.RemoteHits != 0 {
+		t.Fatalf("decline path: calls=%d stats=%+v, want 2 local simulations, 0 remote hits", calls.Load(), st)
+	}
+	if st.Balance() != 0 {
+		t.Fatalf("Balance() = %d, want 0", st.Balance())
+	}
+}
+
+// TestRemoteErrorResultIsCachedLikeLocalError: an owner-side simulation
+// error travels back as the entry's error, is charged as a RemoteHits
+// outcome (the request did resolve — to an error), and poisons the
+// cache entry exactly like a local simulation error would, so
+// latecomers share it as cache hits without new resolver traffic.
+func TestRemoteErrorResultIsCachedLikeLocalError(t *testing.T) {
+	p := fastProfiler()
+	remoteErr := errors.New("owner ran out of budget")
+	var calls atomic.Int64
+	p.SetRemote(func(ctx context.Context, spec ScenarioSpec) (*RemoteResult, bool) {
+		calls.Add(1)
+		return &RemoteResult{Err: remoteErr}, true
+	})
+	it := instance(t, "p3.16xlarge")
+	j := job(t, resnet18(t), 32)
+	if _, err := p.InterconnectStall(j, it); !errors.Is(err, remoteErr) {
+		t.Fatalf("InterconnectStall error = %v, want %v", err, remoteErr)
+	}
+	if _, err := p.InterconnectStall(j, it); !errors.Is(err, remoteErr) {
+		t.Fatalf("cached replay error = %v, want %v", err, remoteErr)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("resolver calls = %d, want 1 (error cached)", got)
+	}
+	st := p.Stats()
+	if st.RemoteHits != 1 || st.Simulated != 0 || st.Balance() != 0 {
+		t.Fatalf("stats = %+v, want RemoteHits=1 Simulated=0 Balance=0", st)
+	}
+}
+
+// TestRemoteFillSnapshotOrdering hammers a remote-resolving profiler
+// from many goroutines while concurrently scraping Stats, asserting the
+// CheckStatsLive property: Balance() never goes negative mid-flight.
+// The RemoteHits increment must follow its request's admission
+// increment, like every other outcome counter.
+func TestRemoteFillSnapshotOrdering(t *testing.T) {
+	donor := fastProfiler()
+	p := fastProfiler()
+	var calls atomic.Int64
+	p.SetRemote(donorResolver(donor, &calls))
+
+	stop := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	scrapeWG.Add(1)
+	go func() {
+		defer scrapeWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if b := p.Stats().Balance(); b < 0 {
+				t.Errorf("mid-flight Balance() = %d, want >= 0", b)
+				return
+			}
+			for _, ten := range p.TenantStats() {
+				if b := ten.Balance(); b < 0 {
+					t.Errorf("mid-flight tenant Balance() = %d, want >= 0", b)
+					return
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	ctx := WithTenant(context.Background(), "acme")
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				if _, err := p.NetworkStallContext(ctx, job(t, resnet18(t), 32), instance(t, "p3.8xlarge"), 2); err != nil {
+					t.Errorf("NetworkStallContext: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	scrapeWG.Wait()
+
+	st := p.Stats()
+	if st.Balance() != 0 {
+		t.Fatalf("quiesced Balance() = %d, want 0 (stats %+v)", st.Balance(), st)
+	}
+	if st.Simulated != 0 {
+		t.Fatalf("Simulated = %d, want 0 (all fills remote)", st.Simulated)
+	}
+	if st.RemoteHits == 0 || st.RemoteHits > 2 {
+		t.Fatalf("RemoteHits = %d, want 1..2 (single-flight across goroutines)", st.RemoteHits)
+	}
+}

@@ -36,6 +36,18 @@ type Config struct {
 	// parallel runs of the same configuration share one scenario cache.
 	Parallelism int
 
+	// Pool, when non-nil, is the profiler every sweep of this
+	// configuration uses instead of the process-wide shared LRU. A
+	// long-lived server (stashd) sets it so its scenario cache is its
+	// own — isolated from other servers in the same process (in-process
+	// cluster tests run several replicas side by side) and eligible for
+	// a per-server cluster remote-resolver hook (core.SetRemote). The
+	// caller must construct the pool with the same Iterations, Seed and
+	// Parallelism as this Config, or sweep results will not match the
+	// configuration they claim to describe. Experiments that need extra
+	// profiler options still build fresh unshared profilers.
+	Pool *core.Profiler
+
 	// ctx, when set via WithContext, cancels the configuration's sweeps:
 	// forEach stops dispatching new cells once ctx is done and the
 	// experiment returns ctx.Err(). It deliberately stays out of
@@ -119,6 +131,9 @@ func (c Config) profiler(opts ...core.Option) *core.Profiler {
 	if len(opts) > 0 {
 		return core.New(append(base, opts...)...)
 	}
+	if c.Pool != nil {
+		return c.Pool
+	}
 	key := profilerKey{iterations: c.Iterations, seed: c.Seed}
 	sharedProfilers.Lock()
 	defer sharedProfilers.Unlock()
@@ -156,6 +171,9 @@ func touchProfiler(key profilerKey) {
 // zeroed counters and could evict a profiler whose scenario cache a
 // running sweep is reusing.
 func (c Config) peekProfiler() (*core.Profiler, bool) {
+	if c.Pool != nil {
+		return c.Pool, true
+	}
 	c = c.normalize()
 	key := profilerKey{iterations: c.Iterations, seed: c.Seed}
 	sharedProfilers.Lock()

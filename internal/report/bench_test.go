@@ -1,0 +1,42 @@
+package report
+
+import (
+	"testing"
+	"time"
+)
+
+// buildBenchTable builds a representative figure-sized table: interned
+// unit-style cells (Pct/Dur/GBps) across 12 columns and 64 rows, the
+// shape the experiment suite renders hundreds of times per sweep.
+func buildBenchTable() *Table {
+	tb := NewTable("Bench: stall breakdown by configuration",
+		"instance", "gpus", "model", "batch", "gpu_util",
+		"stall_total", "fetch", "prep", "comm", "ckpt", "epoch", "bw")
+	for i := 0; i < 64; i++ {
+		tb.AddRow(
+			"p3.8xlarge", "4", "resnet50", "256",
+			Pct(float64(i%100)),
+			Pct(float64((i*7)%100)/3),
+			Pct(12.5), Pct(3.1), Pct(22.0), Pct(1.0),
+			Dur(time.Duration(i+1)*731*time.Millisecond),
+			GBps(float64(i+1)*1.7e8),
+		)
+	}
+	return tb
+}
+
+// BenchmarkTableRender is the report-layer hot path: build a
+// figure-sized table from formatter output, then render every encoding
+// (text, CSV, JSON) exactly as a /v1/experiments response does.
+func BenchmarkTableRender(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb := buildBenchTable()
+		if tb.String() == "" || tb.CSV() == "" {
+			b.Fatal("empty render")
+		}
+		if _, err := tb.MarshalJSON(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

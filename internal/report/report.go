@@ -7,8 +7,9 @@ package report
 
 import (
 	"encoding/json"
-	"fmt"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -17,19 +18,39 @@ type Table struct {
 	Title   string
 	Columns []string
 	rows    [][]string
+	// arena is the shared backing store row slices point into, so a
+	// 64-row table costs one or two cell allocations instead of 64.
+	// Rows never mutate after AddRow, so older rows referencing an
+	// earlier backing array after growth stay correct.
+	arena []string
 }
 
 // NewTable creates a table with the given title and column headers.
+// Headers are interned: the same column set across the hundreds of
+// tables a sweep renders shares one string per header.
 func NewTable(title string, columns ...string) *Table {
-	return &Table{Title: title, Columns: columns}
+	interned := make([]string, len(columns))
+	for i, c := range columns {
+		interned[i] = intern(c)
+	}
+	return &Table{Title: title, Columns: interned}
 }
 
 // AddRow appends a row; missing cells render empty, extra cells are an
-// error surfaced at render time.
+// error surfaced at render time. Cells are copied into the table's
+// arena, so the caller may reuse its argument slice.
 func (t *Table) AddRow(cells ...string) {
-	row := make([]string, len(cells))
-	copy(row, cells)
-	t.rows = append(t.rows, row)
+	if t.arena == nil {
+		n := 16 * len(cells)
+		if n < 64 {
+			n = 64
+		}
+		t.arena = make([]string, 0, n)
+	}
+	start := len(t.arena)
+	t.arena = append(t.arena, cells...)
+	end := len(t.arena)
+	t.rows = append(t.rows, t.arena[start:end:end])
 }
 
 // NumRows reports the number of data rows.
@@ -44,9 +65,25 @@ func (t *Table) Rows() [][]string {
 	return out
 }
 
+// pad supplies alignment spaces and separator dashes in chunks instead
+// of a byte at a time (or a strings.Repeat allocation per column).
+const pad = "                                                                "
+const dashes = "----------------------------------------------------------------"
+
+// writeN writes s's first n bytes, repeating s for widths beyond one
+// chunk (only pathological header widths need more than one).
+func writeN(b *strings.Builder, s string, n int) {
+	for n > len(s) {
+		b.WriteString(s)
+		n -= len(s)
+	}
+	b.WriteString(s[:n])
+}
+
 // String renders the table with aligned columns.
 func (t *Table) String() string {
 	widths := make([]int, len(t.Columns))
+	lineWidth := 0
 	for i, c := range t.Columns {
 		widths[i] = len(c)
 	}
@@ -57,9 +94,19 @@ func (t *Table) String() string {
 			}
 		}
 	}
+	for i, w := range widths {
+		if i > 0 {
+			lineWidth += 2
+		}
+		lineWidth += w
+	}
+	lineWidth++ // trailing newline
 	var b strings.Builder
+	b.Grow(len(t.Title) + 8 + (len(t.rows)+2)*lineWidth)
 	if t.Title != "" {
-		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+		b.WriteString("== ")
+		b.WriteString(t.Title)
+		b.WriteString(" ==\n")
 	}
 	writeRow := func(cells []string) {
 		for i, w := range widths {
@@ -70,16 +117,21 @@ func (t *Table) String() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", w, c)
+			b.WriteString(c)
+			if len(c) < w {
+				writeN(&b, pad, w-len(c))
+			}
 		}
-		b.WriteString("\n")
+		b.WriteByte('\n')
 	}
 	writeRow(t.Columns)
-	sep := make([]string, len(t.Columns))
 	for i, w := range widths {
-		sep[i] = strings.Repeat("-", w)
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		writeN(&b, dashes, w)
 	}
-	writeRow(sep)
+	b.WriteByte('\n')
 	for _, r := range t.rows {
 		writeRow(r)
 	}
@@ -89,7 +141,12 @@ func (t *Table) String() string {
 // CSV renders the table as comma-separated values with a header row.
 // Cells containing commas or quotes are quoted.
 func (t *Table) CSV() string {
+	size := 0
+	for _, c := range t.Columns {
+		size += len(c) + 1
+	}
 	var b strings.Builder
+	b.Grow(size * (len(t.rows) + 1) * 2)
 	writeRow := func(cells []string) {
 		for i := range t.Columns {
 			c := ""
@@ -97,11 +154,11 @@ func (t *Table) CSV() string {
 				c = cells[i]
 			}
 			if i > 0 {
-				b.WriteString(",")
+				b.WriteByte(',')
 			}
 			b.WriteString(escapeCSV(c))
 		}
-		b.WriteString("\n")
+		b.WriteByte('\n')
 	}
 	writeRow(t.Columns)
 	for _, r := range t.rows {
@@ -161,28 +218,75 @@ func (t *Table) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
+// interned deduplicates the formatter outputs and column headers that
+// repeat across every table of a sweep ("12.5%", "gpu_util", "OOM"):
+// each distinct short string is stored once and every table shares it.
+// Only short strings are interned — cell values here are formatted
+// numbers with bounded cardinality, so the map stays small — and the
+// table is append-only for the process lifetime, like a string constant
+// pool.
+var interned sync.Map // string -> string
+
+// internMaxLen bounds what the pool accepts; anything longer is almost
+// certainly a one-off (a title, a long label) not worth retaining.
+const internMaxLen = 32
+
+func intern(s string) string {
+	if len(s) > internMaxLen {
+		return s
+	}
+	if v, ok := interned.Load(s); ok {
+		return v.(string)
+	}
+	v, _ := interned.LoadOrStore(s, s)
+	return v.(string)
+}
+
+// internAppend finishes a formatter: the scratch bytes become a string
+// exactly once per distinct value; repeats return the pooled copy.
+func internAppend(b []byte) string { return intern(string(b)) }
+
 // Pct formats a percentage with one decimal.
-func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+func Pct(v float64) string {
+	var buf [24]byte
+	b := strconv.AppendFloat(buf[:0], v, 'f', 1, 64)
+	b = append(b, '%')
+	return internAppend(b)
+}
 
 // Money formats a dollar amount.
-func Money(v float64) string { return fmt.Sprintf("$%.2f", v) }
+func Money(v float64) string {
+	var buf [24]byte
+	b := append(buf[:0], '$')
+	b = strconv.AppendFloat(b, v, 'f', 2, 64)
+	return internAppend(b)
+}
 
 // Dur formats a duration rounded for display.
 func Dur(d time.Duration) string {
 	switch {
 	case d >= time.Hour:
-		return d.Round(time.Minute).String()
+		d = d.Round(time.Minute)
 	case d >= time.Minute:
-		return d.Round(time.Second).String()
+		d = d.Round(time.Second)
 	case d >= time.Second:
-		return d.Round(10 * time.Millisecond).String()
+		d = d.Round(10 * time.Millisecond)
 	default:
-		return d.Round(10 * time.Microsecond).String()
+		d = d.Round(10 * time.Microsecond)
 	}
+	return intern(d.String())
 }
 
 // Seconds formats a duration as raw seconds (for CSV post-processing).
-func Seconds(d time.Duration) string { return fmt.Sprintf("%.4f", d.Seconds()) }
+func Seconds(d time.Duration) string {
+	var buf [24]byte
+	return internAppend(strconv.AppendFloat(buf[:0], d.Seconds(), 'f', 4, 64))
+}
 
 // GBps formats a bandwidth in GB/s.
-func GBps(bytesPerSec float64) string { return fmt.Sprintf("%.2f GB/s", bytesPerSec/1e9) }
+func GBps(bytesPerSec float64) string {
+	var buf [32]byte
+	b := strconv.AppendFloat(buf[:0], bytesPerSec/1e9, 'f', 2, 64)
+	b = append(b, " GB/s"...)
+	return internAppend(b)
+}

@@ -2,9 +2,11 @@ package report
 
 import (
 	"encoding/json"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
+	"unsafe"
 )
 
 func TestTableString(t *testing.T) {
@@ -138,5 +140,56 @@ func TestTableJSONMatchesTextCells(t *testing.T) {
 				t.Errorf("cell (%d,%d): JSON %q != table %q", i, j, dec.Rows[i][j], cell)
 			}
 		}
+	}
+}
+
+func TestAddRowCopiesArgumentSlice(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	cells := []string{"x", "y"}
+	tb.AddRow(cells...)
+	cells[0] = "mutated"
+	if got := tb.Rows()[0][0]; got != "x" {
+		t.Errorf("AddRow aliased caller slice: cell = %q", got)
+	}
+}
+
+func TestAddRowArenaGrowthKeepsEarlierRows(t *testing.T) {
+	tb := NewTable("t", "i", "sq")
+	want := make([][]string, 0, 200)
+	for i := 0; i < 200; i++ { // far past the initial arena capacity
+		row := []string{strconv.Itoa(i), strconv.Itoa(i * i)}
+		tb.AddRow(row...)
+		want = append(want, row)
+	}
+	got := tb.Rows()
+	for i := range want {
+		if got[i][0] != want[i][0] || got[i][1] != want[i][1] {
+			t.Fatalf("row %d corrupted after arena growth: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestInternDedupsFormatterOutput(t *testing.T) {
+	a, b := Pct(12.5), Pct(12.5)
+	if a != b {
+		t.Fatalf("Pct unstable: %q vs %q", a, b)
+	}
+	if unsafe.StringData(a) != unsafe.StringData(b) {
+		t.Error("repeated Pct values not interned to shared storage")
+	}
+	h1 := NewTable("x", "gpu_util").Columns[0]
+	h2 := NewTable("y", "gpu_util").Columns[0]
+	if unsafe.StringData(h1) != unsafe.StringData(h2) {
+		t.Error("repeated headers not interned to shared storage")
+	}
+}
+
+func TestInternSkipsLongStrings(t *testing.T) {
+	long := strings.Repeat("x", internMaxLen+1)
+	if got := intern(long); got != long {
+		t.Errorf("intern changed value: %q", got)
+	}
+	if _, ok := interned.Load(long); ok {
+		t.Error("intern retained an over-length string")
 	}
 }

@@ -45,7 +45,7 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-1x}"
 MICRO_BENCHTIME="${MICRO_BENCHTIME:-0.5s}"
 COUNT="${COUNT:-3}"
-FILTER="${FILTER:-SuiteSerial|SuiteParallel|RingAllReduce|EventDispatch|ProcessSwitch|TaskSwitch|Barrier|FlowLifecycle|BlameAttribute}"
+FILTER="${FILTER:-SuiteSerial|SuiteParallel|RingAllReduce|EventDispatch|ProcessSwitch|TaskSwitch|Barrier|FlowLifecycle|BlameAttribute|TableRender}"
 # The effective scheduler width: parallel_speedup (SuiteSerial /
 # SuiteParallel) is only meaningful when the parallel suite actually had
 # more than one P to run on, so single-P hosts record gomaxprocs and
@@ -68,7 +68,7 @@ go test -run '^$' -bench "$FILTER" -benchmem -benchtime "$BENCHTIME" -count "$CO
     . | tee "$RAW"
 echo "==> go test -bench '$FILTER' -benchtime=$MICRO_BENCHTIME -count=$COUNT (micro)"
 go test -run '^$' -bench "$FILTER" -benchmem -benchtime "$MICRO_BENCHTIME" -count "$COUNT" \
-    ./internal/collective ./internal/sim ./internal/simnet ./internal/trace | tee -a "$RAW"
+    ./internal/collective ./internal/report ./internal/sim ./internal/simnet ./internal/trace | tee -a "$RAW"
 
 # Convert the textual benchmark lines into JSON. A line looks like
 #   BenchmarkSuiteSerial-8   1   123456789 ns/op   456 B/op   7 allocs/op

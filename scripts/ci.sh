@@ -46,6 +46,15 @@ go test ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# The cluster layer is the newest concurrency surface (gossip, steal
+# leases, remote single-flight); run it under the race detector with
+# caching disabled so every CI run actually re-executes it.
+echo "==> go test -race -count=1 ./internal/cluster"
+go test -race -count=1 ./internal/cluster
+
+echo "==> clustersmoke (3 loopback replicas: byte-identity + cluster-wide single-flight)"
+go run ./cmd/clustersmoke
+
 echo "==> stash -selfcheck (cross-layer invariant audit)"
 go run ./cmd/stash -selfcheck
 
